@@ -1,0 +1,42 @@
+"""E04 — Proposition 3.7: ≡_k is not a congruence.
+
+With (p, q) = (12, 14): aᵖ ≡₂ a^q and b·aᵖ ≡₂ b·aᵖ, yet the rank-5
+sentence φ_vbv separates aᵖ·b·aᵖ from a^q·b·aᵖ.  The benchmark times the
+whole quadruple check (two solver equivalences + two model checks).
+"""
+
+from benchmarks.reporting import print_banner, print_table
+from repro.core.pow2 import pow2_witness
+from repro.ef.equivalence import equiv_k
+from repro.fc.builders import phi_vbv
+from repro.fc.semantics import defines_language_member
+from repro.fc.syntax import quantifier_rank
+
+
+def _quadruple():
+    witness = pow2_witness(2)
+    u, v = witness.words()
+    tail = "b" + u
+    phi = phi_vbv()
+    return {
+        "u≡₂v": equiv_k(u, v, 2, "ab"),
+        "tail≡₂tail": equiv_k(tail, tail, 2, "ab"),
+        "u·tail ⊨ φ": defines_language_member(u + tail, phi, "ab"),
+        "v·tail ⊨ φ": defines_language_member(v + tail, phi, "ab"),
+        "qr(φ)": quantifier_rank(phi),
+    }
+
+
+def test_e04_not_a_congruence(benchmark):
+    result = benchmark(_quadruple)
+    print_banner(
+        "E04 / Proposition 3.7",
+        "u ≡_k v and u' ≡_k v' do NOT imply u·u' ≡_k v·v' (k ≥ 5)",
+    )
+    print_table(
+        list(result.keys()),
+        [list(result.values())],
+    )
+    assert result["u≡₂v"] and result["tail≡₂tail"]
+    assert result["u·tail ⊨ φ"] and not result["v·tail ⊨ φ"]
+    assert result["qr(φ)"] == 5

@@ -1,0 +1,33 @@
+"""Shared report-table helpers for the experiment benchmarks.
+
+Each benchmark regenerates one experiment row-set from EXPERIMENTS.md;
+``print_table`` renders it in the same layout so ``pytest benchmarks/
+--benchmark-only -s`` reproduces the document's tables verbatim.
+"""
+
+from __future__ import annotations
+
+__all__ = ["print_table", "print_banner"]
+
+
+def print_banner(experiment: str, claim: str) -> None:
+    """Print the experiment header."""
+    print()
+    print(f"=== {experiment} ===")
+    print(f"claim: {claim}")
+
+
+def print_table(headers: list[str], rows: list[list[object]]) -> None:
+    """Render an aligned text table."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered))
+        if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for row in rendered:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))

@@ -1,0 +1,110 @@
+"""EF game explorer: watch Spoiler and Duplicator actually play.
+
+Replays the paper's Example 3.3 (Spoiler's 2-round win on a⁴ vs a³) move
+by move, then shows Duplicator's optimal survival on the ≡₂ pair
+(a¹², a¹⁴), and finally the Primitive Power composition at work on
+(ab)¹² vs (ab)¹⁴.
+
+Run:  python examples/ef_game_explorer.py
+"""
+
+from repro.ef.composition import (
+    FringePreservingUnaryDuplicator,
+    PrimitivePowerDuplicator,
+)
+from repro.ef.game import GameArena, Move, Play
+from repro.ef.solver import GameSolver
+from repro.ef.strategies import SolverDuplicator
+from repro.fc.structures import word_structure
+
+
+def show_play(play: Play, label: str) -> None:
+    print(f"\n{label}")
+    for index, round_ in enumerate(play.rounds_played, start=1):
+        move = round_.move
+        print(
+            f"  round {index}: Spoiler picks {move.element!r} on side "
+            f"{move.side}; Duplicator answers {round_.response!r}"
+        )
+    violation = play.violation()
+    if violation is None:
+        print("  → Duplicator survives (partial isomorphism intact)")
+    else:
+        print(f"  → Spoiler wins: {violation}")
+
+
+def example_3_3() -> None:
+    print("=== Example 3.3: a⁴ vs a³, two rounds ===")
+    w, v = "aaaa", "aaa"
+    arena = GameArena(word_structure(w, "a"), word_structure(v, "a"), 2)
+    solver = GameSolver(arena.structure_a, arena.structure_b)
+    duplicator = SolverDuplicator(solver, 2)
+
+    play = Play(arena)
+    opening = Move("A", w)  # the paper's opening: the whole word a^{2i}
+    try:
+        response = duplicator.respond(opening)
+        play.record(opening, response)
+    except RuntimeError:
+        # Optimal play already knows every response loses; demonstrate
+        # with the best *surviving-one-round* response instead.
+        print("  Duplicator has NO winning response to the opening move —")
+        print("  (the solver proves the position lost at every answer).")
+        for candidate in ("aaa", "aa", "a"):
+            probe = Play(arena)
+            probe.record(opening, candidate)
+            if not probe.duplicator_won():
+                print(
+                    f"    if Duplicator tries {candidate!r}: already lost "
+                    f"({probe.violation().kind} violation)"
+                )
+                continue
+            follow = solver.spoiler_winning_move(
+                1, frozenset({(w, candidate)})
+            )
+            print(
+                f"    if Duplicator tries {candidate!r}, Spoiler kills with "
+                f"{follow.element!r} on side {follow.side}"
+            )
+        return
+    show_play(play, "unexpected survival (should not happen)")
+
+
+def equivalent_pair() -> None:
+    print("\n=== Duplicator's optimal play on a¹² ≡₂ a¹⁴ ===")
+    w, v = "a" * 12, "a" * 14
+    arena = GameArena(word_structure(w, "a"), word_structure(v, "a"), 2)
+    solver = GameSolver(arena.structure_a, arena.structure_b)
+    duplicator = SolverDuplicator(solver, 2)
+    play = Play(arena)
+    for move in (Move("B", "a" * 13), Move("A", "a" * 6)):
+        response = duplicator.respond(move)
+        play.record(move, response)
+    show_play(play, "Spoiler probes the long end, then the middle:")
+
+
+def primitive_power_composition() -> None:
+    print("\n=== Lemma 4.8's strategy on (ab)¹² vs (ab)¹⁴ ===")
+    p, q = 12, 14
+    arena = GameArena(
+        word_structure("ab" * p, "ab"), word_structure("ab" * q, "ab"), 1
+    )
+    duplicator = PrimitivePowerDuplicator(
+        "ab", p, q, FringePreservingUnaryDuplicator(p, q)
+    )
+    play = Play(arena)
+    probe = Move("B", "b" + "ab" * 12 + "a")  # deep factor, exp = 12
+    response = duplicator.respond(probe)
+    play.record(probe, response)
+    show_play(
+        play,
+        "Spoiler picks a near-full factor of the longer power; the "
+        "strategy factorises (Lemma 4.7), consults the unary look-up, and "
+        "reassembles:",
+    )
+
+
+if __name__ == "__main__":
+    example_3_3()
+    equivalent_pair()
+    primitive_power_composition()

@@ -1,0 +1,68 @@
+"""Proposition 4.1 up close: FC expresses the Fibonacci-prefix language.
+
+Walks through the construction of φ_fib (shape constraint + the
+universal-quantifier "recursion"), model-checks it on members and near
+misses, and demonstrates the 4th-power-freeness fact behind the paper's
+"FC has no pumping lemma" remark.
+
+Run:  python examples/fibonacci_in_fc.py
+"""
+
+from repro.fc.builders import phi_fib
+from repro.fc.semantics import models
+from repro.fc.syntax import quantifier_rank
+from repro.words.fibonacci import (
+    fibonacci_word,
+    is_fourth_power_free,
+    is_l_fib,
+    l_fib_word,
+)
+
+PHI = phi_fib()
+
+
+def members() -> None:
+    print("=== members c·F₀·c·F₁·c···Fₙ·c ===")
+    for n in range(7):
+        word = l_fib_word(n)
+        verdict = models(word, PHI, "abc")
+        shown = word if len(word) <= 40 else word[:37] + "..."
+        print(f"  n={n}  |w|={len(word):3d}  ⊨φ_fib={verdict}  {shown}")
+
+
+def near_misses() -> None:
+    print("\n=== near misses (one symbol off) ===")
+    base = l_fib_word(3)
+    candidates = [
+        base[:-1],                # missing final separator
+        base + "c",               # extra separator (creates cc)
+        base.replace("abaab", "ababa", 1),  # corrupted F₃ block
+        "c" + base,               # leading cc
+    ]
+    for word in candidates:
+        print(
+            f"  ⊨φ_fib={models(word, PHI, 'abc')!s:5s}  "
+            f"oracle={is_l_fib(word)!s:5s}  {word!r}"
+        )
+
+
+def no_pumping() -> None:
+    print("\n=== why FC has no pumping lemma (Karhumäki) ===")
+    print(f"  qr(φ_fib) = {quantifier_rank(PHI)}")
+    for n in (8, 10, 12):
+        w = fibonacci_word(n)
+        print(
+            f"  F_{n} (length {len(w)}): 4th-power-free = "
+            f"{is_fourth_power_free(w)}"
+        )
+    print(
+        "  members of L_fib contain no u⁴, so no factor can be pumped\n"
+        "  arbitrarily — yet L_fib ∈ L(FC).  A classical pumping lemma\n"
+        "  for FC is therefore impossible."
+    )
+
+
+if __name__ == "__main__":
+    members()
+    near_misses()
+    no_pumping()

@@ -1,0 +1,66 @@
+"""Full inexpressibility report: the paper's main results, regenerated.
+
+Produces, for every language of Lemma 4.14 (and Example 4.5) and every
+relation of Theorem 5.8, the complete machine-checked evidence chain.
+
+Run:  python examples/inexpressibility_report.py
+"""
+
+from repro.core.inexpressibility import (
+    BOUNDING_SEQUENCES,
+    language_report,
+    relation_report,
+)
+from repro.core.pow2 import KNOWN_MINIMAL_PAIRS
+from repro.core.relations import PSI_REDUCTIONS
+from repro.core.witnesses import WITNESS_FAMILIES
+
+
+def header(title: str) -> None:
+    print(f"\n{'=' * 66}\n{title}\n{'=' * 66}")
+
+
+def main() -> None:
+    header("Step 0 — Lemma 3.6: unary witness pairs (exact search)")
+    for k, (p, q) in sorted(KNOWN_MINIMAL_PAIRS.items()):
+        print(f"  k = {k}:  a^{p} ≡_{k} a^{q}  (minimal pair)")
+    print("  k = 3:  no pair below exponent 48 (bounded search negative)")
+
+    header("Step 1 — Lemma 4.14: languages outside FC")
+    for name in sorted(WITNESS_FAMILIES):
+        report = language_report(name, ranks=(0, 1), verify_equivalence_up_to=1)
+        pair = report.pairs[-1]
+        bound = "·".join(f"{w}*" for w in BOUNDING_SEQUENCES[name])
+        print(f"\n  {name}  ({report.paper_ref})")
+        print(f"    witness pair (k=1):  {pair.member!r} ∈ L,  {pair.foil!r} ∉ L")
+        print(f"    member ≡_k foil (exact solver): {report.equivalences}")
+        print(f"    bounded by {bound}: {report.bounded}")
+        print(f"    verdict: {report.verdict} → {name} ∉ L(FC)")
+
+    header("Step 2 — Lemma 5.4 bridge: bounded ⇒ FC[REG] adds nothing")
+    print(
+        "  every language above is a bounded language, so FC-"
+        "inexpressibility lifts to FC[REG] (experiment E16 validates the\n"
+        "  constructive rewriting on all of the paper's constraint patterns)"
+    )
+
+    header("Step 3 — Theorem 5.8: relations not selectable by")
+    print("            generalized core spanners")
+    for name in sorted(PSI_REDUCTIONS):
+        report = relation_report(name, max_length=6)
+        status = "✓" if report.reduction_agrees else "✗"
+        print(
+            f"  {status} {name:8s} →  ψ defines {report.target_language}"
+            + (f"   [{report.note}]" if report.note else "")
+        )
+    print(
+        "\n  each ψ uses only bounded regular constraints + the candidate\n"
+        "  relation; a definable relation would therefore put a non-FC\n"
+        "  bounded language into FC[REG] — contradiction.  By the\n"
+        "  Freydenberger–Peterfreund correspondence, none of these\n"
+        "  relations is selectable by generalized core spanners."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Four logics, one inexpressibility question.
+
+Compares the machinery around the paper on a single running question —
+"which rank separates these words, and what does the certificate look
+like?" — across:
+
+1. FC with plain EF games (the paper's tool),
+2. FO[EQ] with position games (the prior tool the paper replaces),
+3. existential games (the conclusion's core-spanner direction),
+4. pebble games (the conclusion's finite-variable direction),
+
+plus the synthesised FC certificate for a separated pair.
+
+Run:  python examples/logic_comparison.py
+"""
+
+from repro.ef.equivalence import distinguishing_rank, equiv_k
+from repro.ef.existential import existential_preorder
+from repro.ef.pebble import pebble_distinguishing_rounds
+from repro.ef.synthesis import synthesize_distinguishing_sentence
+from repro.fc.semantics import defines_language_member
+from repro.fc.syntax import quantifier_rank
+from repro.foeq.games import foeq_distinguishing_rank
+
+PAIRS = [
+    ("aaaa", "aaa"),
+    ("ab", "ba"),
+    ("abab", "abba"),
+    ("aabb", "abab"),
+]
+
+
+def rank_table() -> None:
+    print("=== separating ranks across game variants ===")
+    print(f"{'pair':16s} {'FC':>4s} {'FO[EQ]':>7s} {'2-pebble':>9s}")
+    for w, v in PAIRS:
+        fc = distinguishing_rank(w, v, 4, "ab")
+        foeq = foeq_distinguishing_rank(w, v, 4)
+        pebble = pebble_distinguishing_rounds(w, v, 2, 4, "ab")
+        print(f"{w + ' / ' + v:16s} {fc!s:>4s} {foeq!s:>7s} {pebble!s:>9s}")
+    print(
+        "\nFC's ternary concatenation relation separates at least as fast\n"
+        "as the position signature on every pair — the executable face of\n"
+        "the paper's 'simpler machinery' claim."
+    )
+
+
+def pebble_phenomenon() -> None:
+    print("\n=== pebble reuse vs quantifier rank ===")
+    w, v = "a" * 12, "a" * 14
+    print(f"a^12 ≡₂ a^14 (plain game):        {equiv_k(w, v, 2, 'a')}")
+    rounds = pebble_distinguishing_rounds(w, v, 2, 4, "a")
+    print(f"2 pebbles separate them at round: {rounds}")
+    print(
+        "re-placing a pebble reuses a variable — FC with 2 variables and\n"
+        "3 quantifier nestings sees what rank-2 FC cannot."
+    )
+
+
+def existential_asymmetry() -> None:
+    print("\n=== existential (∃⁺) preservation ===")
+    for p, q in ((3, 5), (5, 3)):
+        verdict = existential_preorder("a" * p, "a" * q, 2)
+        arrow = "⪯₂" if verdict else "⋠₂"
+        print(f"a^{p} {arrow} a^{q}")
+    print(
+        "existential truths only travel upward: the one-sided game is the\n"
+        "conclusion's suggested route to further core-spanner results."
+    )
+
+
+def certificate() -> None:
+    print("\n=== synthesised certificate for a⁴ ≢₂ a³ ===")
+    phi = synthesize_distinguishing_sentence("aaaa", "aaa", 2, "a")
+    print(f"φ := {phi!r}")
+    print(f"qr(φ) = {quantifier_rank(phi)}")
+    print(f"a⁴ ⊨ φ: {defines_language_member('aaaa', phi, 'a')}")
+    print(f"a³ ⊨ φ: {defines_language_member('aaa', phi, 'a')}")
+
+
+if __name__ == "__main__":
+    rank_table()
+    pebble_phenomenon()
+    existential_asymmetry()
+    certificate()

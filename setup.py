@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs on environments without
+the `wheel` package (pip install -e . falls back to setup.py develop)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro — executable reproduction of "Generalized Core Spanner
+Inexpressibility via Ehrenfeucht-Fraisse Games for FC" (Thompson &
+Freydenberger, PODS 2024).
+
+Subpackages:
+
+* ``repro.words``      — combinatorics on words (factors, primitivity,
+  conjugacy, periodicity, Fibonacci words, morphisms);
+* ``repro.fc``         — the logic FC: syntax, word structures, model
+  checking with a constraint-propagating evaluator;
+* ``repro.fcreg``      — FC[REG]: regex engine, regular constraints,
+  bounded languages, the Lemma 5.4 rewriting;
+* ``repro.ef``         — EF games: exact ≡_k solver, strategy objects,
+  the Pseudo-Congruence / Primitive Power strategy compositions;
+* ``repro.semilinear`` — semi-linear sets, unary-language substrate;
+* ``repro.core``       — the paper's results as an executable toolkit:
+  pow2 witnesses, certified lemma instances, the Fooling Lemma, witness
+  families for L1…L6, Theorem 5.8 relation reductions;
+* ``repro.spanners``   — document spanners: regex formulas, span algebra,
+  regular / core / generalized core spanner classes.
+
+Quick taste::
+
+    >>> from repro.ef import equiv_k
+    >>> equiv_k("a" * 12, "a" * 14, 2)
+    True
+    >>> from repro.fc import models, phi_ww
+    >>> models("abab", phi_ww(), "ab")
+    True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "words",
+    "fc",
+    "fcreg",
+    "ef",
+    "foeq",
+    "semilinear",
+    "core",
+    "spanners",
+]

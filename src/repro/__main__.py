@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``report``                 — the full inexpressibility report
+* ``equiv W V K``            — decide W ≡_K V with the exact solver
+* ``rank W V [MAX]``         — least k with W ≢_k V (≤ MAX, default 3)
+* ``synth W V K``            — synthesise + verify a separating FC(K) sentence
+* ``check WORD FORMULA``     — model-check a named paper formula
+                               (ww | no-cube | vbv | fib) on WORD
+* ``pow2 [K]``               — minimal unary witness pair for rank K (≤ 2)
+* ``eval FORMULA WORD [SIGMA]`` — parse FORMULA (text syntax, see
+                               repro.fc.parser) and model-check it on WORD
+* ``certify [PATH]``         — emit (or, given a path, re-verify) the
+                               JSON certificate bundle
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+PAPER_FORMULAS = {
+    "ww": ("repro.fc.builders", "phi_ww", "ab"),
+    "no-cube": ("repro.fc.builders", "phi_no_cube", "ab"),
+    "vbv": ("repro.fc.builders", "phi_vbv", "ab"),
+    "fib": ("repro.fc.builders", "phi_fib", "abc"),
+}
+
+
+def _cmd_report(_: argparse.Namespace) -> int:
+    from repro.core.inexpressibility import language_report, relation_report
+    from repro.core.pow2 import KNOWN_MINIMAL_PAIRS
+    from repro.core.relations import PSI_REDUCTIONS
+    from repro.core.witnesses import WITNESS_FAMILIES
+
+    print("Lemma 3.6 unary witness pairs (exact):")
+    for k, (p, q) in sorted(KNOWN_MINIMAL_PAIRS.items()):
+        print(f"  k = {k}: a^{p} ≡_{k} a^{q}")
+    print("\nLemma 4.14 languages (witness + boundedness + ≡_k checks):")
+    for name in sorted(WITNESS_FAMILIES):
+        report = language_report(name, ranks=(0, 1), verify_equivalence_up_to=1)
+        print(f"  {name:10s} {report.paper_ref:28s} → {report.verdict}")
+    print("\nTheorem 5.8 relation reductions (L(ψ) = L on Σ^{≤6}):")
+    for name in sorted(PSI_REDUCTIONS):
+        report = relation_report(name, max_length=6)
+        status = "✓" if report.reduction_agrees else "✗"
+        print(f"  {status} {name:8s} → {report.target_language}")
+    return 0
+
+
+def _cmd_equiv(args: argparse.Namespace) -> int:
+    from repro.ef.equivalence import equiv_k
+
+    verdict = equiv_k(args.w, args.v, args.k)
+    symbol = "≡" if verdict else "≢"
+    print(f"{args.w!r} {symbol}_{args.k} {args.v!r}")
+    return 0
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    from repro.ef.equivalence import distinguishing_rank
+
+    rank = distinguishing_rank(args.w, args.v, args.max_k)
+    if rank is None:
+        print(f"equivalent through rank {args.max_k}")
+    else:
+        print(f"distinguishing rank: {rank}")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.ef.synthesis import (
+        SynthesisFailure,
+        synthesize_distinguishing_sentence,
+    )
+    from repro.fc.semantics import defines_language_member
+    from repro.fc.syntax import quantifier_rank
+
+    alphabet = "".join(sorted(set(args.w) | set(args.v))) or "a"
+    try:
+        phi = synthesize_distinguishing_sentence(args.w, args.v, args.k, alphabet)
+    except SynthesisFailure as failure:
+        print(f"no certificate: {failure}")
+        return 1
+    print(f"φ := {phi!r}")
+    print(f"qr(φ) = {quantifier_rank(phi)}")
+    print(f"{args.w!r} ⊨ φ: {defines_language_member(args.w, phi, alphabet)}")
+    print(f"{args.v!r} ⊨ φ: {defines_language_member(args.v, phi, alphabet)}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    import importlib
+
+    from repro.fc.semantics import defines_language_member
+
+    try:
+        module_name, function, alphabet = PAPER_FORMULAS[args.formula]
+    except KeyError:
+        print(
+            f"unknown formula {args.formula!r}; choose from "
+            f"{sorted(PAPER_FORMULAS)}",
+            file=sys.stderr,
+        )
+        return 2
+    builder = getattr(importlib.import_module(module_name), function)
+    verdict = defines_language_member(args.word, builder(), alphabet)
+    print(f"{args.word!r} ⊨ φ_{args.formula}: {verdict}")
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from repro.fc.parser import FCParseError, parse_fc
+    from repro.fc.semantics import defines_language_member
+    from repro.fc.syntax import free_variables
+
+    alphabet = args.alphabet or "".join(sorted(set(args.word))) or "a"
+    try:
+        phi = parse_fc(args.formula, alphabet)
+    except FCParseError as error:
+        print(f"parse error: {error}", file=sys.stderr)
+        return 2
+    if free_variables(phi):
+        names = sorted(v.name for v in free_variables(phi))
+        print(f"formula is open (free: {names}); quantify to evaluate",
+              file=sys.stderr)
+        return 2
+    verdict = defines_language_member(args.word, phi, alphabet)
+    print(f"{args.word!r} ⊨ φ: {verdict}")
+    return 0
+
+
+def _cmd_pow2(args: argparse.Namespace) -> int:
+    from repro.core.pow2 import pow2_witness
+
+    witness = pow2_witness(args.k)
+    print(f"k = {witness.k}: minimal pair a^{witness.p} ≡_{witness.k} a^{witness.q}")
+    return 0
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.certificates import (
+        bundle_to_json,
+        generate_bundle,
+        verify_bundle,
+    )
+
+    if args.path is None:
+        print(bundle_to_json(generate_bundle()))
+        return 0
+    with open(args.path, encoding="utf-8") as handle:
+        bundle = json.load(handle)
+    failures = verify_bundle(bundle)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("all certificates verified")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Executable reproduction of the PODS'24 FC/EF-games paper",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("report", help="full inexpressibility report")
+
+    equiv = commands.add_parser("equiv", help="decide W ≡_K V")
+    equiv.add_argument("w")
+    equiv.add_argument("v")
+    equiv.add_argument("k", type=int)
+
+    rank = commands.add_parser("rank", help="least separating rank")
+    rank.add_argument("w")
+    rank.add_argument("v")
+    rank.add_argument("max_k", type=int, nargs="?", default=3)
+
+    synth = commands.add_parser("synth", help="separating-sentence synthesis")
+    synth.add_argument("w")
+    synth.add_argument("v")
+    synth.add_argument("k", type=int)
+
+    check = commands.add_parser("check", help="model-check a paper formula")
+    check.add_argument("word")
+    check.add_argument("formula", choices=sorted(PAPER_FORMULAS))
+
+    pow2 = commands.add_parser("pow2", help="unary witness pair")
+    pow2.add_argument("k", type=int, nargs="?", default=2)
+
+    evaluate = commands.add_parser("eval", help="model-check formula text")
+    evaluate.add_argument("formula")
+    evaluate.add_argument("word")
+    evaluate.add_argument("alphabet", nargs="?", default=None)
+
+    certify = commands.add_parser(
+        "certify", help="emit or re-verify the certificate bundle"
+    )
+    certify.add_argument("path", nargs="?", default=None)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "report": _cmd_report,
+        "equiv": _cmd_equiv,
+        "rank": _cmd_rank,
+        "synth": _cmd_synth,
+        "check": _cmd_check,
+        "pow2": _cmd_pow2,
+        "eval": _cmd_eval,
+        "certify": _cmd_certify,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,95 @@
+"""The paper's contribution as an executable inexpressibility toolkit.
+
+Lemma 3.6 witnesses (``pow2``), the Pseudo-Congruence and Primitive Power
+Lemmas as certified operations, the Fooling Lemma, the witness families
+for the six non-FC languages, and the Theorem 5.8 relation reductions.
+"""
+
+from repro.core.certificates import (
+    bundle_to_json,
+    generate_bundle,
+    verify_bundle,
+)
+from repro.core.fooling import (
+    FoolingBudget,
+    FoolingPair,
+    fooling_budget,
+    fooling_pair,
+)
+from repro.core.inexpressibility import (
+    BOUNDING_SEQUENCES,
+    LanguageReport,
+    RelationReport,
+    language_report,
+    relation_report,
+)
+from repro.core.pow2 import (
+    KNOWN_MINIMAL_PAIRS,
+    Pow2Witness,
+    pow2_semilinearity_evidence,
+    pow2_witness,
+)
+from repro.core.primitive_power import PrimitivePowerInstance
+from repro.core.pseudo_congruence import PseudoCongruenceInstance, round_overhead
+from repro.core.relations import (
+    OracleAtom,
+    PSI_REDUCTIONS,
+    PsiReduction,
+    RELATIONS,
+    add_rel,
+    morph_rel,
+    mult_rel,
+    num_a,
+    oracle_for,
+    perm_rel,
+    psi_reduction,
+    rev_rel,
+    scatt_rel,
+    shuff_rel,
+)
+from repro.core.witnesses import (
+    WITNESS_FAMILIES,
+    WitnessFamily,
+    WitnessPair,
+    witness_family,
+)
+
+__all__ = [
+    "bundle_to_json",
+    "generate_bundle",
+    "verify_bundle",
+    "FoolingBudget",
+    "FoolingPair",
+    "fooling_budget",
+    "fooling_pair",
+    "BOUNDING_SEQUENCES",
+    "LanguageReport",
+    "RelationReport",
+    "language_report",
+    "relation_report",
+    "KNOWN_MINIMAL_PAIRS",
+    "Pow2Witness",
+    "pow2_semilinearity_evidence",
+    "pow2_witness",
+    "PrimitivePowerInstance",
+    "PseudoCongruenceInstance",
+    "round_overhead",
+    "OracleAtom",
+    "PSI_REDUCTIONS",
+    "PsiReduction",
+    "RELATIONS",
+    "add_rel",
+    "morph_rel",
+    "mult_rel",
+    "num_a",
+    "oracle_for",
+    "perm_rel",
+    "psi_reduction",
+    "rev_rel",
+    "scatt_rel",
+    "shuff_rel",
+    "WITNESS_FAMILIES",
+    "WitnessFamily",
+    "WitnessPair",
+    "witness_family",
+]

@@ -1,0 +1,143 @@
+"""Machine-checkable result bundles.
+
+The reproduction's headline results — witness pairs, exact ≡_k verdicts,
+synthesised separating sentences, reduction agreements — are serialised
+into a plain-JSON bundle that a reviewer can re-verify *without trusting
+the game solver*: every entry carries enough data for an independent
+re-check (the witness words and membership claims, and for synthesised
+sentences the formula text that ``repro.fc.parser`` + the model checker
+validate directly).
+
+``generate_bundle`` builds the bundle; ``verify_bundle`` re-checks every
+claim with the model checker and oracles only (no game search), returning
+the list of failures (empty on success).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.pow2 import KNOWN_MINIMAL_PAIRS
+from repro.core.witnesses import WITNESS_FAMILIES
+from repro.ef.synthesis import SynthesisFailure, synthesize_distinguishing_sentence
+from repro.fc.display import to_text
+from repro.fc.parser import parse_fc
+from repro.fc.semantics import defines_language_member
+from repro.fc.syntax import quantifier_rank
+from repro.words.generators import PAPER_LANGUAGES
+
+__all__ = ["generate_bundle", "verify_bundle", "bundle_to_json"]
+
+
+def _synthesis_entries(max_length: int = 3, k: int = 2) -> list[dict]:
+    """Separating-sentence certificates for all short ≢_k pairs."""
+    from repro.ef.equivalence import equiv_k
+    from repro.words.generators import words_up_to
+
+    entries = []
+    words = list(words_up_to("ab", max_length))
+    for i, w in enumerate(words):
+        for v in words[i + 1 :]:
+            if equiv_k(w, v, k, alphabet="ab"):
+                continue
+            try:
+                phi = synthesize_distinguishing_sentence(w, v, k, "ab")
+            except SynthesisFailure:  # pragma: no cover - solver agrees
+                continue
+            entries.append(
+                {
+                    "kind": "separating-sentence",
+                    "left": w,
+                    "right": v,
+                    "rank": k,
+                    "formula": to_text(phi),
+                    "alphabet": "ab",
+                }
+            )
+    return entries
+
+
+def generate_bundle(
+    synthesis_max_length: int = 3, witness_ranks: tuple[int, ...] = (0, 1)
+) -> dict[str, Any]:
+    """Produce the certificate bundle (a JSON-serialisable dict)."""
+    witnesses = []
+    for name in sorted(WITNESS_FAMILIES):
+        family = WITNESS_FAMILIES[name]
+        for k in witness_ranks:
+            pair = family.pair(k)
+            witnesses.append(
+                {
+                    "kind": "language-witness",
+                    "language": name,
+                    "paper_ref": family.paper_ref,
+                    "rank": k,
+                    "member": pair.member,
+                    "foil": pair.foil,
+                    "unary_pair": [pair.p, pair.q],
+                }
+            )
+    return {
+        "schema": "repro.certificates/1",
+        "unary_minimal_pairs": {
+            str(k): list(pair) for k, pair in sorted(KNOWN_MINIMAL_PAIRS.items())
+        },
+        "language_witnesses": witnesses,
+        "separating_sentences": _synthesis_entries(synthesis_max_length),
+    }
+
+
+def verify_bundle(bundle: dict[str, Any]) -> list[str]:
+    """Independently re-check every claim in a bundle.
+
+    Uses only the membership oracles and the model checker — the game
+    solver is *not* consulted, so a verifier need not trust it.  Returns
+    human-readable failure descriptions (empty = all claims check out).
+    """
+    failures: list[str] = []
+    if bundle.get("schema") != "repro.certificates/1":
+        failures.append(f"unknown schema {bundle.get('schema')!r}")
+        return failures
+    for entry in bundle.get("language_witnesses", []):
+        oracle = PAPER_LANGUAGES.get(entry["language"])
+        if oracle is None:
+            failures.append(f"unknown language {entry['language']!r}")
+            continue
+        if entry["member"] not in oracle:
+            failures.append(
+                f"{entry['language']}: claimed member {entry['member']!r} "
+                "is not in the language"
+            )
+        if entry["foil"] in oracle:
+            failures.append(
+                f"{entry['language']}: claimed foil {entry['foil']!r} "
+                "is in the language"
+            )
+    for entry in bundle.get("separating_sentences", []):
+        try:
+            phi = parse_fc(entry["formula"], entry["alphabet"])
+        except Exception as error:  # noqa: BLE001 - reported, not raised
+            failures.append(f"unparseable certificate: {error}")
+            continue
+        if quantifier_rank(phi) > entry["rank"]:
+            failures.append(
+                f"certificate for ({entry['left']!r}, {entry['right']!r}) "
+                f"exceeds rank {entry['rank']}"
+            )
+        if not defines_language_member(
+            entry["left"], phi, entry["alphabet"]
+        ):
+            failures.append(
+                f"certificate false on left word {entry['left']!r}"
+            )
+        if defines_language_member(entry["right"], phi, entry["alphabet"]):
+            failures.append(
+                f"certificate true on right word {entry['right']!r}"
+            )
+    return failures
+
+
+def bundle_to_json(bundle: dict[str, Any]) -> str:
+    """Serialise a bundle to stable, human-diffable JSON."""
+    return json.dumps(bundle, indent=2, ensure_ascii=False, sort_keys=True)

@@ -1,0 +1,154 @@
+"""The Fooling Lemma (Lemma 4.12) and its consequence (Prop 4.13).
+
+Statement: for ``w₁, w₂, w₃ ∈ Σ*``, co-primitive ``u, v ∈ Σ⁺`` and
+injective ``f``, if ``w₁·uᵖ·w₂·v^{f(p)}·w₃ ∈ L(φ)`` for all p, then also
+``w₁·u^s·w₂·v^t·w₃ ∈ L(φ)`` for some ``s, t`` with ``f(s) ≠ t`` — so the
+language ``{w₁·uᵖ·w₂·v^{f(p)}·w₃}`` is not FC-definable.
+
+The proof chains the Primitive Power Lemma and the Pseudo-Congruence Lemma
+(twice).  The executable artefact is a *fooling pair*: for a requested rank
+``k``, two words
+
+    member(p)  = w₁·uᵖ·w₂·v^{f(p)}·w₃      (in the language)
+    foil(p,q)  = w₁·u^q·w₂·v^{f(p)}·w₃     (outside, since f injective)
+
+that the lemma asserts are ≡_k, together with the full round-budget
+bookkeeping of the chained applications — which unary equivalence rank the
+construction ultimately rests on, and at what rank that premise could be
+certified by the exact solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.pow2 import KNOWN_MINIMAL_PAIRS, pow2_witness
+from repro.ef.equivalence import equiv_k
+from repro.words.conjugacy import are_coprimitive, stable_intersection_bound
+from repro.words.factors import common_factors
+
+__all__ = ["FoolingBudget", "FoolingPair", "fooling_budget", "fooling_pair"]
+
+
+@dataclass(frozen=True)
+class FoolingBudget:
+    """Round bookkeeping for one Fooling Lemma application at rank ``k``.
+
+    The proof runs, from the inside out:
+
+    1. Primitive Power on ``u``: needs ``aᵖ ≡_{inner+3} a^q`` to get
+       ``uᵖ ≡_inner u^q``;
+    2. Pseudo-Congruence gluing ``w₁ · uᵖ · w₂`` (two applications with
+       overheads r₁ = shared factors of w₁ and u-powers, r₂ = of the left
+       part and w₂);
+    3. Pseudo-Congruence gluing the left block with ``v^{f(p)}·w₃``
+       (overhead r₃ = stabilised shared factors of u-powers and v-powers,
+       Lemma 4.10).
+
+    ``unary_rank`` is the rank of the unary premise the whole chain rests
+    on; ``certified_rank`` is the highest rank ≤ unary_rank at which an
+    actual (p, q) witness pair is exactly known (see
+    ``core.pow2.KNOWN_MINIMAL_PAIRS``).
+    """
+
+    k: int
+    r1: int
+    r2: int
+    r3: int
+    inner: int
+    unary_rank: int
+    certified_rank: int
+
+    @property
+    def fully_certified(self) -> bool:
+        """Whether the unary premise is certifiable at its full rank."""
+        return self.certified_rank >= self.unary_rank
+
+
+def _shared_factor_bound(fixed: str, base: str, probe: int = 8) -> int:
+    """max length of factors shared by ``fixed`` and any power of ``base``.
+
+    ``fixed`` is a fixed word, so its factor set is finite and the shared
+    set stabilises once the power's length passes ``2·|fixed|``; probing at
+    that exponent is exact.
+    """
+    if not fixed:
+        return 0
+    exponent = max(probe, (2 * len(fixed)) // len(base) + 2)
+    return max(len(x) for x in common_factors(fixed, base * exponent))
+
+
+def fooling_budget(
+    k: int, w1: str, u: str, w2: str, v: str, w3: str
+) -> FoolingBudget:
+    """Compute the round budgets of the Fooling Lemma proof at rank ``k``."""
+    if not are_coprimitive(u, v):
+        raise ValueError(f"{u!r} and {v!r} are not co-primitive")
+    r3 = max(
+        stable_intersection_bound(u, v),
+        _shared_factor_bound(w2, u),
+        _shared_factor_bound(w2, v),
+        _shared_factor_bound(w1 + w2, v),
+        _shared_factor_bound(w3, u),
+        _shared_factor_bound(w3, v),
+    )
+    outer = k + r3 + 2  # left block must be ≡ at this rank
+    r1 = _shared_factor_bound(w1, u)
+    r2 = _shared_factor_bound(w2, u)
+    inner = outer + r1 + 2 + r2 + 2  # two Pseudo-Congruence applications
+    unary_rank = inner + 3  # Primitive Power premise
+    certified = max(
+        (rank for rank in KNOWN_MINIMAL_PAIRS if rank <= unary_rank),
+        default=0,
+    )
+    return FoolingBudget(k, r1, r2, r3, inner, unary_rank, certified)
+
+
+@dataclass(frozen=True)
+class FoolingPair:
+    """A concrete fooling pair produced by :func:`fooling_pair`."""
+
+    member: str
+    foil: str
+    p: int
+    q: int
+    budget: FoolingBudget
+
+    def verify_equivalence(self, k: int, alphabet: str) -> bool:
+        """Exact-solver check ``member ≡_k foil`` (small k only)."""
+        return equiv_k(self.member, self.foil, k, alphabet)
+
+
+def fooling_pair(
+    k: int,
+    w1: str,
+    u: str,
+    w2: str,
+    v: str,
+    w3: str,
+    f: Callable[[int], int] = lambda p: p,
+    max_exponent: int = 64,
+) -> FoolingPair:
+    """Instantiate the Fooling Lemma at rank ``k``.
+
+    Picks the unary witness pair (p, q) at the highest certifiable rank
+    (up to the budget's required rank) and assembles
+
+        member = w₁·uᵖ·w₂·v^{f(p)}·w₃,   foil = w₁·u^q·w₂·v^{f(p)}·w₃.
+
+    ``budget.fully_certified`` tells whether the unary premise was
+    certified at the rank the proof demands (only possible for trivial
+    budgets) or at the best exactly-known rank — the structural content of
+    the pair (member in / foil out, by injectivity of f) is exact either
+    way, and ``FoolingPair.verify_equivalence`` can check the conclusion
+    directly for small k.
+    """
+    budget = fooling_budget(k, w1, u, w2, v, w3)
+    witness = pow2_witness(
+        min(budget.unary_rank, budget.certified_rank), max_exponent
+    )
+    p, q = witness.p, witness.q
+    member = w1 + u * p + w2 + v * f(p) + w3
+    foil = w1 + u * q + w2 + v * f(p) + w3
+    return FoolingPair(member, foil, p, q, budget)

@@ -1,0 +1,139 @@
+"""The Pseudo-Congruence Lemma (Lemma 4.4) as a certified operation.
+
+Statement: if ``Facs(w₁) ∩ Facs(w₂) = Facs(v₁) ∩ Facs(v₂)``, and with
+``r = max{|u| : u ∈ Facs(w₁) ∩ Facs(w₂)}`` both ``w₁ ≡_{k+r+2} v₁`` and
+``w₂ ≡_{k+r+2} v₂`` hold, then ``w₁·w₂ ≡_k v₁·v₂``.
+
+This module packages the lemma as an *instance* object that
+
+* checks the side condition and computes ``r``,
+* builds the composed Duplicator strategy from the proof
+  (:class:`repro.ef.composition.PseudoCongruenceDuplicator`) with look-up
+  strategies of the caller's choice (exact-solver strategies by default),
+* verifies the composed strategy exhaustively against every Spoiler line
+  (a machine check of the proof on this instance), and
+* optionally cross-checks the conclusion ``w₁w₂ ≡_k v₁v₂`` with the exact
+  solver.
+
+The exact solver can only certify look-up equivalences for small round
+counts, so fully-provisioned instances (look-ups winning k+r+2 rounds)
+are limited to small k and r; the harness reports precisely which premise
+level it could certify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ef.composition import PseudoCongruenceDuplicator
+from repro.ef.equivalence import equiv_k, solver_for
+from repro.ef.game import GameArena
+from repro.ef.strategies import (
+    IdentityDuplicator,
+    SolverDuplicator,
+    VerificationResult,
+    exhaustively_verify_duplicator,
+)
+from repro.fc.structures import word_structure
+from repro.words.factors import common_factors
+
+__all__ = ["PseudoCongruenceInstance", "round_overhead"]
+
+
+def round_overhead(w1: str, w2: str) -> int:
+    """The lemma's ``r``: length of the longest shared factor of w₁, w₂."""
+    return max(len(u) for u in common_factors(w1, w2))
+
+
+@dataclass
+class PseudoCongruenceInstance:
+    """One application of Lemma 4.4: ``w₁·w₂ ≡_k v₁·v₂``.
+
+    ``alphabet`` fixes the signature τ_Σ for all four words and both
+    concatenations.
+    """
+
+    w1: str
+    w2: str
+    v1: str
+    v2: str
+    k: int
+    alphabet: str
+
+    def __post_init__(self) -> None:
+        if common_factors(self.w1, self.w2) != common_factors(self.v1, self.v2):
+            raise ValueError(
+                "side condition violated: Facs(w1) ∩ Facs(w2) ≠ "
+                "Facs(v1) ∩ Facs(v2)"
+            )
+
+    @property
+    def r(self) -> int:
+        return round_overhead(self.w1, self.w2)
+
+    @property
+    def lookup_rounds(self) -> int:
+        """The round budget the proof demands of the look-up games."""
+        return self.k + self.r + 2
+
+    def premises_hold(self, lookup_rounds: int | None = None) -> bool:
+        """Check ``w₁ ≡_n v₁`` and ``w₂ ≡_n v₂`` with the exact solver,
+        where ``n`` defaults to the proof's ``k + r + 2``.
+
+        Feasible only for small ``n``; identical word pairs short-circuit.
+        """
+        n = self.lookup_rounds if lookup_rounds is None else lookup_rounds
+        return equiv_k(self.w1, self.v1, n, self.alphabet) and equiv_k(
+            self.w2, self.v2, n, self.alphabet
+        )
+
+    def _lookup(self, w: str, v: str, rounds: int):
+        if w == v:
+            return IdentityDuplicator()
+        solver = solver_for(w, v, self.alphabet)
+        return SolverDuplicator(solver, rounds)
+
+    def build_duplicator(
+        self, lookup_rounds: int | None = None
+    ) -> PseudoCongruenceDuplicator:
+        """Construct the proof's composed Duplicator strategy.
+
+        Look-up strategies are exact-solver strategies with
+        ``lookup_rounds`` total rounds (default: the proof's k+r+2).
+        Equal word pairs get the identity strategy, which wins any number
+        of rounds.
+        """
+        rounds = self.lookup_rounds if lookup_rounds is None else lookup_rounds
+        return PseudoCongruenceDuplicator(
+            self.w1,
+            self.w2,
+            self.v1,
+            self.v2,
+            self._lookup(self.w1, self.v1, rounds),
+            self._lookup(self.w2, self.v2, rounds),
+        )
+
+    def arena(self) -> GameArena:
+        """The k-round arena on ``w₁w₂`` vs ``v₁v₂``."""
+        return GameArena(
+            word_structure(self.w1 + self.w2, self.alphabet),
+            word_structure(self.v1 + self.v2, self.alphabet),
+            self.k,
+        )
+
+    def verify_strategy(
+        self, lookup_rounds: int | None = None
+    ) -> VerificationResult:
+        """Machine-check the composed strategy against every Spoiler line.
+
+        Exhaustive over the k-round game tree; cost O((|A|+|B|)^k).
+        """
+        return exhaustively_verify_duplicator(
+            self.arena(), lambda: self.build_duplicator(lookup_rounds)
+        )
+
+    def verify_conclusion(self) -> bool:
+        """Cross-check ``w₁w₂ ≡_k v₁v₂`` directly with the exact solver."""
+        return equiv_k(
+            self.w1 + self.w2, self.v1 + self.v2, self.k, self.alphabet
+        )

@@ -1,0 +1,281 @@
+"""Theorem 5.8: relations not selectable by generalized core spanners.
+
+The relations — Num_a, Add, Mult, Scatt, Perm, Rev, Shuff, Morph_h — are
+implemented as plain predicates, and the proof's reduction formulas
+ψ₁…ψ₆, ψ₅′, ψ_morph are implemented as *higher-order builders*: given any
+formula (or oracle) standing in for the hypothetical φ_R, they produce the
+FC[REG] sentence whose language the proof claims equals Lᵢ.
+
+The executable experiment (E17) plugs in an :class:`OracleAtom` — an atom
+whose truth is the Python predicate itself, i.e. the semantics a defining
+formula *would* have — and checks ``L(ψᵢ) ∩ Σ^{≤n} = Lᵢ ∩ Σ^{≤n}``.
+Combined with Lᵢ ∉ L(FC) (the witness families) and Lemma 5.4 (Lᵢ is
+bounded), this machine-checks the reduction step of the theorem.
+
+Two small corrections to the paper's appendix formulas, both validated by
+the agreement check (see EXPERIMENTS.md):
+
+* ψ₂ uses ``(x ∈̇ a+)`` rather than ``a*`` — with ``a*`` the defined
+  language is {aⁱ(ba)ʲ | 0 ≤ i ≤ j}, not L₂'s 1 ≤ i ≤ j;
+* ψ₆ adds the constraint ``(z ∈̇ (ab)*)`` — without it the shuffle block
+  is unconstrained and the language properly contains L₆.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.fc.builders import phi_whole_word
+from repro.fc.structures import BOTTOM, WordStructure
+from repro.fc.syntax import Exists, Formula, Term, Var, conjunction
+from repro.fc.sugar import chain
+from repro.fcreg.constraints import in_regex
+from repro.words.generators import (
+    in_shuffle,
+    is_permutation,
+    is_scattered_subword,
+)
+from repro.words.morphisms import PAPER_MORPHISM, Morphism
+
+__all__ = [
+    "OracleAtom",
+    "RELATIONS",
+    "num_a",
+    "add_rel",
+    "mult_rel",
+    "scatt_rel",
+    "perm_rel",
+    "rev_rel",
+    "shuff_rel",
+    "morph_rel",
+    "psi_reduction",
+    "PSI_REDUCTIONS",
+    "PsiReduction",
+    "oracle_for",
+]
+
+
+@dataclass(frozen=True, repr=False)
+class OracleAtom(Formula):
+    """An atom whose truth is an arbitrary Python predicate on factors.
+
+    Stands in for the hypothetical defining formula φ_R in the Theorem 5.8
+    reductions: it has exactly the semantics such a formula would have
+    (true iff the predicate holds on the assigned factors).  Rank 0.
+    """
+
+    variables: tuple[Var, ...]
+    predicate: Callable[..., bool]
+    name: str = "R"
+
+    def __repr__(self) -> str:
+        args = ", ".join(v.name for v in self.variables)
+        return f"{self.name}({args})"
+
+    def _quantifier_rank(self) -> int:
+        return 0
+
+    def _atom_terms(self) -> Iterator[Term]:
+        yield from self.variables
+
+    def _substitute(self, mapping: dict) -> "OracleAtom":
+        replaced = tuple(mapping.get(v, v) for v in self.variables)
+        return OracleAtom(replaced, self.predicate, self.name)
+
+    def _evaluate(self, structure: WordStructure, assignment: dict) -> bool:
+        values = []
+        for variable in self.variables:
+            value = assignment[variable]
+            if value is BOTTOM:
+                return False
+            values.append(value)
+        return self.predicate(*values)
+
+
+# --- the relations -----------------------------------------------------------
+
+
+def num_a(x: str, y: str, letter: str = "a") -> bool:
+    """Num_a = {(x, y) : |x|_a = |y|_a}."""
+    return x.count(letter) == y.count(letter)
+
+
+def add_rel(x: str, y: str, z: str) -> bool:
+    """Add = {(x, y, z) : |z| = |x| + |y|}."""
+    return len(z) == len(x) + len(y)
+
+
+def mult_rel(x: str, y: str, z: str) -> bool:
+    """Mult = {(x, y, z) : |z| = |x| · |y|}."""
+    return len(z) == len(x) * len(y)
+
+
+def scatt_rel(x: str, y: str) -> bool:
+    """Scatt = {(x, y) : x ⊑_scatt y}."""
+    return is_scattered_subword(x, y)
+
+
+def perm_rel(x: str, y: str) -> bool:
+    """Perm = {(x, y) : x is a permutation of y}."""
+    return is_permutation(x, y)
+
+
+def rev_rel(x: str, y: str) -> bool:
+    """Rev = {(x, y) : x is the reverse of y}."""
+    return x == y[::-1]
+
+
+def shuff_rel(x: str, y: str, z: str) -> bool:
+    """Shuff = {(x, y, z) : z ∈ x ⧢ y}."""
+    return in_shuffle(z, x, y)
+
+
+def morph_rel(x: str, y: str, morphism: Morphism = PAPER_MORPHISM) -> bool:
+    """Morph_h = {(x, y) : y = h(x)} (default: the proof's a↦b, b↦b)."""
+    try:
+        return morphism(x) == y
+    except ValueError:
+        return False
+
+
+#: name → (predicate, arity)
+RELATIONS: dict[str, tuple[Callable[..., bool], int]] = {
+    "Num_a": (num_a, 2),
+    "Add": (add_rel, 3),
+    "Mult": (mult_rel, 3),
+    "Scatt": (scatt_rel, 2),
+    "Perm": (perm_rel, 2),
+    "Rev": (rev_rel, 2),
+    "Shuff": (shuff_rel, 3),
+    "Morph_h": (morph_rel, 2),
+}
+
+
+# --- the ψ reductions ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PsiReduction:
+    """One Theorem 5.8 reduction: relation name, target language name,
+    the regular-constraint patterns per block, and the formula builder."""
+
+    relation: str
+    target_language: str
+    build: Callable[[Formula], Formula]
+    note: str = ""
+
+
+def _blocks(
+    u: Var, variables: Sequence[Var], patterns: Sequence[str | None]
+) -> list[Formula]:
+    """``φ_w(u) ∧ (u ≐ x₁⋯xₙ) ∧ ⋀ (xᵢ ∈̇ γᵢ)`` (None = unconstrained)."""
+    parts: list[Formula] = [phi_whole_word(u), chain(u, list(variables))]
+    for variable, pattern in zip(variables, patterns):
+        if pattern is not None:
+            parts.append(in_regex(variable, pattern))
+    return parts
+
+
+def _close(u: Var, variables: Sequence[Var], body: Formula) -> Formula:
+    result = body
+    for variable in reversed(list(variables)):
+        result = Exists(variable, result)
+    return Exists(u, result)
+
+
+def _psi(
+    patterns: Sequence[str | None],
+    atom_vars: Sequence[int],
+    include_empty_word: bool = False,
+) -> Callable[[Formula], Formula]:
+    """Build ψ := ∃u,x₁…xₙ: blocks ∧ φ_R(x_{i₁}, …), where the relation
+    atom receives the block variables selected by ``atom_vars`` and
+    ``relation_formula`` is substituted in for φ_R.
+
+    ``include_empty_word`` adds the disjunct "the input is ε" — needed
+    when the block patterns use ``+`` but the target language contains ε
+    (the ψ₆ case).
+    """
+
+    def builder(relation_formula: Formula) -> Formula:
+        from repro.fc.builders import phi_epsilon
+        from repro.fc.syntax import Or, free_variables, substitute
+
+        u = Var("𝔲")
+        variables = [Var(f"x{i + 1}") for i in range(len(patterns))]
+        free = sorted(free_variables(relation_formula), key=lambda v: v.name)
+        wanted = [variables[i] for i in atom_vars]
+        if len(free) != len(wanted):
+            raise ValueError(
+                f"relation formula has {len(free)} free variables, reduction "
+                f"expects {len(wanted)}"
+            )
+        atom = substitute(relation_formula, dict(zip(free, wanted)))
+        body = conjunction(_blocks(u, variables, patterns) + [atom])
+        psi = _close(u, variables, body)
+        if include_empty_word:
+            empty_u = Var("𝔲ε")
+            empty_case = Exists(
+                empty_u,
+                conjunction([phi_whole_word(empty_u), phi_epsilon(empty_u)]),
+            )
+            psi = Or(empty_case, psi)
+        return psi
+
+    return builder
+
+
+#: The paper's reductions (appendix, proof of Theorem 5.8), with the two
+#: corrections described in the module docstring.
+PSI_REDUCTIONS: dict[str, PsiReduction] = {
+    "Num_a": PsiReduction(
+        "Num_a", "L1", _psi(["a*", "(ba)*"], [0, 1])
+    ),
+    "Scatt": PsiReduction(
+        "Scatt",
+        "L2",
+        _psi(["a+", "(ba)*"], [0, 1]),
+        note="paper's ψ₂ uses a*; a+ is needed for L₂'s 1 ≤ i",
+    ),
+    "Add": PsiReduction(
+        "Add", "L3", _psi(["b*", "a*", "b*"], [0, 1, 2])
+    ),
+    "Mult": PsiReduction(
+        "Mult", "L4", _psi(["b*", "a*", "b*"], [0, 1, 2])
+    ),
+    "Perm": PsiReduction(
+        "Perm", "L5", _psi(["(abaabb)*", "(bbaaba)*"], [0, 1])
+    ),
+    "Rev": PsiReduction(
+        "Rev", "L5", _psi(["(abaabb)*", "(bbaaba)*"], [0, 1])
+    ),
+    "Shuff": PsiReduction(
+        "Shuff",
+        "L6",
+        _psi(["a+", "b+", "(ab)*"], [0, 1, 2], include_empty_word=True),
+        note="paper's ψ₆ leaves the shuffle block unconstrained and, via "
+        "a⁺/b⁺, misses ε ∈ L₆; we add (z ∈̇ (ab)*) and the ε disjunct",
+    ),
+    "Morph_h": PsiReduction(
+        "Morph_h", "anbn", _psi(["a*", None], [0, 1])
+    ),
+}
+
+
+def psi_reduction(relation: str) -> PsiReduction:
+    """Look up the reduction for a Theorem 5.8 relation."""
+    try:
+        return PSI_REDUCTIONS[relation]
+    except KeyError:
+        raise KeyError(
+            f"unknown relation {relation!r}; available: "
+            f"{sorted(PSI_REDUCTIONS)}"
+        ) from None
+
+
+def oracle_for(relation: str) -> OracleAtom:
+    """The :class:`OracleAtom` with the exact semantics φ_R would have."""
+    predicate, arity = RELATIONS[relation]
+    variables = tuple(Var(f"r{i}") for i in range(arity))
+    return OracleAtom(variables, predicate, relation)

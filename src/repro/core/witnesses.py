@@ -1,0 +1,181 @@
+"""Witness families for the paper's non-FC languages.
+
+Lemma 3.5 (obs:equivToLang): L is not FC-definable if for every k there
+are ``w ∈ L`` and ``v ∉ L`` with ``w ≡_k v``.  For each language treated
+by the paper — ``aⁿbⁿ`` (Example 4.5), ``L₁`` (Prop 4.6), and L₁…L₆
+(Lemma 4.14) — this module constructs the concrete witness pair the
+paper's proof prescribes, parameterised by the unary Lemma 3.6 pair the
+chain bootstraps from.
+
+Each :class:`WitnessFamily` records the *required* unary rank for a target
+rank k (the bookkeeping of the chained lemmas) and builds pairs either
+fully-certified (when the required rank ≤ 2, the exact solver's reach) or
+from the best exactly-known unary pair, flagged as such.  Membership of
+the two words (member ∈ L, foil ∉ L) is always checked against the
+ground-truth oracle, and ``verify_pair`` cross-checks ``member ≡_k foil``
+with the exact solver where tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.pow2 import KNOWN_MINIMAL_PAIRS, pow2_witness
+from repro.ef.equivalence import equiv_k
+from repro.words.generators import (
+    L5_LEFT,
+    L5_RIGHT,
+    PAPER_LANGUAGES,
+    LanguageOracle,
+)
+
+__all__ = ["WitnessPair", "WitnessFamily", "WITNESS_FAMILIES", "witness_family"]
+
+
+@dataclass(frozen=True)
+class WitnessPair:
+    """A (member, foil) pair claimed ≡_k by the paper's construction."""
+
+    language: str
+    k: int
+    member: str
+    foil: str
+    p: int
+    q: int
+    required_unary_rank: int
+    certified_unary_rank: int
+
+    @property
+    def fully_certified(self) -> bool:
+        return self.certified_unary_rank >= self.required_unary_rank
+
+    def verify_memberships(self, oracle: LanguageOracle) -> bool:
+        """member ∈ L and foil ∉ L (always cheap, always exact)."""
+        return self.member in oracle and self.foil not in oracle
+
+    def verify_equivalence(self, alphabet: str, k: int | None = None) -> bool:
+        """Exact-solver check of ``member ≡_k foil`` (small k only)."""
+        rank = self.k if k is None else k
+        return equiv_k(self.member, self.foil, rank, alphabet)
+
+
+@dataclass(frozen=True)
+class WitnessFamily:
+    """A language plus its paper-prescribed witness construction.
+
+    ``rank_overhead``: the proof's bookkeeping — the unary premise rank is
+    ``k + rank_overhead``.  ``build`` maps the unary pair (p, q) to
+    (member, foil).
+    """
+
+    language: str
+    oracle: LanguageOracle
+    rank_overhead: int
+    build: Callable[[int, int], tuple[str, str]]
+    paper_ref: str
+
+    def pair(self, k: int, max_exponent: int = 64) -> WitnessPair:
+        """Build the rank-k witness pair.
+
+        Uses the unary pair at rank ``min(k + rank_overhead, best known)``;
+        the returned pair records both the required and the certified rank.
+        """
+        required = k + self.rank_overhead
+        certified = max(
+            (rank for rank in KNOWN_MINIMAL_PAIRS if rank <= required),
+            default=0,
+        )
+        witness = pow2_witness(min(required, certified), max_exponent)
+        member, foil = self.build(witness.p, witness.q)
+        return WitnessPair(
+            self.language,
+            k,
+            member,
+            foil,
+            witness.p,
+            witness.q,
+            required,
+            certified,
+        )
+
+
+def _pair_anbn(p: int, q: int) -> tuple[str, str]:
+    # Example 4.5 (r = 0): a^q b^p ≡_k a^p b^p; member is a^p b^p.
+    return "a" * p + "b" * p, "a" * q + "b" * p
+
+
+def _pair_l1(p: int, q: int) -> tuple[str, str]:
+    # Prop 4.6 (r = 1): a^q (ba)^q ≡_k a^p (ba)^q.
+    return "a" * q + "ba" * q, "a" * p + "ba" * q
+
+
+def _pair_l2(p: int, q: int) -> tuple[str, str]:
+    # L2 = {a^i (ba)^j | 1 ≤ i ≤ j}: a^p (ba)^q is in (p ≤ q); swapping the
+    # a-block exponent to q > q is impossible, so vary the (ba) block via
+    # the Primitive Power Lemma instead: a^q (ba)^q ∈ L2, a^q (ba)^p ∉ L2.
+    return "a" * q + "ba" * q, "a" * q + "ba" * p
+
+
+def _pair_l3(p: int, q: int) -> tuple[str, str]:
+    # L3 at n = 0 degenerates to a^m b^m (the paper's own reduction).
+    return "a" * p + "b" * p, "a" * q + "b" * p
+
+
+def _pair_l4(p: int, q: int) -> tuple[str, str]:
+    # L4 at n = 1: b a^m b^m; vary the trailing block (r = 1).
+    return "b" + "a" * p + "b" * p, "b" + "a" * p + "b" * q
+
+
+def _pair_l5(p: int, q: int) -> tuple[str, str]:
+    # L5 via the Fooling Lemma with u = abaabb, v = bbaaba, f = id.
+    return L5_LEFT * p + L5_RIGHT * p, L5_LEFT * q + L5_RIGHT * p
+
+
+def _pair_l6(p: int, q: int) -> tuple[str, str]:
+    # L6: vary the a-block; a^p b^p (ab)^p ∈ L6, a^q b^p (ab)^p ∉ L6.
+    return "a" * p + "b" * p + "ab" * p, "a" * q + "b" * p + "ab" * p
+
+
+#: The paper's witness constructions, keyed by language name.
+#: rank_overhead values follow the proofs:
+#:   anbn/L3: r=0 congruence                       → k+2
+#:   L1:      r=1 congruence (Prop 4.6 uses k+3)   → k+3
+#:   L2:      Primitive Power (k+3) then r=1 glue  → k+6
+#:   L4:      r=1 congruence (proof uses k+3)      → k+3
+#:   L5:      Fooling Lemma chain (see fooling.py) → k+10 (computed bound)
+#:   L6:      Example 4.5 at k+4, then r=2 glue    → k+6
+WITNESS_FAMILIES: dict[str, WitnessFamily] = {
+    "anbn": WitnessFamily(
+        "anbn", PAPER_LANGUAGES["anbn"], 2, _pair_anbn, "Example 4.5"
+    ),
+    "L1": WitnessFamily(
+        "L1", PAPER_LANGUAGES["L1"], 3, _pair_l1, "Proposition 4.6"
+    ),
+    "L2": WitnessFamily(
+        "L2", PAPER_LANGUAGES["L2"], 6, _pair_l2, "Lemma 4.14 (L2)"
+    ),
+    "L3": WitnessFamily(
+        "L3", PAPER_LANGUAGES["L3"], 2, _pair_l3, "Lemma 4.14 (L3, n=0 slice)"
+    ),
+    "L4": WitnessFamily(
+        "L4", PAPER_LANGUAGES["L4"], 3, _pair_l4, "Lemma 4.14 (L4, n=1 slice)"
+    ),
+    "L5": WitnessFamily(
+        "L5", PAPER_LANGUAGES["L5"], 10, _pair_l5, "Lemma 4.14 (L5, Fooling)"
+    ),
+    "L6": WitnessFamily(
+        "L6", PAPER_LANGUAGES["L6"], 6, _pair_l6, "Lemma 4.14 (L6)"
+    ),
+}
+
+
+def witness_family(name: str) -> WitnessFamily:
+    """Look up a witness family by the paper's language name."""
+    try:
+        return WITNESS_FAMILIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown language {name!r}; available: "
+            f"{sorted(WITNESS_FAMILIES)}"
+        ) from None

@@ -1,0 +1,116 @@
+"""Hintikka characteristic sentences for FC.
+
+The second constructive ingredient of Ehrenfeucht's theorem: for every
+word ``w`` and rank ``k`` there is a single FC(k) sentence ``χ^k_w`` — the
+*characteristic sentence* — such that
+
+    𝔅_v ⊨ χ^k_w   ⟺   𝔄_w ≡_k 𝔅_v.
+
+Construction (standard, specialised to τ_Σ):
+
+* ``χ⁰``: the conjunction of all atomic facts and negated atomic facts
+  over the pebbled elements and the constants — the complete quantifier-
+  free type of the position;
+* ``χ^{k}``: ``(⋀_{a ∈ Facs(w)} ∃x χ^{k-1}_{ā·a}) ∧
+  (∀x ⋁_{a ∈ Facs(w)} χ^{k-1}_{ā·a})`` — "every element type I have, you
+  have, and you have no others".
+
+Sizes are exponential in k, so this is a small-k tool (like the games it
+mirrors); identical subformulas are deduplicated before conjoining.  The
+tests validate the theorem directly: ``models(v, χ^k_w) == equiv_k(w, v, k)``
+on word grids.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.fc.structures import BOTTOM, WordStructure, word_structure
+from repro.fc.syntax import (
+    Concat,
+    Const,
+    EPSILON,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Term,
+    Var,
+    conjunction,
+    disjunction,
+)
+
+__all__ = ["characteristic_sentence"]
+
+
+def _position_terms(
+    structure: WordStructure, count: int
+) -> tuple[list[Term], list]:
+    """Pebble variables x0…x_{count-1} followed by the constants."""
+    terms: list[Term] = [Var(f"c{i}") for i in range(count)]
+    values: list = []
+    for letter in structure.alphabet:
+        terms.append(Const(letter))
+    terms.append(EPSILON)
+    return terms, values
+
+
+def _quantifier_free_type(
+    structure: WordStructure, elements: tuple
+) -> Formula:
+    """The complete atomic type of (elements, constants) in ``structure``.
+
+    Uses only concatenation atoms: equality is ``x ≐ y·ε`` and constant
+    identification is subsumed by equalities with constant terms, so the
+    conjunction pins the full Definition 3.1 pattern.
+    """
+    terms, _ = _position_terms(structure, len(elements))
+    values = list(elements) + list(structure.constants_vector())
+    literals: list[Formula] = []
+    seen: set = set()
+    n = len(terms)
+    for i, j, k in product(range(n), repeat=3):
+        atom = Concat(terms[i], terms[j], terms[k])
+        if atom in seen:
+            continue
+        seen.add(atom)
+        holds = (
+            values[i] is not BOTTOM
+            and values[j] is not BOTTOM
+            and values[k] is not BOTTOM
+            and values[i] == values[j] + values[k]
+            and structure.contains(values[i])
+        )
+        literals.append(atom if holds else Not(atom))
+    return conjunction(literals)
+
+
+def _characteristic(
+    structure: WordStructure, elements: tuple, k: int
+) -> Formula:
+    if k == 0:
+        return _quantifier_free_type(structure, elements)
+    fresh = Var(f"c{len(elements)}")
+    children: list[Formula] = []
+    seen: set = set()
+    for element in sorted(structure.universe_factors):
+        child = _characteristic(structure, elements + (element,), k - 1)
+        if child not in seen:
+            seen.add(child)
+            children.append(child)
+    forward = conjunction([Exists(fresh, child) for child in children])
+    backward = Forall(fresh, disjunction(children))
+    return forward & backward
+
+
+def characteristic_sentence(w: str, k: int, alphabet: str) -> Formula:
+    """Return ``χ^k_w``: the rank-k characteristic sentence of ``w``.
+
+    ``models(v, χ^k_w, alphabet)`` holds exactly when ``w ≡_k v`` —
+    validated against the game solver in the tests.  Formula size is
+    O(|Facs(w)|^k · poly), so keep ``k ≤ 2`` and words short.
+    """
+    if k < 0:
+        raise ValueError(f"negative rank: {k}")
+    structure = word_structure(w, alphabet)
+    return _characteristic(structure, (), k)

@@ -1,0 +1,128 @@
+"""Pebble games — the conclusion's finite-variable direction.
+
+The (m-round, p-pebble) game: the players share p pebble pairs; each round
+Spoiler either places or *re-places* a pebble pair — picking a pebble
+index and an element on one side — and Duplicator answers on the other.
+Duplicator wins if after every round the currently-placed pebble pairs
+(plus constants) form a partial isomorphism.  Survival for all m
+characterises equivalence under FC-formulas using at most p distinct
+variables and quantifier rank ≤ m (FCᵖ(m)).
+
+The interesting phenomenon the experiment (E22) exhibits: with few pebbles
+but many rounds, Spoiler can still separate words that plain ≡_k with
+k = p rounds cannot — re-placing pebbles trades rank for variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ef.partial_iso import extend_with_constants, find_violation
+
+__all__ = ["PebbleGameSolver", "pebble_equiv", "pebble_distinguishing_rounds"]
+
+
+@dataclass
+class PebbleGameSolver:
+    """Exact solver for the p-pebble, m-round game on two word structures.
+
+    A position is a tuple of ``p`` slots, each ``None`` (pebble off the
+    board) or a pair (a-element, b-element).
+    """
+
+    structure_a: object
+    structure_b: object
+    pebbles: int
+    _memo: dict = field(default_factory=dict, repr=False)
+
+    def consistent(self, position: tuple) -> bool:
+        placed = [pair for pair in position if pair is not None]
+        tuple_a = tuple(p[0] for p in placed)
+        tuple_b = tuple(p[1] for p in placed)
+        full_a, full_b = extend_with_constants(
+            self.structure_a, self.structure_b, tuple_a, tuple_b
+        )
+        return (
+            find_violation(self.structure_a, self.structure_b, full_a, full_b)
+            is None
+        )
+
+    def duplicator_wins(
+        self, rounds: int, position: tuple | None = None
+    ) -> bool:
+        if position is None:
+            position = (None,) * self.pebbles
+        if not self.consistent(position):
+            return False
+        return self._wins(rounds, position)
+
+    def _wins(self, rounds: int, position: tuple) -> bool:
+        if rounds == 0:
+            return True
+        key = (rounds, position)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = True
+        for index in range(self.pebbles):
+            for side, structure in (("A", self.structure_a), ("B", self.structure_b)):
+                for element in structure.universe_factors:
+                    if self._response(rounds, position, index, side, element) is None:
+                        result = False
+                        break
+                if not result:
+                    break
+            if not result:
+                break
+        self._memo[key] = result
+        return result
+
+    def _response(self, rounds, position, index, side, element):
+        other = self.structure_b if side == "A" else self.structure_a
+        candidates = sorted(
+            other.universe_factors,
+            key=lambda d: (d != element, abs(len(d) - len(element)), d),
+        )
+        for response in candidates:
+            pair = (
+                (element, response) if side == "A" else (response, element)
+            )
+            extended = position[:index] + (pair,) + position[index + 1 :]
+            if self.consistent(extended) and self._wins(rounds - 1, extended):
+                return response
+        return None
+
+
+def pebble_equiv(
+    w: str, v: str, pebbles: int, rounds: int, alphabet: str | None = None
+) -> bool:
+    """Duplicator survives the p-pebble, m-round game on 𝔄_w, 𝔅_v."""
+    from repro.fc.structures import word_structure
+
+    if alphabet is None:
+        alphabet = "".join(sorted(set(w) | set(v)))
+    if w == v:
+        return True
+    solver = PebbleGameSolver(
+        word_structure(w, alphabet), word_structure(v, alphabet), pebbles
+    )
+    return solver.duplicator_wins(rounds)
+
+
+def pebble_distinguishing_rounds(
+    w: str, v: str, pebbles: int, max_rounds: int, alphabet: str | None = None
+) -> int | None:
+    """Least m ≤ max_rounds at which Spoiler wins with p pebbles."""
+    if w == v:
+        return None
+    from repro.fc.structures import word_structure
+
+    if alphabet is None:
+        alphabet = "".join(sorted(set(w) | set(v)))
+    solver = PebbleGameSolver(
+        word_structure(w, alphabet), word_structure(v, alphabet), pebbles
+    )
+    for m in range(max_rounds + 1):
+        if not solver.duplicator_wins(m):
+            return m
+    return None

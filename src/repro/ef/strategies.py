@@ -1,0 +1,245 @@
+"""Strategy objects and the game-play / verification harness.
+
+Strategies are stateful (they may consult the full history), so they expose
+``clone()`` for the exhaustive verifier, which branches over every Spoiler
+continuation and needs an independent strategy copy per branch.
+
+* :class:`SolverDuplicator` — optimal play extracted from the exact solver.
+* :class:`IdentityDuplicator` — the trivial winning strategy when both
+  structures represent the *same* word.
+* :class:`ScriptedSpoiler` — replays a fixed move list (used to encode the
+  paper's Example 3.3 Spoiler strategy).
+* :class:`RandomSpoiler` — randomised adversary for statistical checks.
+* :func:`play_game` — run one game to completion.
+* :func:`exhaustively_verify_duplicator` — machine-check that a strategy
+  survives **every** Spoiler line for k rounds (the workhorse behind the
+  Pseudo-Congruence and Primitive-Power experiments E08/E12).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.ef.game import GameArena, Move, Play, Side
+from repro.ef.solver import GameSolver
+from repro.fc.structures import BOTTOM
+
+__all__ = [
+    "Duplicator",
+    "Spoiler",
+    "SolverDuplicator",
+    "IdentityDuplicator",
+    "ScriptedSpoiler",
+    "RandomSpoiler",
+    "GreedySolverSpoiler",
+    "play_game",
+    "exhaustively_verify_duplicator",
+    "VerificationResult",
+]
+
+
+class Duplicator(Protocol):
+    """A Duplicator strategy: respond to each Spoiler move in turn."""
+
+    def respond(self, move: Move):  # -> element of the opposite structure
+        ...
+
+    def clone(self) -> "Duplicator":
+        ...
+
+
+class Spoiler(Protocol):
+    """A Spoiler strategy: produce the next move given the play so far."""
+
+    def choose(self, play: Play) -> Move:
+        ...
+
+
+@dataclass
+class SolverDuplicator:
+    """Optimal Duplicator play, extracted from a :class:`GameSolver`.
+
+    ``total_rounds`` is the game length k; the strategy tracks the pairs
+    played so far and asks the solver for a winning response each round.
+    Raises ``RuntimeError`` if put in a lost position (which cannot happen
+    when the structures are ≡_k and the strategy plays from the start).
+    """
+
+    solver: GameSolver
+    total_rounds: int
+    pairs: frozenset = frozenset()
+    used_rounds: int = 0
+
+    def respond(self, move: Move):
+        remaining = self.total_rounds - self.used_rounds
+        if remaining < 1:
+            raise RuntimeError("all rounds already played")
+        response = self.solver.winning_response(remaining, self.pairs, move)
+        if response is None:
+            raise RuntimeError(
+                f"SolverDuplicator has no winning response to {move!r} — "
+                "the structures are not equivalent at this round count"
+            )
+        if move.side == "A":
+            self.pairs = self.pairs | {(move.element, response)}
+        else:
+            self.pairs = self.pairs | {(response, move.element)}
+        self.used_rounds += 1
+        return response
+
+    def clone(self) -> "SolverDuplicator":
+        return SolverDuplicator(
+            self.solver, self.total_rounds, self.pairs, self.used_rounds
+        )
+
+
+@dataclass
+class IdentityDuplicator:
+    """Duplicator for a game over two copies of the same word: echo back.
+
+    Trivially winning (``w ≡_k w`` for every k) and used as the look-up
+    strategy for the reflexive side of the Pseudo-Congruence Lemma.
+    """
+
+    def respond(self, move: Move):
+        return move.element
+
+    def clone(self) -> "IdentityDuplicator":
+        return IdentityDuplicator()
+
+
+@dataclass
+class ScriptedSpoiler:
+    """Replay a fixed list of moves (or move factories taking the play).
+
+    Entries may be :class:`Move` or callables ``play -> Move`` for moves
+    that depend on Duplicator's earlier responses (as in Example 3.3).
+    """
+
+    script: list
+    cursor: int = 0
+
+    def choose(self, play: Play) -> Move:
+        if self.cursor >= len(self.script):
+            raise RuntimeError("scripted spoiler ran out of moves")
+        entry = self.script[self.cursor]
+        self.cursor += 1
+        return entry(play) if callable(entry) else entry
+
+
+@dataclass
+class RandomSpoiler:
+    """Uniformly random Spoiler (seeded for reproducibility)."""
+
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    def choose(self, play: Play) -> Move:
+        side: Side = self.rng.choice(("A", "B"))
+        universe = play.arena.universe(side)
+        return Move(side, self.rng.choice(universe))
+
+
+@dataclass
+class GreedySolverSpoiler:
+    """Optimal Spoiler: plays the solver's winning move when one exists,
+    otherwise falls back to a deterministic "most constraining" move
+    (longest unseen factor).  Useful to confirm Spoiler wins ≢_k pairs."""
+
+    solver: GameSolver
+    total_rounds: int
+
+    def choose(self, play: Play) -> Move:
+        tuple_a, tuple_b = play.tuples()
+        pairs = frozenset(zip(tuple_a, tuple_b))
+        remaining = self.total_rounds - len(play)
+        move = self.solver.spoiler_winning_move(remaining, pairs)
+        if move is not None:
+            return move
+        taken = {e for e in tuple_a if e is not BOTTOM}
+        candidates = [
+            e
+            for e in play.arena.universe("A")
+            if e is not BOTTOM and e not in taken
+        ]
+        if not candidates:
+            return Move("A", BOTTOM)
+        return Move("A", max(candidates, key=len))
+
+
+def play_game(
+    arena: GameArena, spoiler: Spoiler, duplicator: Duplicator
+) -> Play:
+    """Run all ``arena.rounds`` rounds and return the completed play."""
+    play = Play(arena)
+    for _ in range(arena.rounds):
+        move = spoiler.choose(play)
+        response = duplicator.respond(move)
+        play.record(move, response)
+    return play
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of exhaustive strategy verification.
+
+    ``survived`` — whether Duplicator stayed violation-free on every line;
+    ``lines_checked`` — number of complete Spoiler lines explored;
+    ``losing_line`` — the first losing play found, if any.
+    """
+
+    survived: bool
+    lines_checked: int
+    losing_line: Play | None
+
+    def __bool__(self) -> bool:
+        return self.survived
+
+
+def exhaustively_verify_duplicator(
+    arena: GameArena,
+    duplicator_factory: Callable[[], Duplicator],
+    skip_bottom: bool = True,
+) -> VerificationResult:
+    """Check a Duplicator strategy against **every** Spoiler line.
+
+    Walks the full Spoiler move tree (both sides, all elements, all
+    rounds), cloning the strategy at each branch, and verifies the
+    partial-isomorphism invariant after every round — i.e. a machine proof
+    that the strategy wins the k-round game on this arena.
+
+    ``skip_bottom`` drops Spoiler moves choosing ⊥ (the paper's convention;
+    Duplicator answers ⊥ and nothing changes).  The cost is
+    O((|A|+|B|)^k) lines; keep ``arena.rounds ≤ 3`` for interactive use.
+    """
+    lines = 0
+    losing: list[Play | None] = [None]
+
+    def moves():
+        for move in GameArena(
+            arena.structure_a, arena.structure_b, arena.rounds
+        ).moves():
+            if skip_bottom and move.element is BOTTOM:
+                continue
+            yield move
+
+    def walk(play: Play, duplicator: Duplicator, depth: int) -> bool:
+        nonlocal lines
+        if depth == arena.rounds:
+            lines += 1
+            return True
+        for move in moves():
+            branch_play = Play(arena, list(play.rounds_played))
+            branch_dup = duplicator.clone()
+            response = branch_dup.respond(move)
+            branch_play.record(move, response)
+            if not branch_play.duplicator_won():
+                losing[0] = branch_play
+                return False
+            if not walk(branch_play, branch_dup, depth + 1):
+                return False
+        return True
+
+    survived = walk(Play(arena), duplicator_factory(), 0)
+    return VerificationResult(survived, lines, losing[0])

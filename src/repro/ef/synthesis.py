@@ -1,0 +1,196 @@
+"""Distinguishing-formula synthesis: the constructive half of Theorem 3.4.
+
+If Spoiler wins the k-round game on 𝔄_w and 𝔅_v, then some FC(k) sentence
+separates the words.  The classical proof of Ehrenfeucht's theorem is
+constructive, and this module executes it:
+
+* at a position lost for Duplicator *now* (the pairs already violate
+  Definition 3.1), emit the violated condition as a literal over the
+  pebbled variables/constants;
+* if Spoiler's winning move picks ``a ∈ A``, emit
+  ``∃x: ⋀_b φ_b`` where φ_b distinguishes the position extended with
+  (a, b), for every Duplicator response b;
+* if Spoiler's winning move picks ``b ∈ B``, emit
+  ``∀x: ⋁_a φ_a`` dually.
+
+The result is an FC sentence φ with ``qr(φ) ≤ k``, ``𝔄_w ⊨ φ`` and
+``𝔅_v ⊭ φ`` — a *certificate* of inequivalence that can be checked by the
+(independent) model checker.  Sizes grow like (|A|·|B|)^k, so this is for
+small k / short words — exactly where the solver operates anyway.
+Syntactically identical subformulas are deduplicated before conjoining.
+"""
+
+from __future__ import annotations
+
+from repro.ef.partial_iso import extend_with_constants, find_violation
+from repro.ef.solver import GameSolver
+from repro.fc.structures import BOTTOM, word_structure
+from repro.fc.syntax import (
+    Concat,
+    Const,
+    EPSILON,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Term,
+    Var,
+    conjunction,
+    disjunction,
+)
+
+__all__ = ["synthesize_distinguishing_sentence", "SynthesisFailure"]
+
+
+class SynthesisFailure(Exception):
+    """Raised when the words are ≡_k (no distinguishing FC(k) sentence)."""
+
+
+def _position_terms(
+    solver: GameSolver, pair_list: list, variables: list[Var]
+) -> tuple[list[Term], list, list]:
+    """Terms naming the position: played variables then constants.
+
+    Returns (terms, a-side values, b-side values), aligned.
+    """
+    terms: list[Term] = list(variables)
+    values_a = [pair[0] for pair in pair_list]
+    values_b = [pair[1] for pair in pair_list]
+    alphabet = solver.structure_a.alphabet
+    for letter in alphabet:
+        terms.append(Const(letter))
+    terms.append(EPSILON)
+    full_a, full_b = extend_with_constants(
+        solver.structure_a,
+        solver.structure_b,
+        tuple(values_a),
+        tuple(values_b),
+    )
+    return terms, list(full_a), list(full_b)
+
+
+def _violation_literal(
+    solver: GameSolver, pair_list: list, variables: list[Var]
+) -> Formula:
+    """A literal true in 𝔄 and false in 𝔅 at a violated position.
+
+    Step 1: if the ⊥-patterns of the two extended tuples differ at some
+    slot, the self-atom ``(t ≐ t·ε)`` — true exactly at non-⊥ values —
+    separates the structures (possibly negated).  Variables never take ⊥
+    during synthesis, so such slots are always constant slots and the
+    self-atom is a constant-only rank-0 sentence fragment.
+
+    Step 2: with matching ⊥-patterns, the violated Definition 3.1
+    condition (constant / equality / concatenation) converts directly to
+    an atom over the pebble terms, negated when the 𝔄-side is the false
+    one; the matched patterns guarantee the true side never mentions ⊥.
+    """
+    terms, full_a, full_b = _position_terms(solver, pair_list, variables)
+
+    # Step 1: ⊥-pattern mismatches.
+    for index in range(len(terms)):
+        bottom_a = full_a[index] is BOTTOM
+        bottom_b = full_b[index] is BOTTOM
+        if bottom_a != bottom_b:
+            self_atom = Concat(terms[index], terms[index], EPSILON)
+            return Not(self_atom) if bottom_a else self_atom
+
+    violation = find_violation(
+        solver.structure_a, solver.structure_b, full_a, full_b
+    )
+    if violation is None:
+        raise SynthesisFailure("position is a partial isomorphism")
+
+    if violation.kind == "constant":
+        (i,) = violation.indices
+        alphabet = solver.structure_a.alphabet
+        for symbol in list(alphabet) + [""]:
+            hits_a = full_a[i] == solver.structure_a.constant(symbol)
+            hits_b = full_b[i] == solver.structure_b.constant(symbol)
+            if hits_a != hits_b:
+                atom = Concat(terms[i], Const(symbol), EPSILON)
+                # ⊥-patterns match, so the hitting side's constant is a
+                # real (non-⊥) value and the atom is true exactly there.
+                return atom if hits_a else Not(atom)
+        raise AssertionError("constant violation without a witness symbol")
+    if violation.kind == "equality":
+        i, j = violation.indices
+        atom = Concat(terms[i], terms[j], EPSILON)
+        holds_a = full_a[i] == full_a[j] and full_a[i] is not BOTTOM
+        return atom if holds_a else Not(atom)
+    i, j, k = violation.indices
+    atom = Concat(terms[i], terms[j], terms[k])
+    holds_a = (
+        full_a[i] is not BOTTOM
+        and full_a[j] is not BOTTOM
+        and full_a[k] is not BOTTOM
+        and full_a[i] == full_a[j] + full_a[k]
+    )
+    return atom if holds_a else Not(atom)
+
+
+def _synthesize(
+    solver: GameSolver,
+    rounds: int,
+    pair_list: list,
+    variables: list[Var],
+) -> Formula:
+    """φ with qr ≤ rounds, true in (𝔄, ā), false in (𝔅, b̄)."""
+    pairs = frozenset(pair_list)
+    if not solver.consistent(pairs):
+        return _violation_literal(solver, pair_list, variables)
+    if rounds == 0:
+        raise SynthesisFailure(
+            "Duplicator survives 0 more rounds — position not distinguishable"
+        )
+    move = solver.spoiler_winning_move(rounds, pairs, skip_bottom=True)
+    if move is None:
+        # Either Duplicator genuinely wins, or only the inert ⊥ move wins
+        # at this round count; in the latter case the position is equally
+        # lost with one round fewer (the ⊥ move only adds the pair (⊥, ⊥)),
+        # so descend and retry.
+        if solver.spoiler_winning_move(rounds, pairs) is None:
+            raise SynthesisFailure(
+                f"Duplicator wins the {rounds}-round game from this position"
+            )
+        return _synthesize(solver, rounds - 1, pair_list, variables)
+    fresh = Var(f"s{len(pair_list)}")
+    subformulas: list[Formula] = []
+    seen: set = set()
+    if move.side == "A":
+        # ∃x: for EVERY Duplicator response b the position is still won.
+        for response in solver.structure_b.universe():
+            if response is BOTTOM:
+                continue  # variables never take ⊥
+            extended = pair_list + [(move.element, response)]
+            sub = _synthesize(solver, rounds - 1, extended, variables + [fresh])
+            if sub not in seen:
+                seen.add(sub)
+                subformulas.append(sub)
+        return Exists(fresh, conjunction(subformulas))
+    for response in solver.structure_a.universe():
+        if response is BOTTOM:
+            continue
+        extended = pair_list + [(response, move.element)]
+        sub = _synthesize(solver, rounds - 1, extended, variables + [fresh])
+        if sub not in seen:
+            seen.add(sub)
+            subformulas.append(sub)
+    return Forall(fresh, disjunction(subformulas))
+
+
+def synthesize_distinguishing_sentence(
+    w: str, v: str, k: int, alphabet: str | None = None
+) -> Formula:
+    """Return an FC(k) sentence φ with ``𝔄_w ⊨ φ`` and ``𝔅_v ⊭ φ``.
+
+    Raises :class:`SynthesisFailure` when ``w ≡_k v`` (Theorem 3.4: no
+    such sentence exists).  The returned certificate is independent of the
+    solver — verify it with ``repro.fc.models``.
+    """
+    if alphabet is None:
+        alphabet = "".join(sorted(set(w) | set(v)))
+    solver = GameSolver(
+        word_structure(w, alphabet), word_structure(v, alphabet)
+    )
+    return _synthesize(solver, k, [], [])

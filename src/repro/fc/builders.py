@@ -1,0 +1,227 @@
+"""The paper's concrete FC formulas, as reusable builders.
+
+Every explicit formula appearing in the paper is constructed here:
+
+* ``phi_whole_word(x)`` — Example 2.4's φ_w(x): σ(x) must be the input word
+  (this also simulates the universe variable 𝔲 of the original FC);
+* ``phi_ww`` — Example 2.4's sentence for {ww | w ∈ Σ*};
+* ``phi_copy`` / ``phi_k_copies`` — R_copy and R_{k-copies};
+* ``phi_no_cube`` — the introduction's cube-freeness sentence;
+* ``phi_vbv`` — the quantifier-rank-5 sentence for {v·b·v} from the proof of
+  Proposition 3.7 (≡_k is not a congruence);
+* ``phi_fib`` — Proposition 4.1's sentence for L_fib (with the two short
+  members added: the paper's φ_struc only captures n ≥ 2, see the
+  docstring);
+* ``phi_w_star`` — Lemma 5.4's commutation trick for ``w*``;
+* assorted small helpers (equality to a fixed word, finite languages,
+  prefix/suffix/factor predicates).
+"""
+
+from __future__ import annotations
+
+from repro.fc.sugar import chain
+from repro.fc.syntax import (
+    And,
+    Concat,
+    Const,
+    EPSILON,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Term,
+    Var,
+    conjunction,
+    disjunction,
+    exists_many,
+)
+
+__all__ = [
+    "phi_whole_word",
+    "phi_ww",
+    "phi_copy",
+    "phi_k_copies",
+    "phi_no_cube",
+    "phi_vbv",
+    "phi_fib",
+    "phi_w_star",
+    "phi_equals_word",
+    "phi_in_finite_language",
+    "phi_is_prefix",
+    "phi_is_suffix",
+    "phi_contains_letter",
+    "phi_epsilon",
+]
+
+
+def phi_epsilon(x: Term) -> Formula:
+    """``(x ≐ ε)`` — shorthand for ``(x ≐ ε·ε)`` as in the paper."""
+    return Concat(x, EPSILON, EPSILON)
+
+
+def phi_whole_word(x: Var) -> Formula:
+    """Example 2.4's φ_w(x): holds iff σ(x) is the entire input word.
+
+    ``¬∃z₁,z₂: ((z₁ ≐ z₂·x) ∨ (z₁ ≐ x·z₂)) ∧ ¬(z₂ ≐ ε)`` — no factor
+    strictly extends σ(x) on either side, which over Facs(w) pins σ(x) = w.
+    """
+    z1, z2 = Var(f"_z1[{x.name}]"), Var(f"_z2[{x.name}]")
+    extension = Or(Concat(z1, z2, x), Concat(z1, x, z2))
+    return Not(
+        Exists(z1, Exists(z2, And(extension, Not(phi_epsilon(z2)))))
+    )
+
+
+def phi_ww() -> Formula:
+    """Example 2.4's φ_ww: the input word is a square ``w·w``."""
+    x, y = Var("x"), Var("y")
+    return Exists(x, Exists(y, And(phi_whole_word(x), Concat(x, y, y))))
+
+
+def phi_copy(x: Var, y: Var) -> Formula:
+    """``(x ≐ y·y)`` — defines R_copy = {(u,v) | u = vv} (Example 2.4)."""
+    return Concat(x, y, y)
+
+
+def phi_k_copies(x: Var, y: Var, k: int) -> Formula:
+    """Defines R_{k-copies} = {(u,v) | u = v^k} (Example 2.4).
+
+    ``k = 0`` gives ``(x ≐ ε)``; ``k = 1`` gives ``x ≐ y·ε``; larger ``k``
+    chains fresh intermediates ``x ≐ y·t₁, t₁ ≐ y·t₂, …``.
+    """
+    if k < 0:
+        raise ValueError(f"negative k: {k}")
+    if k == 0:
+        # x = ε and y arbitrary; (y ≐ y·ε) keeps y a free variable so the
+        # formula's signature matches the binary relation it defines.
+        return And(phi_epsilon(x), Concat(y, y, EPSILON))
+    return chain(x, [y] * k)
+
+
+def phi_no_cube() -> Formula:
+    """The introduction's sentence: the input contains no cube ``u·u·u``.
+
+    ``∀z: (¬(z ≐ ε) → ¬∃x,y: (x ≐ z·y) ∧ (y ≐ z·z))``.
+    """
+    x, y, z = Var("x"), Var("y"), Var("z")
+    cube = Exists(x, Exists(y, And(Concat(x, z, y), Concat(y, z, z))))
+    return Forall(z, Implies(Not(phi_epsilon(z)), Not(cube)))
+
+
+def phi_vbv(separator: str = "b") -> Formula:
+    """Proposition 3.7's sentence for ``{ v·b·v | v ∈ Σ* }`` (qr = 5).
+
+    ``∃x,y,z: (y ≐ x·z) ∧ (z ≐ b·x) ∧ "y is the whole word"``.  This is the
+    sentence witnessing that ≡_k is **not** a congruence: it separates
+    ``aᵖ·b·aᵖ`` from ``a^q·b·aᵖ`` whenever p ≠ q.
+    """
+    x, y, z = Var("x"), Var("y"), Var("z")
+    body = And(
+        Concat(y, x, z),
+        And(Concat(z, Const(separator), x), phi_whole_word(y)),
+    )
+    return exists_many([x, y, z], body)
+
+
+def phi_equals_word(x: "Term | Var", word: str) -> Formula:
+    """``σ(x) = word`` for a fixed word: desugars into binary atoms."""
+    if word == "":
+        return phi_epsilon(x if isinstance(x, (Var, Const)) else Var(str(x)))
+    if len(word) == 1:
+        return Concat(x, Const(word), EPSILON)
+    return chain(x, [word])
+
+
+def phi_in_finite_language(x: Var, words: list[str]) -> Formula:
+    """``σ(x) ∈ words`` for a finite set of fixed words."""
+    if not words:
+        raise ValueError("finite language must be non-empty; use ¬(x ≐ x) instead")
+    return disjunction([phi_equals_word(x, word) for word in words])
+
+
+def phi_is_prefix(x: Var, of: Var) -> Formula:
+    """``σ(x)`` is a prefix of ``σ(of)``: ``∃s: of ≐ x·s``."""
+    s = Var(f"_pre[{x.name},{of.name}]")
+    return Exists(s, Concat(of, x, s))
+
+
+def phi_is_suffix(x: Var, of: Var) -> Formula:
+    """``σ(x)`` is a suffix of ``σ(of)``: ``∃p: of ≐ p·x``."""
+    p = Var(f"_suf[{x.name},{of.name}]")
+    return Exists(p, Concat(of, p, x))
+
+
+def phi_contains_letter(x: Var, letter: str) -> Formula:
+    """φ_c(x) from the φ_fib proof: ``∃y,z: x ≐ y·c·z`` — σ(x) contains c."""
+    y = Var(f"_cl[{x.name}]")
+    z = Var(f"_cr[{x.name}]")
+    return Exists(y, Exists(z, chain(x, [y, letter, z])))
+
+
+def phi_w_star(x: Var, word: str) -> Formula:
+    """Lemma 5.4's FC definition of ``σ(x) ∈ word*`` via commutation.
+
+    ``(x ≐ ε) ∨ ∃z: (x ≐ word·z) ∧ (x ≐ z·word)``.  By Lothaire 1.3.2,
+    ``word·z = z·word`` forces ``x`` to be a power of a common root, hence a
+    power of ``word`` (by the length argument in the claim's proof).
+    """
+    if word == "":
+        return phi_epsilon(x)
+    z = Var(f"_star[{x.name}]")
+    left = chain(x, [word, z])
+    right = chain(x, [z, word])
+    return Or(phi_epsilon(x), Exists(z, And(left, right)))
+
+
+def phi_fib(separator: str = "c") -> Formula:
+    """Proposition 4.1's sentence φ_fib with ``L(φ_fib) = L_fib``.
+
+    L_fib = { c F₀ c F₁ c ⋯ c Fₙ c | n ∈ ℕ } over Σ = {a, b, c}.  Following
+    the appendix proof:
+
+    * φ_struc forces the shape ``c·a·c·ab·c·({a,b}⁺ c)⁺`` (whole word starts
+      ``cacabc``, ends with c, and ``cc`` never occurs);
+    * the ∀-part forces every factor ``c y₁ c y₂ c y₃ c`` with c-free yᵢ to
+      satisfy ``y₃ ≐ y₂·y₁`` — the Fibonacci recursion, with the universal
+      quantifier simulating recursion.
+
+    The appendix's φ_struc only matches members with n ≥ 2 blocks after
+    ``cacabc``; the two shortest members ``cac`` (n = 0) and ``cacabc``
+    (n = 1) are added as explicit disjuncts so that L(φ_fib) equals L_fib
+    exactly (a small completion of the paper's construction, validated by
+    experiment E05).
+    """
+    c = separator
+    u, x1, x2 = Var("𝔲"), Var("x1"), Var("x2")
+
+    base_n0 = Exists(u, And(phi_whole_word(u), phi_equals_word(u, f"{c}a{c}")))
+    base_n1 = Exists(
+        u, And(phi_whole_word(u), phi_equals_word(u, f"{c}a{c}ab{c}"))
+    )
+
+    no_cc = Not(Exists(x2, chain(x2, [c, c])))
+    shape = chain(u, [f"{c}a{c}ab{c}", x1, c])
+    phi_struc = Exists(u, Exists(x1, And(phi_whole_word(u), And(shape, no_cc))))
+
+    x = Var("x")
+    y1, y2, y3 = Var("y1"), Var("y2"), Var("y3")
+    window = chain(x, [c, y1, c, y2, c, y3, c])
+    consequent = disjunction(
+        [
+            phi_contains_letter(y1, c),
+            phi_contains_letter(y2, c),
+            phi_contains_letter(y3, c),
+            Concat(y3, y2, y1),
+        ]
+    )
+    recursion = Forall(
+        x,
+        Forall(
+            y1,
+            Forall(y2, Forall(y3, Implies(window, consequent))),
+        ),
+    )
+
+    return Or(base_n0, Or(base_n1, And(phi_struc, recursion)))

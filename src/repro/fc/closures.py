@@ -1,0 +1,122 @@
+"""Closure operations on FC languages, including the Conclusions trick.
+
+FC is closed under the Boolean operations (trivially — the connectives are
+in the syntax), and FC[REG] is closed under intersection with regular
+languages.  The paper's conclusion uses the latter to push
+inexpressibility beyond bounded languages:
+
+    L ∈ L(FC[REG])  ⟹  L ∩ R ∈ L(FC[REG])   for regular R,
+
+so if ``L ∩ R`` is a known non-FC[REG] language (e.g. {w : |w|_a = |w|_b}
+∩ a*b* = aⁿbⁿ), then L itself is not FC[REG]-definable.  This module
+provides the closure constructions on sentences and the contrapositive
+helper that packages the trick.
+"""
+
+from __future__ import annotations
+
+from repro.fc.builders import phi_whole_word
+from repro.fc.syntax import And, Exists, Formula, Not, Or, Var, free_variables
+from repro.fcreg.constraints import in_regex
+from repro.words.generators import words_up_to
+
+__all__ = [
+    "sentence_and",
+    "sentence_or",
+    "sentence_not",
+    "intersect_with_regex",
+    "RegularIntersectionArgument",
+]
+
+
+def _require_sentence(formula: Formula) -> None:
+    stray = free_variables(formula)
+    if stray:
+        raise ValueError(
+            f"expected a sentence; free variables {sorted(v.name for v in stray)}"
+        )
+
+
+def sentence_and(left: Formula, right: Formula) -> Formula:
+    """L(φ∧ψ) = L(φ) ∩ L(ψ)."""
+    _require_sentence(left)
+    _require_sentence(right)
+    return And(left, right)
+
+
+def sentence_or(left: Formula, right: Formula) -> Formula:
+    """L(φ∨ψ) = L(φ) ∪ L(ψ)."""
+    _require_sentence(left)
+    _require_sentence(right)
+    return Or(left, right)
+
+
+def sentence_not(sentence: Formula) -> Formula:
+    """L(¬φ) = Σ* \\ L(φ) — the complementation closure Theorem 5.8's
+    complement remark relies on."""
+    _require_sentence(sentence)
+    return Not(sentence)
+
+
+def intersect_with_regex(sentence: Formula, pattern: str) -> Formula:
+    """The FC[REG] sentence for ``L(φ) ∩ L(γ)``.
+
+    Adds ``∃u: φ_w(u) ∧ (u ∈̇ γ)`` — the whole input word lies in L(γ) —
+    conjunctively.  The result is FC[REG] even when φ is plain FC.
+    """
+    _require_sentence(sentence)
+    u = Var("𝔲∩")
+    membership = Exists(u, And(phi_whole_word(u), in_regex(u, pattern)))
+    return And(sentence, membership)
+
+
+class RegularIntersectionArgument:
+    """The Conclusions-section inexpressibility argument, packaged.
+
+    Given a candidate language L (as a membership oracle), a regular
+    filter γ, and a *known non-FC[REG]* target T: if ``L ∩ L(γ) = T`` on
+    arbitrarily large finite slices, then L ∉ L(FC[REG]) — because
+    FC[REG] is closed under ∩ with regular languages and T is outside.
+
+    ``check(max_length)`` verifies the slice identity; the logical step is
+    recorded as the argument's conclusion string.
+    """
+
+    def __init__(
+        self,
+        language_name: str,
+        language_oracle,
+        regex_pattern: str,
+        target_name: str,
+        target_oracle,
+        alphabet: str = "ab",
+    ):
+        self.language_name = language_name
+        self.language_oracle = language_oracle
+        self.regex_pattern = regex_pattern
+        self.target_name = target_name
+        self.target_oracle = target_oracle
+        self.alphabet = alphabet
+        from repro.fcreg.automata import compile_regex
+        from repro.fcreg.regex import parse_regex
+
+        self._dfa = compile_regex(parse_regex(regex_pattern))
+
+    def check(self, max_length: int) -> tuple[bool, str | None]:
+        """Verify ``L ∩ L(γ) = T`` on Σ^{≤max_length}."""
+        for word in words_up_to(self.alphabet, max_length):
+            in_intersection = (
+                word in self.language_oracle and self._dfa.accepts(word)
+            )
+            if in_intersection != (word in self.target_oracle):
+                return False, word
+        return True, None
+
+    @property
+    def conclusion(self) -> str:
+        return (
+            f"{self.language_name} ∩ {self.regex_pattern} = "
+            f"{self.target_name}; {self.target_name} ∉ L(FC[REG]) and "
+            f"FC[REG] is closed under regular intersection, hence "
+            f"{self.language_name} ∉ L(FC[REG])"
+        )

@@ -1,0 +1,69 @@
+"""Serialisation of FC formulas to the parser's text syntax.
+
+``to_text`` produces ASCII text that :func:`repro.fc.parser.parse_fc`
+parses back to an equal AST (round-trip property-tested).  Useful for
+logging, the CLI, and persisting synthesised certificates.
+"""
+
+from __future__ import annotations
+
+from repro.fc.syntax import (
+    And,
+    Concat,
+    ConcatChain,
+    EPSILON,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Term,
+    Var,
+)
+
+__all__ = ["to_text"]
+
+
+def _term(t: Term) -> str:
+    if isinstance(t, Var):
+        return t.name
+    if t == EPSILON:
+        return "eps"
+    return t.symbol
+
+
+def to_text(formula: Formula) -> str:
+    """Render a formula in the ``repro.fc.parser`` text syntax.
+
+    Grouping is explicit (every connective application parenthesised), so
+    the output is unambiguous regardless of precedence.  Regular
+    constraints and oracle atoms have no text syntax and raise
+    ``ValueError``.
+    """
+    if isinstance(formula, Concat):
+        if formula.z == EPSILON and formula.y != EPSILON:
+            return f"({_term(formula.x)} = {_term(formula.y)})"
+        return (
+            f"({_term(formula.x)} = {_term(formula.y)}.{_term(formula.z)})"
+        )
+    if isinstance(formula, ConcatChain):
+        rhs = ".".join(_term(p) for p in formula.parts)
+        return f"({_term(formula.x)} = {rhs})"
+    if isinstance(formula, Not):
+        return f"~{to_text(formula.inner)}"
+    if isinstance(formula, And):
+        return f"({to_text(formula.left)} & {to_text(formula.right)})"
+    if isinstance(formula, Or):
+        return f"({to_text(formula.left)} | {to_text(formula.right)})"
+    if isinstance(formula, Implies):
+        return f"({to_text(formula.left)} -> {to_text(formula.right)})"
+    if isinstance(formula, Exists):
+        # Quantifier scope extends maximally in the text grammar, so
+        # quantified subformulas are always parenthesised.
+        return f"(E {formula.var.name}: {to_text(formula.inner)})"
+    if isinstance(formula, Forall):
+        return f"(A {formula.var.name}: {to_text(formula.inner)})"
+    raise ValueError(
+        f"{type(formula).__name__} has no text syntax (only pure FC prints)"
+    )

@@ -1,0 +1,117 @@
+"""Structured pools of FC(k) sentences.
+
+Ehrenfeucht's theorem for FC (Theorem 3.4) says ``𝔄_w ≡_k 𝔅_v`` iff the two
+structures agree on *all* sentences of quantifier rank ≤ k.  Enumerating all
+of FC(k) (even up to logical equivalence) is infeasible, but a large
+*structured pool* of FC(k) sentences provides a strong necessary condition:
+whenever the exact game solver reports ``w ≡_k v``, the two words must agree
+on every pool sentence; whenever it reports ``w ≢_k v``, a pool sentence
+often witnesses the difference.  Experiment E02 runs exactly this
+cross-validation.
+
+The pool for rank k consists of all prenex sentences ``Q₁x₁ … Q_kx_k θ``
+where each ``Qᵢ ∈ {∃, ∀}`` and θ is drawn from a curated family of
+quantifier-free bodies over the variables and the constants of the
+alphabet (single atoms, their negations, and two-atom conjunctions /
+disjunctions, deduplicated).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Iterator
+
+from repro.fc.syntax import (
+    And,
+    Concat,
+    Const,
+    EPSILON,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Term,
+    Var,
+)
+
+__all__ = ["atom_pool", "body_pool", "sentence_pool", "pool_size"]
+
+
+def _terms(variables: list[Var], alphabet: str) -> list[Term]:
+    terms: list[Term] = list(variables)
+    terms.extend(Const(letter) for letter in alphabet)
+    terms.append(EPSILON)
+    return terms
+
+
+def atom_pool(variables: list[Var], alphabet: str) -> list[Concat]:
+    """All atoms ``(x ≐ y·z)`` over the given variables and constants,
+    filtered to those that mention at least one variable (constant-only
+    atoms have the same truth value in every structure that realises all
+    constants, so they add nothing) and deduplicated."""
+    terms = _terms(variables, alphabet)
+    seen: set[Concat] = set()
+    atoms: list[Concat] = []
+    for x, y, z in product(terms, repeat=3):
+        if not any(isinstance(t, Var) for t in (x, y, z)):
+            continue
+        atom = Concat(x, y, z)
+        if atom not in seen:
+            seen.add(atom)
+            atoms.append(atom)
+    return atoms
+
+
+def body_pool(
+    variables: list[Var], alphabet: str, max_atoms: int = 2
+) -> Iterator[Formula]:
+    """Yield quantifier-free bodies: literals, plus pairwise ∧ / ∨ of atoms.
+
+    ``max_atoms`` currently supports 1 or 2; rank-k sentences built from
+    these bodies already distinguish all the word pairs the experiments
+    need, while keeping the pool around a thousand sentences.
+    """
+    atoms = atom_pool(variables, alphabet)
+    for atom in atoms:
+        yield atom
+        yield Not(atom)
+    if max_atoms >= 2:
+        for left, right in combinations(atoms, 2):
+            yield And(left, right)
+            yield Or(left, Not(right))
+
+
+def sentence_pool(
+    k: int, alphabet: str, max_atoms: int = 2
+) -> Iterator[Formula]:
+    """Yield a structured pool of FC(k) sentences (quantifier rank exactly
+    ``k`` for k ≥ 1; for ``k = 0`` only constant-free bodies would be
+    closed, so the pool is empty).
+
+    Bodies that do not use every quantified variable are skipped: they are
+    equivalent to lower-rank sentences already covered by smaller k.
+    """
+    if k < 0:
+        raise ValueError(f"negative rank: {k}")
+    if k == 0:
+        return
+    variables = [Var(f"p{i}") for i in range(k)]
+    needed = frozenset(variables)
+    for body in body_pool(variables, alphabet, max_atoms):
+        from repro.fc.syntax import free_variables
+
+        if free_variables(body) != needed:
+            continue
+        for quantifier_choice in product((Exists, Forall), repeat=k):
+            sentence: Formula = body
+            for variable, quantifier in zip(
+                reversed(variables), reversed(quantifier_choice)
+            ):
+                sentence = quantifier(variable, sentence)
+            yield sentence
+
+
+def pool_size(k: int, alphabet: str, max_atoms: int = 2) -> int:
+    """Return the number of sentences :func:`sentence_pool` yields."""
+    return sum(1 for _ in sentence_pool(k, alphabet, max_atoms))

@@ -1,0 +1,249 @@
+"""A text syntax for FC formulas.
+
+Grammar (ASCII-friendly; unicode connectives also accepted)::
+
+    formula  := quantified | implies
+    quantified := ('E' | 'A') var+ ':' formula        # ∃ / ∀, e.g. "E x y:"
+    implies  := or ('->' or)*
+    or       := and ('|' and)*
+    and      := unary ('&' unary)*
+    unary    := '~' unary | atom | '(' formula ')'
+    atom     := '(' term '=' term ('.' term)* ')'     # (x = y.z), (x = eps)
+    term     := variable | letter-constant | 'eps'
+
+Variables are identifiers of length ≥ 2 or any identifier not naming a
+letter of the declared alphabet; single letters of the alphabet parse as
+constants; ``eps`` (or ``ε``) is the empty-word constant.  Atoms with more
+than two right-hand-side terms build :class:`ConcatChain` nodes.
+
+Examples::
+
+    parse_fc("E x: (x = a.a)", alphabet="ab")        # ∃x: (x ≐ a·a)
+    parse_fc("A z: (~(z = eps) -> ~E x y: ((x = z.y) & (y = z.z)))", "ab")
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.fc.syntax import (
+    And,
+    Concat,
+    ConcatChain,
+    Const,
+    EPSILON,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Term,
+    Var,
+)
+
+__all__ = ["parse_fc", "FCParseError"]
+
+
+class FCParseError(ValueError):
+    """Raised on malformed FC formula text, with position information."""
+
+
+# Identifiers admit brackets so machine-generated variable names like
+# "_z1[x]" (the builders' fresh variables) remain printable/parseable.
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:(?P<arrow>->|→)|(?P<punct>[():&|~.=∃∀∧∨¬≐·])"
+    r"|(?P<word>[^\W\d][\w\[\]]*))",
+    re.UNICODE,
+)
+
+_QUANTIFIER_WORDS = {"E": Exists, "A": Forall, "∃": Exists, "∀": Forall}
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.text = text
+        self.items: list[tuple[str, str, int]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_PATTERN.match(text, position)
+            if match is None or match.end() == position:
+                remainder = text[position:].strip()
+                if not remainder:
+                    break
+                raise FCParseError(
+                    f"cannot tokenise at position {position}: {remainder[:12]!r}"
+                )
+            if match.group("arrow"):
+                self.items.append(("->", "->", match.start()))
+            elif match.group("punct"):
+                punct = match.group("punct")
+                normalised = {
+                    "∧": "&",
+                    "∨": "|",
+                    "¬": "~",
+                    "≐": "=",
+                    "·": ".",
+                }.get(punct, punct)
+                self.items.append((normalised, punct, match.start()))
+            else:
+                self.items.append(("word", match.group("word"), match.start()))
+            position = match.end()
+        self.cursor = 0
+
+    def peek(self) -> tuple[str, str, int] | None:
+        if self.cursor < len(self.items):
+            return self.items[self.cursor]
+        return None
+
+    def take(self) -> tuple[str, str, int]:
+        item = self.peek()
+        if item is None:
+            raise FCParseError("unexpected end of formula")
+        self.cursor += 1
+        return item
+
+    def expect(self, kind: str) -> tuple[str, str, int]:
+        item = self.take()
+        if item[0] != kind:
+            raise FCParseError(
+                f"expected {kind!r} at position {item[2]}, got {item[1]!r}"
+            )
+        return item
+
+
+class _Parser:
+    def __init__(self, text: str, alphabet: str):
+        self.tokens = _Tokens(text)
+        self.alphabet = alphabet
+
+    def term(self, word: str, position: int) -> Term:
+        if word in ("eps", "ε"):
+            return EPSILON
+        if len(word) == 1 and word in self.alphabet:
+            return Const(word)
+        if word[0].isalpha() or word[0] == "_":
+            return Var(word)
+        raise FCParseError(f"bad term {word!r} at position {position}")
+
+    def formula(self) -> Formula:
+        item = self.tokens.peek()
+        if item is not None and item[0] == "word" and item[1] in _QUANTIFIER_WORDS:
+            # Quantifier block: E x y: φ
+            _, quantifier_word, _ = self.tokens.take()
+            quantifier = _QUANTIFIER_WORDS[quantifier_word]
+            variables: list[Var] = []
+            while True:
+                nxt = self.tokens.peek()
+                if nxt is None:
+                    raise FCParseError("unterminated quantifier block")
+                if nxt[0] == ":":
+                    self.tokens.take()
+                    break
+                kind, word, position = self.tokens.take()
+                if kind != "word":
+                    raise FCParseError(
+                        f"expected variable at position {position}"
+                    )
+                term = self.term(word, position)
+                if not isinstance(term, Var):
+                    raise FCParseError(
+                        f"cannot quantify over constant {word!r} "
+                        f"(position {position})"
+                    )
+                variables.append(term)
+            if not variables:
+                raise FCParseError("quantifier block binds no variables")
+            body = self.formula()
+            for variable in reversed(variables):
+                body = quantifier(variable, body)
+            return body
+        return self.implies()
+
+    def implies(self) -> Formula:
+        node = self.disjunction()
+        while (item := self.tokens.peek()) is not None and item[0] == "->":
+            self.tokens.take()
+            node = Implies(node, self.disjunction())
+        return node
+
+    def disjunction(self) -> Formula:
+        node = self.conjunction()
+        while (item := self.tokens.peek()) is not None and item[0] == "|":
+            self.tokens.take()
+            node = Or(node, self.conjunction())
+        return node
+
+    def conjunction(self) -> Formula:
+        node = self.unary()
+        while (item := self.tokens.peek()) is not None and item[0] == "&":
+            self.tokens.take()
+            node = And(node, self.unary())
+        return node
+
+    def unary(self) -> Formula:
+        item = self.tokens.peek()
+        if item is None:
+            raise FCParseError("unexpected end of formula")
+        if item[0] == "~":
+            self.tokens.take()
+            return Not(self.unary())
+        if item[0] == "word" and item[1] in _QUANTIFIER_WORDS:
+            return self.formula()
+        if item[0] == "(":
+            return self.group_or_atom()
+        raise FCParseError(
+            f"unexpected {item[1]!r} at position {item[2]}"
+        )
+
+    def group_or_atom(self) -> Formula:
+        self.tokens.expect("(")
+        # Look ahead: "word =" means an atom; otherwise a grouped formula.
+        first = self.tokens.peek()
+        if (
+            first is not None
+            and first[0] == "word"
+            and self.tokens.cursor + 1 < len(self.tokens.items)
+            and self.tokens.items[self.tokens.cursor + 1][0] == "="
+        ):
+            _, head_word, head_pos = self.tokens.take()
+            self.tokens.expect("=")
+            head = self.term(head_word, head_pos)
+            parts: list[Term] = []
+            while True:
+                kind, word, position = self.tokens.take()
+                if kind != "word":
+                    raise FCParseError(
+                        f"expected term at position {position}, got {word!r}"
+                    )
+                parts.append(self.term(word, position))
+                nxt = self.tokens.take()
+                if nxt[0] == ")":
+                    break
+                if nxt[0] != ".":
+                    raise FCParseError(
+                        f"expected '.' or ')' at position {nxt[2]}"
+                    )
+            if len(parts) == 1:
+                return Concat(head, parts[0], EPSILON)
+            if len(parts) == 2:
+                return Concat(head, parts[0], parts[1])
+            return ConcatChain(head, tuple(parts))
+        node = self.formula()
+        self.tokens.expect(")")
+        return node
+
+
+def parse_fc(text: str, alphabet: str) -> Formula:
+    """Parse FC formula text into an AST over the given alphabet.
+
+    Raises :class:`FCParseError` on malformed input or trailing tokens.
+    """
+    parser = _Parser(text, alphabet)
+    node = parser.formula()
+    trailing = parser.tokens.peek()
+    if trailing is not None:
+        raise FCParseError(
+            f"trailing input at position {trailing[2]}: {trailing[1]!r}"
+        )
+    return node

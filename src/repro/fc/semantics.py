@@ -1,0 +1,332 @@
+"""Model checking for FC (and, via a dispatch hook, FC[REG]).
+
+Implements the satisfaction relation of Section 2:
+
+* an *interpretation* is ``(𝔄_w, σ)`` with ``σ`` mapping variables to
+  factors of ``w`` (never ⊥) and constants to their fixed interpretation;
+* quantifiers range over ``Facs(w)``;
+* ``⟦φ⟧(w)`` is the set of assignments (restricted to the free variables)
+  that satisfy φ in 𝔄_w.
+
+The checker is a straightforward recursive evaluator — FC model checking is
+PSPACE-hard in combined complexity, and the experiments only ever check
+fixed small formulas on short words, where brute force is exact and fast
+enough.  Extension atoms (e.g. FC[REG] regular constraints) participate by
+providing an ``_evaluate(structure, assignment)`` method.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator
+
+from repro.fc.optimizer import formula_pool
+from repro.fc.structures import BOTTOM, WordStructure, word_structure
+from repro.fc.syntax import (
+    And,
+    Concat,
+    ConcatChain,
+    Const,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Term,
+    Var,
+    free_variables,
+)
+from repro.words.generators import words_up_to
+
+__all__ = [
+    "Assignment",
+    "evaluate",
+    "evaluate_naive",
+    "models",
+    "satisfying_assignments",
+    "defines_language_member",
+    "language_slice",
+    "languages_agree",
+    "FCLanguage",
+]
+
+#: A variable assignment σ restricted to variables (constants are implicit).
+Assignment = Dict[Var, str]
+
+
+
+def _term_value(
+    structure: WordStructure, assignment: Assignment, t: Term
+) -> "str | object":
+    """Interpret a term: constants via the structure, variables via σ."""
+    if isinstance(t, Const):
+        return structure.constant(t.symbol)
+    try:
+        return assignment[t]
+    except KeyError:
+        raise ValueError(
+            f"free variable {t!r} has no value in the assignment"
+        ) from None
+
+
+def evaluate(
+    structure: WordStructure, formula: Formula, assignment: Assignment
+) -> bool:
+    """Decide ``(𝔄, σ) ⊨ φ``.
+
+    ``assignment`` must cover all free variables of ``formula``; bound
+    variables are handled internally (the dict is mutated in place during
+    quantifier scans and restored afterwards).
+    """
+    if isinstance(formula, Concat):
+        x = _term_value(structure, assignment, formula.x)
+        y = _term_value(structure, assignment, formula.y)
+        z = _term_value(structure, assignment, formula.z)
+        return structure.concat_holds(x, y, z)
+    if isinstance(formula, ConcatChain):
+        head = _term_value(structure, assignment, formula.x)
+        if head is BOTTOM:
+            return False
+        pieces = []
+        for part in formula.parts:
+            value = _term_value(structure, assignment, part)
+            if value is BOTTOM:
+                return False
+            pieces.append(value)
+        return head == "".join(pieces) and structure.contains(head)
+    if isinstance(formula, Not):
+        return not evaluate(structure, formula.inner, assignment)
+    if isinstance(formula, And):
+        return evaluate(structure, formula.left, assignment) and evaluate(
+            structure, formula.right, assignment
+        )
+    if isinstance(formula, Or):
+        return evaluate(structure, formula.left, assignment) or evaluate(
+            structure, formula.right, assignment
+        )
+    if isinstance(formula, Implies):
+        return (not evaluate(structure, formula.left, assignment)) or evaluate(
+            structure, formula.right, assignment
+        )
+    if isinstance(formula, (Exists, Forall)):
+        variable = formula.var
+        shadowed = assignment.get(variable)
+        had_value = variable in assignment
+        want = isinstance(formula, Exists)
+        if had_value:
+            del assignment[variable]  # the outer value must not constrain
+        # Sideways information passing: restrict the scan to values for
+        # which the inner formula can still reach the decisive truth value
+        # (∃ → can-be-true, ∀ → can-be-false); see fc.optimizer.
+        pool = formula_pool(structure, assignment, variable, formula.inner, want)
+        scan = structure.universe_factors if pool is None else pool
+        result = not want
+        for factor in scan:
+            assignment[variable] = factor
+            if evaluate(structure, formula.inner, assignment) == want:
+                result = want
+                break
+        if had_value:
+            assignment[variable] = shadowed  # type: ignore[assignment]
+        else:
+            assignment.pop(variable, None)
+        return result
+    custom = getattr(formula, "_evaluate", None)
+    if custom is not None:
+        return custom(structure, assignment)
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def evaluate_naive(
+    structure: WordStructure, formula: Formula, assignment: Assignment
+) -> bool:
+    """Reference evaluator: identical semantics to :func:`evaluate` but with
+    no candidate-pool optimisation — every quantifier scans the full factor
+    universe.  Kept for cross-validation (the optimiser's soundness is
+    property-tested against this) and as executable documentation of the
+    plain Section 2 semantics."""
+    if isinstance(formula, Concat):
+        x = _term_value(structure, assignment, formula.x)
+        y = _term_value(structure, assignment, formula.y)
+        z = _term_value(structure, assignment, formula.z)
+        return structure.concat_holds(x, y, z)
+    if isinstance(formula, ConcatChain):
+        head = _term_value(structure, assignment, formula.x)
+        if head is BOTTOM:
+            return False
+        pieces = []
+        for part in formula.parts:
+            value = _term_value(structure, assignment, part)
+            if value is BOTTOM:
+                return False
+            pieces.append(value)
+        return head == "".join(pieces) and structure.contains(head)
+    if isinstance(formula, Not):
+        return not evaluate_naive(structure, formula.inner, assignment)
+    if isinstance(formula, And):
+        return evaluate_naive(structure, formula.left, assignment) and (
+            evaluate_naive(structure, formula.right, assignment)
+        )
+    if isinstance(formula, Or):
+        return evaluate_naive(structure, formula.left, assignment) or (
+            evaluate_naive(structure, formula.right, assignment)
+        )
+    if isinstance(formula, Implies):
+        return (not evaluate_naive(structure, formula.left, assignment)) or (
+            evaluate_naive(structure, formula.right, assignment)
+        )
+    if isinstance(formula, (Exists, Forall)):
+        variable = formula.var
+        shadowed = assignment.get(variable)
+        had_value = variable in assignment
+        want = isinstance(formula, Exists)
+        result = not want
+        for factor in structure.universe_factors:
+            assignment[variable] = factor
+            if evaluate_naive(structure, formula.inner, assignment) == want:
+                result = want
+                break
+        if had_value:
+            assignment[variable] = shadowed  # type: ignore[assignment]
+        else:
+            assignment.pop(variable, None)
+        return result
+    custom = getattr(formula, "_evaluate", None)
+    if custom is not None:
+        return custom(structure, assignment)
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def models(
+    word: str,
+    formula: Formula,
+    alphabet: str,
+    assignment: Assignment | None = None,
+) -> bool:
+    """Decide ``𝔄_w ⊨ φ`` (with optional free-variable assignment).
+
+    Raises ``ValueError`` if free variables are left unassigned or a value
+    is not a factor of ``word`` (assignments must never be ⊥).
+    """
+    structure = word_structure(word, alphabet)
+    assignment = dict(assignment or {})
+    for variable in free_variables(formula):
+        if variable not in assignment:
+            raise ValueError(f"free variable {variable!r} unassigned")
+    for variable, value in assignment.items():
+        if value is BOTTOM or value not in word:
+            raise ValueError(
+                f"assignment {variable!r} ↦ {value!r} is not a factor of "
+                f"{word!r}"
+            )
+    return evaluate(structure, formula, assignment)
+
+
+def satisfying_assignments(
+    word: str, formula: Formula, alphabet: str
+) -> Iterator[Assignment]:
+    """Yield ``⟦φ⟧(w)``: every assignment of the free variables of φ to
+    factors of ``word`` under which φ holds.
+
+    Assignments are yielded as fresh dicts with domain exactly the free
+    variables (matching the paper's convention for ⟦φ⟧).
+    """
+    structure = word_structure(word, alphabet)
+    variables = sorted(free_variables(formula), key=lambda v: v.name)
+    factor_pool = sorted(structure.universe_factors, key=lambda f: (len(f), f))
+
+    def recurse(index: int, assignment: Assignment) -> Iterator[Assignment]:
+        if index == len(variables):
+            if evaluate(structure, formula, assignment):
+                yield dict(assignment)
+            return
+        variable = variables[index]
+        for factor in factor_pool:
+            assignment[variable] = factor
+            yield from recurse(index + 1, assignment)
+        del assignment[variable]
+
+    yield from recurse(0, {})
+
+
+def defines_language_member(word: str, sentence: Formula, alphabet: str) -> bool:
+    """Return ``w ∈ L(φ)`` for a sentence φ.  Raises on open formulas."""
+    if free_variables(sentence):
+        raise ValueError(
+            f"L(φ) is only defined for sentences; free vars: "
+            f"{sorted(v.name for v in free_variables(sentence))}"
+        )
+    return models(word, sentence, alphabet)
+
+
+def language_slice(
+    sentence: Formula, alphabet: str, max_length: int
+) -> frozenset[str]:
+    """Return ``L(φ) ∩ Σ^{≤max_length}`` by brute-force enumeration."""
+    return frozenset(
+        word
+        for word in words_up_to(alphabet, max_length)
+        if defines_language_member(word, sentence, alphabet)
+    )
+
+
+def languages_agree(
+    sentence_a: Formula,
+    sentence_b: Formula,
+    alphabet: str,
+    max_length: int,
+) -> bool:
+    """Check ``L(φ_a) ∩ Σ^{≤n} == L(φ_b) ∩ Σ^{≤n}``.
+
+    The finite agreement check used by the Lemma 5.4 rewriting experiments.
+    """
+    for word in words_up_to(alphabet, max_length):
+        if defines_language_member(word, sentence_a, alphabet) != (
+            defines_language_member(word, sentence_b, alphabet)
+        ):
+            return False
+    return True
+
+
+class FCLanguage:
+    """The language of an FC sentence, with convenience comparisons.
+
+    Wraps a sentence and its alphabet; supports membership, finite slices,
+    and agreement checks against oracles (ground-truth predicates).
+    """
+
+    def __init__(self, sentence: Formula, alphabet: str, name: str = "L(φ)"):
+        if free_variables(sentence):
+            raise ValueError("FCLanguage requires a sentence (no free vars)")
+        self.sentence = sentence
+        self.alphabet = alphabet
+        self.name = name
+
+    def __contains__(self, word: str) -> bool:
+        return defines_language_member(word, self.sentence, self.alphabet)
+
+    def slice(self, max_length: int) -> frozenset[str]:
+        """``L(φ) ∩ Σ^{≤max_length}``."""
+        return language_slice(self.sentence, self.alphabet, max_length)
+
+    def agrees_with(
+        self, oracle: Iterable[str] | object, max_length: int
+    ) -> bool:
+        """Check agreement with an oracle supporting ``in`` up to length n."""
+        for word in words_up_to(self.alphabet, max_length):
+            if (word in self) != (word in oracle):  # type: ignore[operator]
+                return False
+        return True
+
+    def first_disagreement(
+        self, oracle: object, max_length: int
+    ) -> str | None:
+        """Return the shortest word on which the language and oracle differ,
+        or ``None`` if they agree up to ``max_length``."""
+        for word in words_up_to(self.alphabet, max_length):
+            if (word in self) != (word in oracle):  # type: ignore[operator]
+                return word
+        return None
+
+    def __repr__(self) -> str:
+        return f"FCLanguage({self.name}, Σ={self.alphabet!r})"

@@ -1,0 +1,191 @@
+"""Syntactic sugar: arbitrary-arity concatenation atoms.
+
+The original FC definition (Freydenberger–Peterfreund) allows atoms
+``x ≐ α`` with an arbitrarily long right-hand side ``α ∈ (Σ ∪ Ξ)*``; the
+paper restricts atoms to binary concatenation ``(x ≐ y·z)`` and notes the
+long form is shorthand (Freydenberger–Thompson splitting).  This module
+performs that splitting: :func:`eq_concat` compiles ``x ≐ t₁·t₂·…·tₙ`` into
+a chain of binary atoms glued by fresh existentially-quantified variables.
+
+Note on quantifier rank: desugaring introduces ∃-quantifiers (one per extra
+concatenation), so the rank of a desugared formula exceeds the rank of its
+sugared form.  The EF-game experiments therefore only use hand-written
+binary formulas when rank matters; the sugar is for readable builders such
+as φ_fib and the ψᵢ reductions, where only the defined language matters.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.fc.syntax import (
+    Concat,
+    ConcatChain,
+    Const,
+    EPSILON,
+    Exists,
+    Formula,
+    Term,
+    Var,
+    conjunction,
+)
+
+__all__ = [
+    "FreshVariables",
+    "split_word",
+    "eq_concat",
+    "eq_terms",
+    "equals",
+    "chain",
+    "desugar_chains",
+]
+
+
+class FreshVariables:
+    """A generator of fresh variables ``prefix_0, prefix_1, …``.
+
+    Each :class:`FreshVariables` instance yields globally distinct names
+    (a class-level counter is mixed in), so nested builders never collide.
+    """
+
+    _global_counter = itertools.count()
+
+    def __init__(self, prefix: str = "t"):
+        self._prefix = prefix
+        self._instance = next(self._global_counter)
+        self._local = itertools.count()
+
+    def fresh(self) -> Var:
+        """Return the next fresh variable."""
+        return Var(f"{self._prefix}{self._instance}_{next(self._local)}")
+
+
+def split_word(word: str) -> list[Term]:
+    """Split a word into letter-constant terms (``""`` gives ``[ε]``)."""
+    if word == "":
+        return [EPSILON]
+    return [Const(letter) for letter in word]
+
+
+def _normalise_parts(parts: Iterable["Term | str"]) -> list[Term]:
+    """Flatten a mixed sequence of terms and words into a term list."""
+    normalised: list[Term] = []
+    for part in parts:
+        if isinstance(part, str):
+            normalised.extend(split_word(part))
+        elif isinstance(part, (Var, Const)):
+            normalised.append(part)
+        else:
+            raise TypeError(f"cannot use {part!r} in a concatenation term")
+    return normalised
+
+
+def eq_concat(
+    left: "Term | str",
+    parts: Sequence["Term | str"],
+    fresh: FreshVariables | None = None,
+) -> Formula:
+    """Build the FC formula expressing ``left ≐ parts[0]·parts[1]·…``.
+
+    String parts are split into letter constants (so ``"cacab"`` works
+    directly); the result is a pure binary-concatenation FC formula with
+    fresh intermediate variables, e.g.::
+
+        eq_concat(x, [y, "b", y])    # x ≐ y·b·y
+
+    compiles to ``∃t₀: (x ≐ y·t₀) ∧ (t₀ ≐ b·y)``.
+    """
+    fresh = fresh or FreshVariables()
+    if isinstance(left, str):
+        if len(left) > 1:
+            raise ValueError(
+                "left-hand side must be a variable or single constant; "
+                "introduce a variable for longer words"
+            )
+        left = Const(left)
+    terms = _normalise_parts(parts)
+    if not terms:
+        raise ValueError("empty right-hand side; use [EPSILON]")
+    if len(terms) == 1:
+        return Concat(left, terms[0], EPSILON)
+    if len(terms) == 2:
+        return Concat(left, terms[0], terms[1])
+    # x ≐ t1·(rest): introduce links l_i with
+    #   x ≐ t1·l1, l1 ≐ t2·l2, …, l_{n-2} ≐ t_{n-1}·t_n
+    links = [fresh.fresh() for _ in range(len(terms) - 2)]
+    atoms: list[Formula] = [Concat(left, terms[0], links[0])]
+    for index in range(1, len(terms) - 2):
+        atoms.append(Concat(links[index - 1], terms[index], links[index]))
+    atoms.append(Concat(links[-1], terms[-2], terms[-1]))
+    body = conjunction(atoms)
+    for link in reversed(links):
+        body = Exists(link, body)
+    return body
+
+
+def chain(left: "Term | str", parts: Sequence["Term | str"]) -> Formula:
+    """Build the native n-ary atom ``left ≐ parts[0]·parts[1]·…``.
+
+    Same normalisation conveniences as :func:`eq_concat` (strings split into
+    letter constants), but returns a :class:`ConcatChain` node, which the
+    model checker evaluates by decomposition enumeration — much faster than
+    the binary desugaring when the chain is long.  Use
+    :func:`desugar_chains` to convert back to pure binary FC.
+    """
+    if isinstance(left, str):
+        if len(left) > 1:
+            raise ValueError(
+                "left-hand side must be a variable or single constant"
+            )
+        left = Const(left)
+    terms = _normalise_parts(parts)
+    if not terms:
+        raise ValueError("empty right-hand side; use [EPSILON]")
+    if len(terms) == 1:
+        return Concat(left, terms[0], EPSILON)
+    if len(terms) == 2:
+        return Concat(left, terms[0], terms[1])
+    return ConcatChain(left, tuple(terms))
+
+
+def desugar_chains(formula: Formula) -> Formula:
+    """Replace every :class:`ConcatChain` by its binary splitting.
+
+    The result is a pure binary-atom FC formula defining the same language
+    (the Freydenberger–Thompson splitting); its quantifier rank may exceed
+    the sugared formula's rank by the number of introduced link variables.
+    """
+    from repro.fc.syntax import And, Exists, Forall, Implies, Not, Or
+
+    if isinstance(formula, ConcatChain):
+        return eq_concat(formula.x, list(formula.parts))
+    if isinstance(formula, Not):
+        return Not(desugar_chains(formula.inner))
+    if isinstance(formula, And):
+        return And(desugar_chains(formula.left), desugar_chains(formula.right))
+    if isinstance(formula, Or):
+        return Or(desugar_chains(formula.left), desugar_chains(formula.right))
+    if isinstance(formula, Implies):
+        return Implies(
+            desugar_chains(formula.left), desugar_chains(formula.right)
+        )
+    if isinstance(formula, Exists):
+        return Exists(formula.var, desugar_chains(formula.inner))
+    if isinstance(formula, Forall):
+        return Forall(formula.var, desugar_chains(formula.inner))
+    return formula
+
+
+def eq_terms(left: "Term | str", right: "Term | str") -> Formula:
+    """Build ``left ≐ right`` (equality as ``left ≐ right·ε``).
+
+    The paper uses ``(z ≐ ε)`` as shorthand for ``(z ≐ ε·ε)``; this is the
+    general form of that shorthand.
+    """
+    return eq_concat(left, [right])
+
+
+def equals(left: "Term | str", right: "Term | str") -> Formula:
+    """Alias of :func:`eq_terms` for readability in builders."""
+    return eq_terms(left, right)

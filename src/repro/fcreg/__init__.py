@@ -1,0 +1,82 @@
+"""FC[REG]: FC with regular constraints, plus the bounded-language bridge.
+
+Regex engine (AST → Thompson NFA → subset DFA), the ``(x ∈̇ γ)`` constraint
+atom, boundedness decision for regular languages, and the Lemma 5.4
+rewriting of bounded constraints into pure FC.
+"""
+
+from repro.fcreg.automata import (
+    DFA,
+    NFA,
+    compile_regex,
+    regex_language_slice,
+    regex_matches,
+)
+from repro.fcreg.bounded import (
+    BConcat,
+    BStar,
+    BUnion,
+    BWord,
+    BoundedExpr,
+    bounded_decomposition,
+    bounding_sequence,
+    is_bounded_by,
+    is_bounded_regular,
+)
+from repro.fcreg.constraints import (
+    RegularConstraint,
+    in_regex,
+    regular_constraints_of,
+)
+from repro.fcreg.regex import (
+    Concat as RegexConcat,
+    Empty,
+    Epsilon,
+    Letter,
+    Regex,
+    Star,
+    Union as RegexUnion,
+    from_words,
+    literal,
+    parse_regex,
+    word_star,
+)
+from repro.fcreg.rewriting import (
+    bounded_expr_to_fc,
+    constraint_to_fc,
+    eliminate_bounded_constraints,
+)
+
+__all__ = [
+    "DFA",
+    "NFA",
+    "compile_regex",
+    "regex_language_slice",
+    "regex_matches",
+    "BConcat",
+    "BStar",
+    "BUnion",
+    "BWord",
+    "BoundedExpr",
+    "bounded_decomposition",
+    "bounding_sequence",
+    "is_bounded_by",
+    "is_bounded_regular",
+    "RegularConstraint",
+    "in_regex",
+    "regular_constraints_of",
+    "RegexConcat",
+    "Empty",
+    "Epsilon",
+    "Letter",
+    "Regex",
+    "Star",
+    "RegexUnion",
+    "from_words",
+    "literal",
+    "parse_regex",
+    "word_star",
+    "bounded_expr_to_fc",
+    "constraint_to_fc",
+    "eliminate_bounded_constraints",
+]

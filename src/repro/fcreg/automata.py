@@ -1,0 +1,297 @@
+"""Finite automata: Thompson construction, subset DFA, decision procedures.
+
+The FC[REG] machinery needs exact regular-language operations: membership
+(for the ``(x ∈̇ γ)`` semantics), emptiness and finiteness (for the
+bounded-language analysis of Lemma 5.4), and language slices for the
+extensional agreement checks.  All built from scratch:
+
+* :class:`NFA` — Thompson construction from a :class:`Regex` AST;
+* :class:`DFA` — subset construction, with reachability-based emptiness,
+  cycle-based finiteness, and exact finite-language extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.fcreg.regex import (
+    Concat,
+    Empty,
+    Epsilon,
+    Letter,
+    Regex,
+    Star,
+    Union,
+)
+
+__all__ = ["NFA", "DFA", "compile_regex", "regex_matches", "regex_language_slice"]
+
+_EPS = None  # ε-transition label
+
+
+@dataclass
+class NFA:
+    """A Thompson NFA: one start state, one accept state, ε-transitions.
+
+    ``transitions[state]`` is a list of ``(label, target)`` with ``label``
+    a letter or ``None`` for ε.
+    """
+
+    start: int
+    accept: int
+    transitions: dict[int, list[tuple[str | None, int]]]
+
+    @classmethod
+    def from_regex(cls, regex: Regex) -> "NFA":
+        """Thompson construction (linear in the AST size)."""
+        counter = [0]
+        transitions: dict[int, list[tuple[str | None, int]]] = {}
+
+        def fresh() -> int:
+            counter[0] += 1
+            return counter[0] - 1
+
+        def add(source: int, label: str | None, target: int) -> None:
+            transitions.setdefault(source, []).append((label, target))
+
+        def build(node: Regex) -> tuple[int, int]:
+            if isinstance(node, Empty):
+                return fresh(), fresh()  # no connection: accepts nothing
+            if isinstance(node, Epsilon):
+                s, t = fresh(), fresh()
+                add(s, _EPS, t)
+                return s, t
+            if isinstance(node, Letter):
+                s, t = fresh(), fresh()
+                add(s, node.symbol, t)
+                return s, t
+            if isinstance(node, Union):
+                ls, lt = build(node.left)
+                rs, rt = build(node.right)
+                s, t = fresh(), fresh()
+                add(s, _EPS, ls)
+                add(s, _EPS, rs)
+                add(lt, _EPS, t)
+                add(rt, _EPS, t)
+                return s, t
+            if isinstance(node, Concat):
+                ls, lt = build(node.left)
+                rs, rt = build(node.right)
+                add(lt, _EPS, rs)
+                return ls, rt
+            if isinstance(node, Star):
+                inner_s, inner_t = build(node.inner)
+                s, t = fresh(), fresh()
+                add(s, _EPS, inner_s)
+                add(s, _EPS, t)
+                add(inner_t, _EPS, inner_s)
+                add(inner_t, _EPS, t)
+                return s, t
+            raise TypeError(f"unknown regex node: {node!r}")
+
+        start, accept = build(regex)
+        return cls(start, accept, transitions)
+
+    def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
+        """ε-closure of a state set."""
+        stack = list(states)
+        closure = set(stack)
+        while stack:
+            state = stack.pop()
+            for label, target in self.transitions.get(state, []):
+                if label is _EPS and target not in closure:
+                    closure.add(target)
+                    stack.append(target)
+        return frozenset(closure)
+
+    def step(self, states: frozenset[int], letter: str) -> frozenset[int]:
+        """One letter-step followed by ε-closure."""
+        moved = {
+            target
+            for state in states
+            for label, target in self.transitions.get(state, [])
+            if label == letter
+        }
+        return self.epsilon_closure(moved)
+
+    def accepts(self, word: str) -> bool:
+        """Direct NFA simulation."""
+        current = self.epsilon_closure({self.start})
+        for letter in word:
+            current = self.step(current, letter)
+            if not current:
+                return False
+        return self.accept in current
+
+    def alphabet(self) -> frozenset[str]:
+        """Letters actually used on transitions."""
+        return frozenset(
+            label
+            for edges in self.transitions.values()
+            for label, _ in edges
+            if label is not _EPS
+        )
+
+
+@dataclass
+class DFA:
+    """A deterministic automaton from the subset construction.
+
+    States are indices into ``subsets``; missing transitions go to an
+    implicit dead state.
+    """
+
+    start: int
+    accepting: frozenset[int]
+    transitions: dict[tuple[int, str], int]
+    alphabet: frozenset[str]
+    state_count: int = field(default=0)
+
+    @classmethod
+    def from_nfa(cls, nfa: NFA) -> "DFA":
+        alphabet = nfa.alphabet()
+        initial = nfa.epsilon_closure({nfa.start})
+        index: dict[frozenset[int], int] = {initial: 0}
+        worklist = [initial]
+        transitions: dict[tuple[int, str], int] = {}
+        while worklist:
+            subset = worklist.pop()
+            source = index[subset]
+            for letter in alphabet:
+                target_subset = nfa.step(subset, letter)
+                if not target_subset:
+                    continue
+                if target_subset not in index:
+                    index[target_subset] = len(index)
+                    worklist.append(target_subset)
+                transitions[(source, letter)] = index[target_subset]
+        accepting = frozenset(
+            state for subset, state in index.items() if nfa.accept in subset
+        )
+        return cls(0, accepting, transitions, alphabet, len(index))
+
+    def accepts(self, word: str) -> bool:
+        state: int | None = self.start
+        for letter in word:
+            state = self.transitions.get((state, letter))
+            if state is None:
+                return False
+        return state in self.accepting
+
+    def _live_states(self) -> frozenset[int]:
+        """States reachable from start and co-reachable to acceptance."""
+        forward = {self.start}
+        frontier = [self.start]
+        while frontier:
+            state = frontier.pop()
+            for (source, _), target in self.transitions.items():
+                if source == state and target not in forward:
+                    forward.add(target)
+                    frontier.append(target)
+        reverse: dict[int, set[int]] = {}
+        for (source, _), target in self.transitions.items():
+            reverse.setdefault(target, set()).add(source)
+        backward = set(self.accepting)
+        frontier = list(self.accepting)
+        while frontier:
+            state = frontier.pop()
+            for source in reverse.get(state, ()):
+                if source not in backward:
+                    backward.add(source)
+                    frontier.append(source)
+        return frozenset(forward & backward)
+
+    def is_empty(self) -> bool:
+        """Does the automaton accept no word at all?"""
+        return not self._live_states()
+
+    def is_finite(self) -> bool:
+        """Is the accepted language finite? (no cycle through live states)"""
+        live = self._live_states()
+        if not live:
+            return True
+        # DFS cycle detection restricted to live states.
+        adjacency: dict[int, list[int]] = {}
+        for (source, _), target in self.transitions.items():
+            if source in live and target in live:
+                adjacency.setdefault(source, []).append(target)
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {state: WHITE for state in live}
+
+        def has_cycle(state: int) -> bool:
+            color[state] = GREY
+            for nxt in adjacency.get(state, ()):
+                if color[nxt] == GREY:
+                    return True
+                if color[nxt] == WHITE and has_cycle(nxt):
+                    return True
+            color[state] = BLACK
+            return False
+
+        return not any(
+            color[state] == WHITE and has_cycle(state) for state in live
+        )
+
+    def language_if_finite(self, hard_cap: int = 100_000) -> frozenset[str]:
+        """Enumerate the full language of a finite automaton.
+
+        Raises ``ValueError`` if the language is infinite (check
+        :meth:`is_finite` first) or exceeds ``hard_cap`` words.
+        """
+        if not self.is_finite():
+            raise ValueError("language is infinite")
+        live = self._live_states()
+        results: set[str] = set()
+        stack: list[tuple[int, str]] = [(self.start, "")]
+        if self.start not in live:
+            return frozenset()
+        while stack:
+            state, word = stack.pop()
+            if state in self.accepting:
+                results.add(word)
+                if len(results) > hard_cap:
+                    raise ValueError("finite language exceeds hard cap")
+            for letter in self.alphabet:
+                target = self.transitions.get((state, letter))
+                if target is not None and target in live:
+                    stack.append((target, word + letter))
+        return frozenset(results)
+
+    def language_slice(self, alphabet: str, max_length: int) -> frozenset[str]:
+        """All accepted words of length ≤ ``max_length`` over ``alphabet``."""
+        current: dict[int, set[str]] = {self.start: {""}}
+        results: set[str] = set()
+        if self.start in self.accepting:
+            results.add("")
+        for _ in range(max_length):
+            following: dict[int, set[str]] = {}
+            for state, words in current.items():
+                for letter in alphabet:
+                    target = self.transitions.get((state, letter))
+                    if target is None:
+                        continue
+                    bucket = following.setdefault(target, set())
+                    bucket.update(word + letter for word in words)
+            current = following
+            for state, words in current.items():
+                if state in self.accepting:
+                    results.update(words)
+        return frozenset(results)
+
+
+def compile_regex(regex: Regex) -> DFA:
+    """Regex AST → DFA (Thompson + subset construction)."""
+    return DFA.from_nfa(NFA.from_regex(regex))
+
+
+def regex_matches(regex: Regex, word: str) -> bool:
+    """One-shot membership (NFA simulation; no DFA blow-up)."""
+    return NFA.from_regex(regex).accepts(word)
+
+
+def regex_language_slice(
+    regex: Regex, alphabet: str, max_length: int
+) -> frozenset[str]:
+    """``L(γ) ∩ Σ^{≤n}`` via the compiled DFA."""
+    return compile_regex(regex).language_slice(alphabet, max_length)

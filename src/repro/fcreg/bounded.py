@@ -1,0 +1,347 @@
+"""Bounded languages and bounded *regular* languages (Section 5).
+
+A language is *bounded* if it is a subset of ``w₁*·w₂*⋯wₙ*``.  Lemma 5.4
+hinges on two classical facts:
+
+* (Ginsburg–Spanier) boundedness of a regular language is decidable;
+* (Ginsburg 1966, Thm 1.1) the bounded regular languages are exactly the
+  closure of the finite languages and the languages ``w*`` under finite
+  union and concatenation.
+
+Both are implemented constructively on the DFA:
+
+* :func:`is_bounded_regular` — a DFA language is bounded iff, restricted
+  to live states, every strongly connected component is a *simple cycle*
+  (each state has at most one within-SCC successor).  In a deterministic
+  automaton, a state with two within-SCC successors carries two cycles
+  whose labels start with different letters, hence do not commute, which
+  embeds a non-commuting ``(u|v)*`` — the Ginsburg–Spanier obstruction.
+* :func:`bounded_decomposition` — for a bounded DFA, an explicit
+  expression over {finite word, ``w*``, union, concatenation} denoting the
+  same language; this is the object Lemma 5.4's rewriting consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.fcreg.automata import DFA
+
+__all__ = [
+    "BoundedExpr",
+    "BWord",
+    "BStar",
+    "BUnion",
+    "BConcat",
+    "is_bounded_regular",
+    "bounded_decomposition",
+    "bounding_sequence",
+    "is_bounded_by",
+]
+
+
+# --- expression tree over Ginsburg's generators -----------------------------
+
+
+class BoundedExpr:
+    """Base class for bounded-regular decomposition expressions."""
+
+    def words_up_to(self, max_length: int) -> frozenset[str]:
+        """The denoted language restricted to length ≤ ``max_length``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BWord(BoundedExpr):
+    """A single fixed word (finite-language generator)."""
+
+    word: str
+
+    def words_up_to(self, max_length: int) -> frozenset[str]:
+        return (
+            frozenset([self.word])
+            if len(self.word) <= max_length
+            else frozenset()
+        )
+
+
+@dataclass(frozen=True)
+class BStar(BoundedExpr):
+    """The generator ``w*``."""
+
+    word: str
+
+    def __post_init__(self) -> None:
+        if not self.word:
+            raise ValueError("ε* is just {ε}; use BWord('')")
+
+    def words_up_to(self, max_length: int) -> frozenset[str]:
+        result = set()
+        power = ""
+        while len(power) <= max_length:
+            result.add(power)
+            power += self.word
+        return frozenset(result)
+
+
+@dataclass(frozen=True)
+class BUnion(BoundedExpr):
+    """Finite union."""
+
+    parts: tuple[BoundedExpr, ...]
+
+    def words_up_to(self, max_length: int) -> frozenset[str]:
+        result: set[str] = set()
+        for part in self.parts:
+            result |= part.words_up_to(max_length)
+        return frozenset(result)
+
+
+@dataclass(frozen=True)
+class BConcat(BoundedExpr):
+    """Finite concatenation."""
+
+    parts: tuple[BoundedExpr, ...]
+
+    def words_up_to(self, max_length: int) -> frozenset[str]:
+        current: frozenset[str] = frozenset([""])
+        for part in self.parts:
+            piece = part.words_up_to(max_length)
+            current = frozenset(
+                left + right
+                for left in current
+                for right in piece
+                if len(left) + len(right) <= max_length
+            )
+        return current
+
+
+# --- boundedness decision ----------------------------------------------------
+
+
+def _live_components(dfa: DFA) -> tuple[frozenset[int], list[list[int]]]:
+    """Live states and their SCCs (Tarjan), in reverse topological order."""
+    live = dfa._live_states()
+    adjacency: dict[int, list[int]] = {state: [] for state in live}
+    for (source, _), target in dfa.transitions.items():
+        if source in live and target in live:
+            adjacency[source].append(target)
+
+    index_counter = [0]
+    stack: list[int] = []
+    lowlink: dict[int, int] = {}
+    index: dict[int, int] = {}
+    on_stack: set[int] = set()
+    components: list[list[int]] = []
+
+    def strongconnect(v: int) -> None:
+        work = [(v, iter(adjacency[v]))]
+        index[v] = lowlink[v] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for w in successors:
+                if w not in index:
+                    index[w] = lowlink[w] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(adjacency[w])))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    lowlink[node] = min(lowlink[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == node:
+                        break
+                components.append(component)
+
+    for state in live:
+        if state not in index:
+            strongconnect(state)
+    return live, components
+
+
+def _scc_internal_successors(
+    dfa: DFA, live: frozenset[int], component: set[int]
+) -> dict[int, list[tuple[str, int]]]:
+    """Within-SCC outgoing edges per state."""
+    result: dict[int, list[tuple[str, int]]] = {s: [] for s in component}
+    for (source, letter), target in dfa.transitions.items():
+        if source in component and target in component and target in live:
+            result[source].append((letter, target))
+    return result
+
+
+def is_bounded_regular(dfa: DFA) -> bool:
+    """Decide whether the DFA's language is bounded (Ginsburg–Spanier)."""
+    live, components = _live_components(dfa)
+    for component in components:
+        members = set(component)
+        internal = _scc_internal_successors(dfa, live, members)
+        nontrivial = len(component) > 1 or any(
+            target == component[0] for _, target in internal[component[0]]
+        )
+        if not nontrivial:
+            continue
+        for state in component:
+            if len(internal[state]) > 1:
+                return False
+    return True
+
+
+def _cycle_word(
+    dfa: DFA, live: frozenset[int], component: set[int], start: int
+) -> str:
+    """The label of the unique cycle through ``start`` in a simple-cycle SCC."""
+    internal = _scc_internal_successors(dfa, live, component)
+    word = []
+    state = start
+    while True:
+        edges = internal[state]
+        assert len(edges) == 1, "not a simple cycle — call is_bounded first"
+        letter, state = edges[0]
+        word.append(letter)
+        if state == start:
+            return "".join(word)
+
+
+def bounded_decomposition(dfa: DFA, hard_cap: int = 10_000) -> BoundedExpr:
+    """Express a *bounded* DFA language over Ginsburg's generators.
+
+    Recursion over the condensation DAG: from a state q inside a
+    simple-cycle SCC, every accepted word is ``c_q^i ·(partial cycle path)``
+    followed by either acceptance or an exit edge into a later SCC.  The
+    result denotes exactly ``L(dfa)``; raises ``ValueError`` when the
+    language is not bounded or the expression exceeds ``hard_cap`` nodes.
+    """
+    if not is_bounded_regular(dfa):
+        raise ValueError("language is not bounded")
+    live, components = _live_components(dfa)
+    if dfa.start not in live:
+        return BUnion(())  # empty language
+    component_of: dict[int, set[int]] = {}
+    for component in components:
+        members = set(component)
+        for state in component:
+            component_of[state] = members
+
+    node_budget = [hard_cap]
+    memo: dict[int, BoundedExpr] = {}
+
+    def charge() -> None:
+        node_budget[0] -= 1
+        if node_budget[0] < 0:
+            raise ValueError("bounded decomposition exceeds the node cap")
+
+    def language_from(q: int) -> BoundedExpr:
+        if q in memo:
+            return memo[q]
+        charge()
+        members = component_of[q]
+        internal = _scc_internal_successors(dfa, live, members)
+        is_cycle = len(members) > 1 or any(
+            target == q for _, target in internal[q]
+        )
+        branches: list[BoundedExpr] = []
+        if is_cycle:
+            cycle = _cycle_word(dfa, live, members, q)
+            prefix_word = ""
+            state = q
+            visited = 0
+            while visited < len(cycle):
+                if state in dfa.accepting:
+                    branches.append(BWord(prefix_word))
+                for (source, letter), target in dfa.transitions.items():
+                    if (
+                        source == state
+                        and target in live
+                        and target not in members
+                    ):
+                        tail = language_from(target)
+                        branches.append(
+                            BConcat((BWord(prefix_word + letter), tail))
+                        )
+                step_letter, state = internal[state][0]
+                prefix_word += step_letter
+                visited += 1
+            inner = (
+                BUnion(tuple(branches)) if len(branches) != 1 else branches[0]
+            )
+            result: BoundedExpr = BConcat((BStar(cycle), inner))
+        else:
+            if q in dfa.accepting:
+                branches.append(BWord(""))
+            for (source, letter), target in dfa.transitions.items():
+                if source == q and target in live:
+                    branches.append(
+                        BConcat((BWord(letter), language_from(target)))
+                    )
+            result = (
+                BUnion(tuple(branches)) if len(branches) != 1 else branches[0]
+            )
+        memo[q] = result
+        return result
+
+    return language_from(dfa.start)
+
+
+def bounding_sequence(expr: BoundedExpr) -> list[str]:
+    """A sequence ``w₁, …, wₙ`` with ``L(expr) ⊆ w₁*·⋯·wₙ*``.
+
+    Witnesses boundedness explicitly: concatenate the sequences of the
+    parts; a union is covered by the concatenation of its branches'
+    sequences (ε belongs to every ``w*``); a letter/word ``w`` is covered
+    by ``w*``.
+    """
+    if isinstance(expr, BWord):
+        return [expr.word] if expr.word else []
+    if isinstance(expr, BStar):
+        return [expr.word]
+    if isinstance(expr, BConcat):
+        result: list[str] = []
+        for part in expr.parts:
+            result.extend(bounding_sequence(part))
+        return result
+    if isinstance(expr, BUnion):
+        result = []
+        for part in expr.parts:
+            result.extend(bounding_sequence(part))
+        return result
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def is_bounded_by(word: str, sequence: Sequence[str]) -> bool:
+    """Check ``word ∈ w₁*·w₂*·⋯·wₙ*`` by greedy-free DP over positions."""
+    positions = {0}
+    for w in sequence:
+        if not w:
+            continue
+        extended = set(positions)
+        frontier = set(positions)
+        while frontier:
+            new = set()
+            for pos in frontier:
+                if word.startswith(w, pos):
+                    target = pos + len(w)
+                    if target not in extended:
+                        extended.add(target)
+                        new.add(target)
+            frontier = new
+        positions = extended
+    return len(word) in positions

@@ -1,0 +1,223 @@
+"""Regular expressions: AST and parser (built from scratch).
+
+Grammar (POSIX-ish, restricted to what the paper needs):
+
+    union   := concat ('|' concat)*
+    concat  := repeat*
+    repeat  := atom ('*' | '+' | '?')*
+    atom    := letter | 'ε' | '()' | '(' union ')'
+
+Letters are any characters except the metacharacters ``|*+?()``.  The AST
+is shared by the automata compiler (``repro.fcreg.automata``), the
+bounded-language analyser (``repro.fcreg.bounded``) and the FC rewriting
+of Lemma 5.4 (``repro.fcreg.rewriting``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Regex",
+    "Empty",
+    "Epsilon",
+    "Letter",
+    "Union",
+    "Concat",
+    "Star",
+    "parse_regex",
+    "literal",
+    "word_star",
+    "from_words",
+]
+
+_METACHARACTERS = set("|*+?()")
+
+
+class Regex:
+    """Base class of regex AST nodes."""
+
+    def __or__(self, other: "Regex") -> "Regex":
+        return Union(self, other)
+
+    def __add__(self, other: "Regex") -> "Regex":
+        return Concat(self, other)
+
+    def star(self) -> "Regex":
+        return Star(self)
+
+
+@dataclass(frozen=True, repr=False)
+class Empty(Regex):
+    """The empty *language* ∅ (no strings at all)."""
+
+    def __repr__(self) -> str:
+        return "∅"
+
+
+@dataclass(frozen=True, repr=False)
+class Epsilon(Regex):
+    """The language {ε}."""
+
+    def __repr__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True, repr=False)
+class Letter(Regex):
+    """A single terminal letter."""
+
+    symbol: str
+
+    def __post_init__(self) -> None:
+        if len(self.symbol) != 1:
+            raise ValueError(f"Letter must be one symbol, got {self.symbol!r}")
+
+    def __repr__(self) -> str:
+        return self.symbol
+
+
+@dataclass(frozen=True, repr=False)
+class Union(Regex):
+    """Alternation ``left | right``."""
+
+    left: Regex
+    right: Regex
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}|{self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Concat(Regex):
+    """Concatenation ``left · right``."""
+
+    left: Regex
+    right: Regex
+
+    def __repr__(self) -> str:
+        return f"{self.left!r}{self.right!r}"
+
+
+@dataclass(frozen=True, repr=False)
+class Star(Regex):
+    """Kleene star ``inner*``."""
+
+    inner: Regex
+
+    def __repr__(self) -> str:
+        inner = repr(self.inner)
+        if len(inner) > 1 and not (inner.startswith("(") and inner.endswith(")")):
+            inner = f"({inner})"
+        return f"{inner}*"
+
+
+class _Parser:
+    """Recursive-descent parser over the grammar above."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.text[self.pos] if self.pos < len(self.text) else None
+
+    def take(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        return ch
+
+    def parse(self) -> Regex:
+        node = self.union()
+        if self.pos != len(self.text):
+            raise ValueError(
+                f"trailing input at position {self.pos}: "
+                f"{self.text[self.pos:]!r}"
+            )
+        return node
+
+    def union(self) -> Regex:
+        node = self.concat()
+        while self.peek() == "|":
+            self.take()
+            node = Union(node, self.concat())
+        return node
+
+    def concat(self) -> Regex:
+        parts: list[Regex] = []
+        while self.peek() is not None and self.peek() not in "|)":
+            parts.append(self.repeat())
+        if not parts:
+            return Epsilon()
+        node = parts[0]
+        for part in parts[1:]:
+            node = Concat(node, part)
+        return node
+
+    def repeat(self) -> Regex:
+        node = self.atom()
+        while self.peek() in ("*", "+", "?"):
+            op = self.take()
+            if op == "*":
+                node = Star(node)
+            elif op == "+":
+                node = Concat(node, Star(node))
+            else:
+                node = Union(node, Epsilon())
+        return node
+
+    def atom(self) -> Regex:
+        ch = self.peek()
+        if ch is None:
+            raise ValueError("unexpected end of pattern")
+        if ch == "(":
+            self.take()
+            if self.peek() == ")":
+                self.take()
+                return Epsilon()
+            node = self.union()
+            if self.peek() != ")":
+                raise ValueError(f"unbalanced '(' at position {self.pos}")
+            self.take()
+            return node
+        if ch in _METACHARACTERS:
+            raise ValueError(f"unexpected {ch!r} at position {self.pos}")
+        self.take()
+        if ch == "ε":
+            return Epsilon()
+        return Letter(ch)
+
+
+def parse_regex(pattern: str) -> Regex:
+    """Parse ``pattern`` into a :class:`Regex` AST.
+
+    ``""`` parses to ε.  Raises ``ValueError`` on malformed patterns.
+    """
+    if pattern == "":
+        return Epsilon()
+    return _Parser(pattern).parse()
+
+
+def literal(word: str) -> Regex:
+    """The regex matching exactly ``word``."""
+    if word == "":
+        return Epsilon()
+    node: Regex = Letter(word[0])
+    for letter in word[1:]:
+        node = Concat(node, Letter(letter))
+    return node
+
+
+def word_star(word: str) -> Regex:
+    """The regex for ``word*``."""
+    return Star(literal(word))
+
+
+def from_words(words: list[str]) -> Regex:
+    """The regex for a finite language (union of literals)."""
+    if not words:
+        return Empty()
+    node = literal(words[0])
+    for word in words[1:]:
+        node = Union(node, literal(word))
+    return node

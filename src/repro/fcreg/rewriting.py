@@ -1,0 +1,149 @@
+"""Lemma 5.4, constructive direction: compile bounded-regular constraints
+into pure FC.
+
+The claim inside Lemma 5.4's proof: for every regular expression γ whose
+language is *bounded*, there is an FC formula φ with
+``⟦φ⟧(w) = ⟦x ∈̇ γ⟧(w)`` for all w.  The construction follows Ginsburg's
+characterisation: decompose ``L(γ)`` over {finite word, ``w*``, union,
+concatenation} (``repro.fcreg.bounded``) and translate generators:
+
+* a fixed word ``u``   → ``(x ≐ u)``;
+* ``u*``               → φ_{u*}(x) via the commutation trick
+                         (Lothaire 1.3.2): ``∃z: (x ≐ u·z) ∧ (x ≐ z·u)``;
+* union                → disjunction;
+* concatenation        → ``∃x₁…xₙ: (x ≐ x₁⋯xₙ) ∧ ⋀ φᵢ(xᵢ)``.
+
+:func:`eliminate_bounded_constraints` then rewrites a whole FC[REG]
+formula whose constraints are all bounded into an equivalent FC formula —
+the machinery behind experiment E16 and Theorem 5.8's reductions.
+"""
+
+from __future__ import annotations
+
+from repro.fc.builders import phi_equals_word, phi_w_star
+from repro.fc.sugar import FreshVariables, chain
+from repro.fc.syntax import (
+    And,
+    Concat,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Var,
+    conjunction,
+    disjunction,
+)
+from repro.fcreg.automata import compile_regex
+from repro.fcreg.bounded import (
+    BConcat,
+    BStar,
+    BUnion,
+    BWord,
+    BoundedExpr,
+    bounded_decomposition,
+    is_bounded_regular,
+)
+from repro.fcreg.constraints import RegularConstraint
+
+__all__ = [
+    "bounded_expr_to_fc",
+    "constraint_to_fc",
+    "eliminate_bounded_constraints",
+]
+
+
+def _false_formula(x: Var) -> Formula:
+    """An unsatisfiable FC formula: ¬(x ≐ x·ε)."""
+    from repro.fc.syntax import EPSILON
+
+    return Not(Concat(x, x, EPSILON))
+
+
+def bounded_expr_to_fc(
+    x: Var, expr: BoundedExpr, fresh: FreshVariables | None = None
+) -> Formula:
+    """Translate a bounded decomposition into an FC formula φ(x)."""
+    fresh = fresh or FreshVariables(prefix="_b")
+    if isinstance(expr, BWord):
+        return phi_equals_word(x, expr.word)
+    if isinstance(expr, BStar):
+        return phi_w_star(x, expr.word)
+    if isinstance(expr, BUnion):
+        if not expr.parts:
+            return _false_formula(x)
+        return disjunction(
+            [bounded_expr_to_fc(x, part, fresh) for part in expr.parts]
+        )
+    if isinstance(expr, BConcat):
+        if not expr.parts:
+            return phi_equals_word(x, "")
+        if len(expr.parts) == 1:
+            return bounded_expr_to_fc(x, expr.parts[0], fresh)
+        pieces = [fresh.fresh() for _ in expr.parts]
+        split = chain(x, pieces)
+        body = conjunction(
+            [split]
+            + [
+                bounded_expr_to_fc(piece, part, fresh)
+                for piece, part in zip(pieces, expr.parts)
+            ]
+        )
+        for piece in reversed(pieces):
+            body = Exists(piece, body)
+        return body
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def constraint_to_fc(constraint: RegularConstraint) -> Formula:
+    """Rewrite one bounded regular constraint ``(x ∈̇ γ)`` into FC.
+
+    Raises ``ValueError`` when ``L(γ)`` is not bounded — Lemma 5.4 does not
+    apply then, and indeed no FC equivalent need exist.
+    """
+    if not isinstance(constraint.x, Var):
+        raise ValueError(
+            "only variable-subject constraints are rewritten; constant "
+            "subjects are decidable at build time"
+        )
+    dfa = compile_regex(constraint.regex)
+    if not is_bounded_regular(dfa):
+        raise ValueError(
+            f"L({constraint.regex!r}) is not bounded; Lemma 5.4 does not apply"
+        )
+    expr = bounded_decomposition(dfa)
+    return bounded_expr_to_fc(constraint.x, expr)
+
+
+def eliminate_bounded_constraints(formula: Formula) -> Formula:
+    """Rewrite every regular constraint in ``formula`` into pure FC.
+
+    The result contains no :class:`RegularConstraint` atoms and defines
+    the same relation/language, provided every constraint's language is
+    bounded (``ValueError`` otherwise).
+    """
+    if isinstance(formula, RegularConstraint):
+        return constraint_to_fc(formula)
+    if isinstance(formula, Not):
+        return Not(eliminate_bounded_constraints(formula.inner))
+    if isinstance(formula, And):
+        return And(
+            eliminate_bounded_constraints(formula.left),
+            eliminate_bounded_constraints(formula.right),
+        )
+    if isinstance(formula, Or):
+        return Or(
+            eliminate_bounded_constraints(formula.left),
+            eliminate_bounded_constraints(formula.right),
+        )
+    if isinstance(formula, Implies):
+        return Implies(
+            eliminate_bounded_constraints(formula.left),
+            eliminate_bounded_constraints(formula.right),
+        )
+    if isinstance(formula, Exists):
+        return Exists(formula.var, eliminate_bounded_constraints(formula.inner))
+    if isinstance(formula, Forall):
+        return Forall(formula.var, eliminate_bounded_constraints(formula.inner))
+    return formula

@@ -1,0 +1,81 @@
+"""FO[EQ]: the position-based logic the paper's related work runs through.
+
+FO over ({1..|w|}, <, (P_a), EQ) with EQ the built-in factor-equality
+relation.  Expressively equivalent to FC (Freydenberger–Peterfreund);
+implemented here so the Feferman–Vaught route and the paper's EF-game
+route can be compared executably (experiment E20).
+"""
+
+from repro.foeq.builders import (
+    phi_first,
+    phi_has_factor,
+    phi_last,
+    phi_sorted,
+    phi_square,
+    phi_successor,
+)
+from repro.foeq.games import (
+    PositionGameSolver,
+    foeq_distinguishing_rank,
+    foeq_equiv_k,
+    folt_distinguishing_rank,
+    folt_equiv_k,
+    position_partial_iso,
+)
+from repro.foeq.semantics import (
+    factor_at,
+    p_evaluate,
+    p_language_slice,
+    p_models,
+)
+from repro.foeq.syntax import (
+    FactorEq,
+    Less,
+    PAnd,
+    PExists,
+    PForall,
+    PFormula,
+    PImplies,
+    PNot,
+    POr,
+    PVar,
+    SymbolAt,
+    p_conjunction,
+    p_disjunction,
+    p_free_variables,
+    p_quantifier_rank,
+)
+
+__all__ = [
+    "phi_first",
+    "phi_has_factor",
+    "phi_last",
+    "phi_sorted",
+    "phi_square",
+    "phi_successor",
+    "PositionGameSolver",
+    "foeq_distinguishing_rank",
+    "foeq_equiv_k",
+    "folt_distinguishing_rank",
+    "folt_equiv_k",
+    "position_partial_iso",
+    "factor_at",
+    "p_evaluate",
+    "p_language_slice",
+    "p_models",
+    "FactorEq",
+    "Less",
+    "PAnd",
+    "PExists",
+    "PForall",
+    "PFormula",
+    "PImplies",
+    "PNot",
+    "POr",
+    "PVar",
+    "SymbolAt",
+    "p_conjunction",
+    "p_disjunction",
+    "p_free_variables",
+    "p_quantifier_rank",
+]

@@ -1,0 +1,101 @@
+"""Concrete FO[EQ] formulas: the expressiveness demos of the comparison.
+
+* ``phi_sorted`` — the input is in a*b* (pure FO[<], no EQ needed);
+* ``phi_square`` — the input is a square ww; *requires* EQ (squares are
+  not FO[<]-definable), matching FC's φ_ww;
+* ``phi_successor`` — definable successor, used by the other builders;
+* ``phi_has_factor`` — the input contains a fixed factor.
+
+These are the formulas experiment E20 model-checks against the FC
+counterparts to exhibit the FC ≡ FO[EQ] correspondence extensionally.
+"""
+
+from __future__ import annotations
+
+from repro.foeq.syntax import (
+    FactorEq,
+    Less,
+    PAnd,
+    PExists,
+    PFormula,
+    PNot,
+    PVar,
+    SymbolAt,
+    p_conjunction,
+)
+
+__all__ = [
+    "phi_successor",
+    "phi_first",
+    "phi_last",
+    "phi_sorted",
+    "phi_square",
+    "phi_has_factor",
+]
+
+
+def phi_successor(x: PVar, y: PVar) -> PFormula:
+    """``y = x + 1``: x < y with nothing strictly between."""
+    z = PVar(f"_succ[{x.name},{y.name}]")
+    between = PExists(z, PAnd(Less(x, z), Less(z, y)))
+    return PAnd(Less(x, y), PNot(between))
+
+
+def phi_first(x: PVar) -> PFormula:
+    """x is the first position."""
+    z = PVar(f"_fst[{x.name}]")
+    return PNot(PExists(z, Less(z, x)))
+
+
+def phi_last(x: PVar) -> PFormula:
+    """x is the last position."""
+    z = PVar(f"_lst[{x.name}]")
+    return PNot(PExists(z, Less(x, z)))
+
+
+def phi_sorted(low: str = "a", high: str = "b") -> PFormula:
+    """The input is in ``low*·high*``: no ``high`` before a ``low``.
+
+    Pure FO[<] — the regular shape constraint of the conclusion section's
+    closure trick, on the FO[EQ] side.
+    """
+    x, y = PVar("x"), PVar("y")
+    bad = PExists(x, PExists(y, PAnd(Less(x, y), PAnd(SymbolAt(high, x), SymbolAt(low, y)))))
+    return PNot(bad)
+
+
+def phi_square() -> PFormula:
+    """The input is a square ``ww`` — EQ does the heavy lifting.
+
+    ``∃x, y, f, l: first(f) ∧ last(l) ∧ succ(x, y) ∧ EQ(f, x, y, l)``
+    states the word splits at x|y into two equal halves; the empty word
+    (no positions) is handled by the caller (FC counts ε as a square, so
+    E20 compares on non-empty words or adds the ε case externally).
+    """
+    x, y, f, l = PVar("x"), PVar("y"), PVar("f"), PVar("l")
+    body = p_conjunction(
+        [
+            phi_first(f),
+            phi_last(l),
+            phi_successor(x, y),
+            FactorEq(f, x, y, l),
+        ]
+    )
+    return PExists(f, PExists(l, PExists(x, PExists(y, body))))
+
+
+def phi_has_factor(factor: str) -> PFormula:
+    """The input contains ``factor`` (non-empty) as a factor."""
+    if not factor:
+        raise ValueError("use a non-empty factor")
+    positions = [PVar(f"p{i}") for i in range(len(factor))]
+    atoms: list[PFormula] = [
+        SymbolAt(letter, position)
+        for letter, position in zip(factor, positions)
+    ]
+    for previous, current in zip(positions, positions[1:]):
+        atoms.append(phi_successor(previous, current))
+    body = p_conjunction(atoms)
+    for position in reversed(positions):
+        body = PExists(position, body)
+    return body

@@ -1,0 +1,168 @@
+"""EF games for FO[EQ] — the comparison side of experiment E20.
+
+Position structures are tiny (|w| elements vs Θ(|w|²) factors), so exact
+game solving reaches further here than for FC.  The solver decides
+``w ≡_k^{FO[EQ]} v`` — Duplicator survival in the k-round game over the
+position structures — with the partial-isomorphism condition induced by
+the signature {<, (P_a), EQ}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.foeq.semantics import factor_at
+
+__all__ = [
+    "position_partial_iso",
+    "PositionGameSolver",
+    "foeq_equiv_k",
+    "foeq_distinguishing_rank",
+    "folt_equiv_k",
+    "folt_distinguishing_rank",
+]
+
+
+def position_partial_iso(
+    w: str, v: str, positions_w: tuple, positions_v: tuple, with_eq: bool = True
+) -> bool:
+    """Definition-3.1-style check for the FO[EQ] signature.
+
+    Conditions on the paired positions: order type mirrored, letters
+    mirrored, and (unless ``with_eq`` is off — the plain FO[<] game) the
+    quaternary EQ pattern mirrored.
+    """
+    if len(positions_w) != len(positions_v):
+        raise ValueError("tuples must have equal length")
+    n = len(positions_w)
+    for i in range(n):
+        if w[positions_w[i] - 1] != v[positions_v[i] - 1]:
+            return False
+        for j in range(n):
+            if (positions_w[i] < positions_w[j]) != (
+                positions_v[i] < positions_v[j]
+            ):
+                return False
+            if (positions_w[i] == positions_w[j]) != (
+                positions_v[i] == positions_v[j]
+            ):
+                return False
+    if not with_eq:
+        return True
+    for i, j, k, l in product(range(n), repeat=4):
+        left_w = factor_at(w, positions_w[i], positions_w[j])
+        right_w = factor_at(w, positions_w[k], positions_w[l])
+        holds_w = left_w is not None and left_w == right_w
+        left_v = factor_at(v, positions_v[i], positions_v[j])
+        right_v = factor_at(v, positions_v[k], positions_v[l])
+        holds_v = left_v is not None and left_v == right_v
+        if holds_w != holds_v:
+            return False
+    return True
+
+
+@dataclass
+class PositionGameSolver:
+    """Exact k-round EF solver over the position structures of two words.
+
+    ``with_eq = False`` plays the plain FO[<] game (signature {<, P_a}) —
+    used to show that the EQ relation is what lets FO[EQ] define squares.
+    """
+
+    w: str
+    v: str
+    with_eq: bool = True
+    _memo: dict = field(default_factory=dict, repr=False)
+
+    def consistent(self, pairs: frozenset) -> bool:
+        ordered = sorted(pairs)
+        return position_partial_iso(
+            self.w,
+            self.v,
+            tuple(p for p, _ in ordered),
+            tuple(q for _, q in ordered),
+            self.with_eq,
+        )
+
+    def duplicator_wins(self, rounds: int, pairs: frozenset = frozenset()) -> bool:
+        if not self.consistent(pairs):
+            return False
+        return self._wins(rounds, pairs)
+
+    def _wins(self, rounds: int, pairs: frozenset) -> bool:
+        if rounds == 0:
+            return True
+        key = (rounds, pairs)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = all(
+            self._response(rounds, pairs, side, position) is not None
+            for side, position in self._moves(pairs)
+        )
+        self._memo[key] = result
+        return result
+
+    def _moves(self, pairs: frozenset):
+        taken_w = {p for p, _ in pairs}
+        taken_v = {q for _, q in pairs}
+        for position in range(1, len(self.w) + 1):
+            if position not in taken_w:
+                yield "A", position
+        for position in range(1, len(self.v) + 1):
+            if position not in taken_v:
+                yield "B", position
+
+    def _response(self, rounds: int, pairs: frozenset, side: str, position: int):
+        limit = len(self.v) if side == "A" else len(self.w)
+        offset = (
+            len(self.v) - len(self.w) if side == "A" else len(self.w) - len(self.v)
+        )
+        mirror = position + offset
+        candidates = sorted(
+            range(1, limit + 1),
+            key=lambda q: min(abs(q - position), abs(q - mirror)),
+        )
+        for response in candidates:
+            pair = (position, response) if side == "A" else (response, position)
+            extended = pairs | {pair}
+            if self.consistent(extended) and self._wins(rounds - 1, extended):
+                return response
+        return None
+
+
+def foeq_equiv_k(w: str, v: str, k: int) -> bool:
+    """Decide ``w ≡_k v`` in the FO[EQ] game."""
+    if w == v:
+        return True
+    return PositionGameSolver(w, v).duplicator_wins(k)
+
+
+def foeq_distinguishing_rank(w: str, v: str, max_k: int) -> int | None:
+    """Least k ≤ max_k with ``w ≢_k^{FO[EQ]} v`` (None if equivalent)."""
+    if w == v:
+        return None
+    solver = PositionGameSolver(w, v)
+    for k in range(max_k + 1):
+        if not solver.duplicator_wins(k):
+            return k
+    return None
+
+
+def folt_equiv_k(w: str, v: str, k: int) -> bool:
+    """``w ≡_k v`` in the plain FO[<] game (no EQ relation)."""
+    if w == v:
+        return True
+    return PositionGameSolver(w, v, with_eq=False).duplicator_wins(k)
+
+
+def folt_distinguishing_rank(w: str, v: str, max_k: int) -> int | None:
+    """Least k ≤ max_k with ``w ≢_k^{FO[<]} v`` (None if equivalent)."""
+    if w == v:
+        return None
+    solver = PositionGameSolver(w, v, with_eq=False)
+    for k in range(max_k + 1):
+        if not solver.duplicator_wins(k):
+            return k
+    return None

@@ -1,0 +1,216 @@
+"""FO[EQ]: first-order logic over positions with built-in factor equality.
+
+The paper's related-work discussion (and the prior aⁿbⁿ proof it improves
+on) uses FO[EQ], introduced by Freydenberger–Peterfreund: words are
+encoded position-wise as ``({1..|w|}, <, (P_a)_{a∈Σ}, EQ)`` where
+
+* ``x < y`` is the position order,
+* ``P_a(x)`` holds iff the letter at position x is a,
+* ``EQ(x₁, y₁, x₂, y₂)`` holds iff the factors ``w[x₁..y₁]`` and
+  ``w[x₂..y₂]`` (closed intervals) are equal.
+
+FO[EQ] has the same expressive power as FC; the Feferman–Vaught route to
+``aⁿbⁿ ∉ FC`` runs through this logic.  This subpackage implements it so
+the two routes can be compared executably (experiment E20).
+
+This module: the AST (separate from FC's — variables range over
+*positions*, not factors) and quantifier rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "PVar",
+    "PFormula",
+    "Less",
+    "SymbolAt",
+    "FactorEq",
+    "PNot",
+    "PAnd",
+    "POr",
+    "PImplies",
+    "PExists",
+    "PForall",
+    "p_quantifier_rank",
+    "p_free_variables",
+    "p_conjunction",
+    "p_disjunction",
+]
+
+
+@dataclass(frozen=True)
+class PVar:
+    """A position variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class PFormula:
+    """Base class of FO[EQ] formulas."""
+
+    def __and__(self, other: "PFormula") -> "PAnd":
+        return PAnd(self, other)
+
+    def __or__(self, other: "PFormula") -> "POr":
+        return POr(self, other)
+
+    def __invert__(self) -> "PNot":
+        return PNot(self)
+
+
+@dataclass(frozen=True, repr=False)
+class Less(PFormula):
+    """``x < y`` on positions."""
+
+    x: PVar
+    y: PVar
+
+    def __repr__(self) -> str:
+        return f"({self.x!r} < {self.y!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class SymbolAt(PFormula):
+    """``P_a(x)``: the letter at position x is ``symbol``."""
+
+    symbol: str
+    x: PVar
+
+    def __post_init__(self) -> None:
+        if len(self.symbol) != 1:
+            raise ValueError("symbol predicates are per-letter")
+
+    def __repr__(self) -> str:
+        return f"P_{self.symbol}({self.x!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class FactorEq(PFormula):
+    """``EQ(x₁, y₁, x₂, y₂)``: w[x₁..y₁] = w[x₂..y₂] (closed intervals).
+
+    Holds only when both intervals are well-formed (xᵢ ≤ yᵢ).
+    """
+
+    x1: PVar
+    y1: PVar
+    x2: PVar
+    y2: PVar
+
+    def __repr__(self) -> str:
+        return f"EQ({self.x1!r},{self.y1!r},{self.x2!r},{self.y2!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class PNot(PFormula):
+    inner: PFormula
+
+    def __repr__(self) -> str:
+        return f"¬{self.inner!r}"
+
+
+@dataclass(frozen=True, repr=False)
+class PAnd(PFormula):
+    left: PFormula
+    right: PFormula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∧ {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class POr(PFormula):
+    left: PFormula
+    right: PFormula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∨ {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class PImplies(PFormula):
+    left: PFormula
+    right: PFormula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} → {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class PExists(PFormula):
+    var: PVar
+    inner: PFormula
+
+    def __repr__(self) -> str:
+        return f"∃{self.var!r}: {self.inner!r}"
+
+
+@dataclass(frozen=True, repr=False)
+class PForall(PFormula):
+    var: PVar
+    inner: PFormula
+
+    def __repr__(self) -> str:
+        return f"∀{self.var!r}: {self.inner!r}"
+
+
+def p_quantifier_rank(formula: PFormula) -> int:
+    """Quantifier rank, defined exactly as for FC."""
+    if isinstance(formula, (Less, SymbolAt, FactorEq)):
+        return 0
+    if isinstance(formula, PNot):
+        return p_quantifier_rank(formula.inner)
+    if isinstance(formula, (PAnd, POr, PImplies)):
+        return max(
+            p_quantifier_rank(formula.left), p_quantifier_rank(formula.right)
+        )
+    if isinstance(formula, (PExists, PForall)):
+        return p_quantifier_rank(formula.inner) + 1
+    raise TypeError(f"unknown FO[EQ] node: {formula!r}")
+
+
+def _atom_vars(formula: PFormula) -> Iterator[PVar]:
+    if isinstance(formula, Less):
+        yield formula.x
+        yield formula.y
+    elif isinstance(formula, SymbolAt):
+        yield formula.x
+    elif isinstance(formula, FactorEq):
+        yield formula.x1
+        yield formula.y1
+        yield formula.x2
+        yield formula.y2
+
+
+def p_free_variables(formula: PFormula) -> frozenset[PVar]:
+    """Free position variables."""
+    if isinstance(formula, PNot):
+        return p_free_variables(formula.inner)
+    if isinstance(formula, (PAnd, POr, PImplies)):
+        return p_free_variables(formula.left) | p_free_variables(formula.right)
+    if isinstance(formula, (PExists, PForall)):
+        return p_free_variables(formula.inner) - {formula.var}
+    return frozenset(_atom_vars(formula))
+
+
+def p_conjunction(formulas: list[PFormula]) -> PFormula:
+    if not formulas:
+        raise ValueError("empty conjunction")
+    result = formulas[-1]
+    for item in reversed(formulas[:-1]):
+        result = PAnd(item, result)
+    return result
+
+
+def p_disjunction(formulas: list[PFormula]) -> PFormula:
+    if not formulas:
+        raise ValueError("empty disjunction")
+    result = formulas[-1]
+    for item in reversed(formulas[:-1]):
+        result = POr(item, result)
+    return result

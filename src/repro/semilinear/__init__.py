@@ -1,0 +1,29 @@
+"""Semi-linear sets and unary languages (the Section 3 substrate)."""
+
+from repro.semilinear.extraction import UnaryExtraction, extract_semilinear
+from repro.semilinear.linear_sets import LinearSet, SemiLinearSet
+from repro.semilinear.unary import (
+    detect_eventual_periodicity,
+    detect_robust_periodicity,
+    is_sample_semilinear,
+    lengths_of,
+    powers_of_two,
+    scaled_powers_of_two,
+    semilinear_gap_witness,
+    unary_language_of,
+)
+
+__all__ = [
+    "UnaryExtraction",
+    "extract_semilinear",
+    "LinearSet",
+    "SemiLinearSet",
+    "detect_eventual_periodicity",
+    "detect_robust_periodicity",
+    "is_sample_semilinear",
+    "lengths_of",
+    "powers_of_two",
+    "scaled_powers_of_two",
+    "semilinear_gap_witness",
+    "unary_language_of",
+]

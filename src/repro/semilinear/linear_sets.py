@@ -1,0 +1,137 @@
+"""Linear and semi-linear subsets of ℕ.
+
+Section 3 of the paper: a set ``S ⊆ ℕ`` is *linear* if
+``S = { m₀ + Σ mᵢ·nᵢ | nᵢ ≥ 0 }`` for an offset ``m₀`` and periods
+``m₁…m_r``; *semi-linear* if it is a finite union of linear sets.  Over a
+unary alphabet, semi-linear languages are exactly the languages of
+Presburger arithmetic, of core spanners, of generalized core spanners —
+and of FC.  ``{2ⁿ}`` is not semi-linear, which is the engine behind
+Lemma 3.6 (pow2).
+
+For subsets of ℕ, semi-linear = *eventually periodic*; the classes here
+exploit that to provide exact membership, union, complement, and a
+normalisation to (finite exceptional part, threshold, period) form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+
+__all__ = ["LinearSet", "SemiLinearSet"]
+
+
+@dataclass(frozen=True)
+class LinearSet:
+    """The linear set ``{ offset + Σ periods[i]·nᵢ | nᵢ ≥ 0 }``.
+
+    Over ℕ (dimension 1) the generated set equals
+    ``{ offset + g·n | n ≥ 0 }`` restricted to the numerical semigroup of
+    the periods; membership is decided exactly by bounded coin-change.
+    """
+
+    offset: int
+    periods: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError("offset must be ≥ 0")
+        if any(m <= 0 for m in self.periods):
+            raise ValueError("periods must be positive (drop zero periods)")
+        object.__setattr__(self, "periods", tuple(sorted(self.periods)))
+
+    def __contains__(self, value: int) -> bool:
+        remainder = value - self.offset
+        if remainder < 0:
+            return False
+        if remainder == 0:
+            return True
+        if not self.periods:
+            return False
+        g = gcd(*self.periods) if len(self.periods) > 1 else self.periods[0]
+        if remainder % g != 0:
+            return False
+        # Coin problem: beyond the Frobenius bound everything divisible by
+        # g is representable; below it, check by DP.
+        scaled = [m // g for m in self.periods]
+        target = remainder // g
+        frobenius_bound = max(scaled) ** 2  # ≥ Frobenius number + 1
+        if target >= frobenius_bound:
+            return True
+        reachable = [False] * (target + 1)
+        reachable[0] = True
+        for coin in scaled:
+            for amount in range(coin, target + 1):
+                if reachable[amount - coin]:
+                    reachable[amount] = True
+        return reachable[target]
+
+    def elements_up_to(self, bound: int) -> frozenset[int]:
+        """All members ≤ ``bound``."""
+        return frozenset(v for v in range(bound + 1) if v in self)
+
+
+@dataclass(frozen=True)
+class SemiLinearSet:
+    """A finite union of :class:`LinearSet` components."""
+
+    components: tuple[LinearSet, ...] = ()
+
+    @classmethod
+    def from_parts(cls, *parts: "LinearSet | int") -> "SemiLinearSet":
+        """Build from linear sets and/or bare integers (singletons)."""
+        built = tuple(
+            part if isinstance(part, LinearSet) else LinearSet(part)
+            for part in parts
+        )
+        return cls(built)
+
+    @classmethod
+    def arithmetic_progression(cls, offset: int, period: int) -> "SemiLinearSet":
+        """``{offset + period·n}`` as a one-component semi-linear set."""
+        return cls((LinearSet(offset, (period,)),))
+
+    def __contains__(self, value: int) -> bool:
+        return any(value in component for component in self.components)
+
+    def union(self, other: "SemiLinearSet") -> "SemiLinearSet":
+        """Semi-linear sets are closed under union (trivially)."""
+        return SemiLinearSet(self.components + other.components)
+
+    def elements_up_to(self, bound: int) -> frozenset[int]:
+        """All members ≤ ``bound``."""
+        result: set[int] = set()
+        for component in self.components:
+            result |= component.elements_up_to(bound)
+        return frozenset(result)
+
+    def eventually_periodic_form(
+        self, probe_bound: int = 4096
+    ) -> tuple[frozenset[int], int, int]:
+        """Return ``(exceptions, threshold, period)`` such that membership
+        above ``threshold`` is periodic with ``period`` and below it is
+        given by ``exceptions``.
+
+        Every semi-linear subset of ℕ admits such a form; we compute it by
+        probing up to a bound that dominates all offsets and Frobenius
+        bounds of the components.
+        """
+        if not self.components:
+            return frozenset(), 0, 1
+        period = 1
+        for component in self.components:
+            for m in component.periods:
+                period = period * m // gcd(period, m)
+        threshold = max(
+            (
+                component.offset
+                + (max(component.periods) ** 2 if component.periods else 0)
+                for component in self.components
+            ),
+            default=0,
+        )
+        threshold = min(threshold, probe_bound)
+        exceptions = frozenset(
+            v for v in range(threshold) if v in self
+        )
+        return exceptions, threshold, period

@@ -1,0 +1,93 @@
+"""Document spanners: regex formulas, span algebra, spanner classes.
+
+The Fagin-et-al. framework the paper's results are about: extractors
+(regex formulas with capture variables) combined by the span relational
+algebra.  Generalized core spanners = {regex formulas} + {∪, π, ⋈, \\, ζ=}.
+"""
+
+from repro.spanners.algebra import SpanRelation, SpanTuple
+from repro.spanners.regex_formulas import (
+    RAny,
+    RBind,
+    RConcat,
+    REpsilon,
+    RStar,
+    RTerminal,
+    RUnion,
+    RegexFormula,
+    parse_regex_formula,
+)
+from repro.spanners.normal_form import (
+    CoreSimplification,
+    compile_spanner,
+    core_simplify,
+    vset_join,
+    vset_project,
+    vset_union,
+)
+from repro.spanners.optimizer import explain, optimize, tree_size
+from repro.spanners.selectable import (
+    agree_extensionally,
+    regular_intersection_trick,
+    selection_gap_language,
+    spanner_content_relation,
+)
+from repro.spanners.spanner import (
+    Difference,
+    EqualitySelect,
+    Extract,
+    Join,
+    Project,
+    RelationSelect,
+    Spanner,
+    SpannerUnion,
+    extract,
+)
+from repro.spanners.spans import Span, all_spans, spans_of_occurrences
+from repro.spanners.vset_automata import (
+    VOp,
+    VSetAutomaton,
+    compile_regex_formula,
+)
+
+__all__ = [
+    "SpanRelation",
+    "SpanTuple",
+    "RAny",
+    "RBind",
+    "RConcat",
+    "REpsilon",
+    "RStar",
+    "RTerminal",
+    "RUnion",
+    "RegexFormula",
+    "parse_regex_formula",
+    "CoreSimplification",
+    "compile_spanner",
+    "core_simplify",
+    "vset_join",
+    "vset_project",
+    "vset_union",
+    "explain",
+    "optimize",
+    "tree_size",
+    "agree_extensionally",
+    "regular_intersection_trick",
+    "selection_gap_language",
+    "spanner_content_relation",
+    "Difference",
+    "EqualitySelect",
+    "Extract",
+    "Join",
+    "Project",
+    "RelationSelect",
+    "Spanner",
+    "SpannerUnion",
+    "extract",
+    "Span",
+    "all_spans",
+    "spans_of_occurrences",
+    "VOp",
+    "VSetAutomaton",
+    "compile_regex_formula",
+]

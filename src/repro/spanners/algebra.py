@@ -1,0 +1,200 @@
+"""The span relational algebra: ∪, π, ⋈, \\, ζ= (and generic ζ^R).
+
+A :class:`SpanRelation` is a set of span tuples over a fixed schema
+(variable names) for one document.  Generalized core spanners combine
+extracted relations with union, projection, natural join, difference and
+string-equality selection; all five are implemented here, plus the generic
+relation selection ``ζ^R`` used by the selectability experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.spanners.spans import Span
+
+__all__ = ["SpanTuple", "SpanRelation"]
+
+#: One row: variable name → Span (immutable).
+SpanTuple = Mapping[str, Span]
+
+
+def _freeze(row: Mapping[str, Span]) -> frozenset:
+    return frozenset(row.items())
+
+
+def _thaw(frozen: frozenset) -> dict[str, Span]:
+    return dict(frozen)
+
+
+@dataclass(frozen=True)
+class SpanRelation:
+    """A set of span tuples over a fixed schema, tied to one document.
+
+    All operations validate schemas the way the spanner algebra demands:
+    union and difference require identical schemas; natural join matches on
+    shared variables; projection keeps a subset.
+    """
+
+    document: str
+    schema: frozenset[str]
+    rows: frozenset  # frozenset of frozenset[(var, Span)]
+
+    @classmethod
+    def build(
+        cls,
+        document: str,
+        rows: Iterable[Mapping[str, Span]],
+        schema: Iterable[str] | None = None,
+    ) -> "SpanRelation":
+        """Construct from an iterable of {var: Span} rows.
+
+        The schema defaults to the variables of the first row; every row
+        must match it exactly.
+        """
+        materialised = [dict(row) for row in rows]
+        if schema is None:
+            if not materialised:
+                raise ValueError(
+                    "schema required for an empty relation (pass schema=...)"
+                )
+            inferred = frozenset(materialised[0])
+        else:
+            inferred = frozenset(schema)
+        for row in materialised:
+            if frozenset(row) != inferred:
+                raise ValueError(
+                    f"row schema {sorted(row)} does not match relation "
+                    f"schema {sorted(inferred)}"
+                )
+        return cls(document, inferred, frozenset(_freeze(r) for r in materialised))
+
+    @classmethod
+    def empty(cls, document: str, schema: Iterable[str]) -> "SpanRelation":
+        return cls(document, frozenset(schema), frozenset())
+
+    # -- inspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        for frozen in self.rows:
+            yield _thaw(frozen)
+
+    def __contains__(self, row: Mapping[str, Span]) -> bool:
+        return _freeze(row) in self.rows
+
+    def contents(self) -> frozenset[tuple[tuple[str, str], ...]]:
+        """The content view: each row as sorted (var, factor) pairs.
+
+        This is the projection from positional spans to strings that the
+        FC[REG] ↔ spanner correspondence compares on.
+        """
+        result = set()
+        for row in self:
+            result.add(
+                tuple(
+                    (var, row[var].content(self.document))
+                    for var in sorted(row)
+                )
+            )
+        return frozenset(result)
+
+    # -- the algebra ------------------------------------------------------------
+
+    def _require_same_document(self, other: "SpanRelation") -> None:
+        if self.document != other.document:
+            raise ValueError("operands evaluate over different documents")
+
+    def union(self, other: "SpanRelation") -> "SpanRelation":
+        """``R ∪ S`` — schemas must coincide."""
+        self._require_same_document(other)
+        if self.schema != other.schema:
+            raise ValueError(
+                f"union schema mismatch: {sorted(self.schema)} vs "
+                f"{sorted(other.schema)}"
+            )
+        return SpanRelation(self.document, self.schema, self.rows | other.rows)
+
+    def difference(self, other: "SpanRelation") -> "SpanRelation":
+        """``R \\ S`` — schemas must coincide (the generalized-core op)."""
+        self._require_same_document(other)
+        if self.schema != other.schema:
+            raise ValueError(
+                f"difference schema mismatch: {sorted(self.schema)} vs "
+                f"{sorted(other.schema)}"
+            )
+        return SpanRelation(self.document, self.schema, self.rows - other.rows)
+
+    def project(self, variables: Iterable[str]) -> "SpanRelation":
+        """``π_V R`` — keep only the listed variables."""
+        keep = frozenset(variables)
+        stray = keep - self.schema
+        if stray:
+            raise ValueError(f"projection onto unknown variables {sorted(stray)}")
+        projected = frozenset(
+            frozenset(
+                (var, span) for var, span in frozen if var in keep
+            )
+            for frozen in self.rows
+        )
+        return SpanRelation(self.document, keep, projected)
+
+    def natural_join(self, other: "SpanRelation") -> "SpanRelation":
+        """``R ⋈ S`` — agree on shared variables, merge the rest."""
+        self._require_same_document(other)
+        shared = self.schema & other.schema
+        merged_schema = self.schema | other.schema
+        # Hash join on the shared variables.
+        buckets: dict[frozenset, list[dict[str, Span]]] = {}
+        for row in other:
+            key = frozenset((v, row[v]) for v in shared)
+            buckets.setdefault(key, []).append(row)
+        out = set()
+        for row in self:
+            key = frozenset((v, row[v]) for v in shared)
+            for match in buckets.get(key, ()):
+                merged = dict(row)
+                merged.update(match)
+                out.add(_freeze(merged))
+        return SpanRelation(self.document, merged_schema, frozenset(out))
+
+    def select_equal(self, x: str, y: str) -> "SpanRelation":
+        """``ζ=_{x,y} R`` — keep rows where the spans of x and y mark the
+        *same factor* (possibly at different positions)."""
+        if x not in self.schema or y not in self.schema:
+            raise ValueError(f"ζ= over unknown variables {x!r}, {y!r}")
+        kept = frozenset(
+            frozen
+            for frozen in self.rows
+            if (row := _thaw(frozen))[x].content(self.document)
+            == row[y].content(self.document)
+        )
+        return SpanRelation(self.document, self.schema, kept)
+
+    def select_relation(
+        self, variables: Sequence[str], predicate: Callable[..., bool]
+    ) -> "SpanRelation":
+        """``ζ^R_{x₁…x_k} R`` — generic relation selection on *contents*.
+
+        This is the operator whose (non-)redundancy the paper studies:
+        ``R`` is *selectable* iff adding ζ^R does not increase expressive
+        power.  The predicate receives the factor contents of the listed
+        variables, in order.
+        """
+        stray = set(variables) - self.schema
+        if stray:
+            raise ValueError(f"ζ^R over unknown variables {sorted(stray)}")
+        kept = frozenset(
+            frozen
+            for frozen in self.rows
+            if predicate(
+                *(
+                    _thaw(frozen)[v].content(self.document)
+                    for v in variables
+                )
+            )
+        )
+        return SpanRelation(self.document, self.schema, kept)

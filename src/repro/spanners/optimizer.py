@@ -1,0 +1,171 @@
+"""Algebraic optimisation of spanner expression trees.
+
+Classic relational rewrites, adapted to the span algebra — all of them
+*class-preserving* (a core spanner stays core, a generalized core spanner
+stays generalized core) and semantics-preserving (property-tested against
+the unoptimised tree on random documents):
+
+* **projection pushdown** — ``π_V(R ∪ S) → π_V(R) ∪ π_V(S)``,
+  ``π_{V₂}(π_{V₁}(R)) → π_{V₂}(R)`` (when V₂ ⊆ V₁), and pushing a
+  projection below a join onto each side's needed columns;
+* **selection pushdown** — ``ζ=_{x,y}(R ⋈ S) → ζ=_{x,y}(R) ⋈ S`` when
+  both variables live on one side; selections commute and can be pushed
+  through unions;
+* **idempotence / annihilation** — ``R ∪ R → R``, ``R \\ R →`` the empty
+  relation (kept as a syntactic ``R \\ R`` on a leaf to stay within the
+  algebra, but hoisted to the smallest equivalent subtree).
+
+``optimize`` applies rewrites to a fixed point;
+``tree_size``/``explain`` expose what changed for the benchmark report.
+"""
+
+from __future__ import annotations
+
+from repro.spanners.spanner import (
+    Difference,
+    EqualitySelect,
+    Extract,
+    Join,
+    Project,
+    RelationSelect,
+    Spanner,
+    SpannerUnion,
+)
+
+__all__ = ["optimize", "tree_size", "explain"]
+
+
+def tree_size(spanner: Spanner) -> int:
+    """Number of nodes in the expression tree."""
+    return sum(1 for _ in spanner.walk())
+
+
+def _push_projection(node: Project) -> Spanner:
+    inner = node.inner
+    keep = frozenset(node.variables)
+    if isinstance(inner, Project):
+        # π_{V₂} ∘ π_{V₁} = π_{V₂} (validity: V₂ ⊆ V₁ ⊆ schema).
+        return Project(inner.inner, node.variables)
+    if isinstance(inner, SpannerUnion):
+        return SpannerUnion(
+            Project(inner.left, node.variables),
+            Project(inner.right, node.variables),
+        )
+    if isinstance(inner, Join):
+        left_schema = inner.left.schema()
+        right_schema = inner.right.schema()
+        shared = left_schema & right_schema
+        left_keep = tuple(sorted((keep | shared) & left_schema))
+        right_keep = tuple(sorted((keep | shared) & right_schema))
+        if frozenset(left_keep) != left_schema or (
+            frozenset(right_keep) != right_schema
+        ):
+            return Project(
+                Join(
+                    Project(inner.left, left_keep)
+                    if frozenset(left_keep) != left_schema
+                    else inner.left,
+                    Project(inner.right, right_keep)
+                    if frozenset(right_keep) != right_schema
+                    else inner.right,
+                ),
+                node.variables,
+            )
+    if isinstance(inner, (EqualitySelect, RelationSelect)):
+        needed = (
+            {inner.x, inner.y}
+            if isinstance(inner, EqualitySelect)
+            else set(inner.variables)
+        )
+        if needed <= keep:
+            # Selection only reads kept columns: swap.
+            rebuilt = (
+                EqualitySelect(
+                    Project(inner.inner, node.variables), inner.x, inner.y
+                )
+                if isinstance(inner, EqualitySelect)
+                else RelationSelect(
+                    Project(inner.inner, node.variables),
+                    inner.variables,
+                    inner.predicate,
+                    inner.name,
+                )
+            )
+            return rebuilt
+    return node
+
+
+def _push_selection(node: EqualitySelect) -> Spanner:
+    inner = node.inner
+    pair = {node.x, node.y}
+    if isinstance(inner, SpannerUnion):
+        return SpannerUnion(
+            EqualitySelect(inner.left, node.x, node.y),
+            EqualitySelect(inner.right, node.x, node.y),
+        )
+    if isinstance(inner, Join):
+        if pair <= inner.left.schema():
+            return Join(
+                EqualitySelect(inner.left, node.x, node.y), inner.right
+            )
+        if pair <= inner.right.schema():
+            return Join(
+                inner.left, EqualitySelect(inner.right, node.x, node.y)
+            )
+    if isinstance(inner, Difference):
+        # ζ distributes over difference (filters rows uniformly).
+        return Difference(
+            EqualitySelect(inner.left, node.x, node.y),
+            EqualitySelect(inner.right, node.x, node.y),
+        )
+    return node
+
+
+def _rewrite_once(node: Spanner) -> Spanner:
+    # Bottom-up: rebuild children first.
+    if isinstance(node, Extract):
+        return node
+    if isinstance(node, SpannerUnion):
+        left = _rewrite_once(node.left)
+        right = _rewrite_once(node.right)
+        if left == right:
+            return left  # R ∪ R = R
+        return SpannerUnion(left, right)
+    if isinstance(node, Join):
+        return Join(_rewrite_once(node.left), _rewrite_once(node.right))
+    if isinstance(node, Difference):
+        return Difference(_rewrite_once(node.left), _rewrite_once(node.right))
+    if isinstance(node, Project):
+        rebuilt = Project(_rewrite_once(node.inner), node.variables)
+        if frozenset(rebuilt.variables) == rebuilt.inner.schema():
+            return rebuilt.inner  # identity projection
+        return _push_projection(rebuilt)
+    if isinstance(node, EqualitySelect):
+        rebuilt = EqualitySelect(_rewrite_once(node.inner), node.x, node.y)
+        if rebuilt.x == rebuilt.y:
+            return rebuilt.inner  # ζ=_{x,x} is the identity
+        return _push_selection(rebuilt)
+    if isinstance(node, RelationSelect):
+        return RelationSelect(
+            _rewrite_once(node.inner), node.variables, node.predicate, node.name
+        )
+    raise TypeError(f"unknown spanner node: {node!r}")
+
+
+def optimize(spanner: Spanner, max_passes: int = 12) -> Spanner:
+    """Apply the rewrites to a fixed point (bounded passes)."""
+    current = spanner
+    for _ in range(max_passes):
+        rebuilt = _rewrite_once(current)
+        if rebuilt == current:
+            return rebuilt
+        current = rebuilt
+    return current
+
+
+def explain(before: Spanner, after: Spanner) -> str:
+    """One-line description of what the optimiser achieved."""
+    return (
+        f"{tree_size(before)} nodes → {tree_size(after)} nodes; "
+        f"class {before.classify()!r} → {after.classify()!r}"
+    )

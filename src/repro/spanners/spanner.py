@@ -1,0 +1,241 @@
+"""Spanner expression trees: regular, core, and generalized core spanners.
+
+A *spanner* maps a document to a span relation.  The classes of the
+framework (Fagin et al.):
+
+* **regular spanners** — regex-formula extractors closed under
+  ∪, π, ⋈;
+* **core spanners** — regular + string-equality selection ζ=;
+* **generalized core spanners** — core + difference \\ (the class the
+  paper's results are about).
+
+A :class:`Spanner` is an expression tree over those operators;
+``evaluate(document)`` runs it bottom-up, and ``classify()`` reports the
+smallest class the tree syntactically falls into.  Boolean spanners
+(empty schema) double as language acceptors via ``accepts``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.spanners.algebra import SpanRelation
+from repro.spanners.regex_formulas import RegexFormula, parse_regex_formula
+
+__all__ = [
+    "Spanner",
+    "Extract",
+    "SpannerUnion",
+    "Project",
+    "Join",
+    "Difference",
+    "EqualitySelect",
+    "RelationSelect",
+    "extract",
+]
+
+
+class Spanner:
+    """Base class: a document → span-relation function with a schema."""
+
+    def schema(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def evaluate(self, document: str) -> SpanRelation:
+        raise NotImplementedError
+
+    def classify(self) -> str:
+        """'regular', 'core', or 'generalized core' (syntactic class)."""
+        has_eq = any(isinstance(n, EqualitySelect) for n in self.walk())
+        has_diff = any(isinstance(n, Difference) for n in self.walk())
+        has_rel = any(isinstance(n, RelationSelect) for n in self.walk())
+        if has_rel:
+            return "extended (ζ^R)"
+        if has_diff:
+            return "generalized core"
+        if has_eq:
+            return "core"
+        return "regular"
+
+    def walk(self):
+        """Preorder traversal of the expression tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def children(self) -> tuple["Spanner", ...]:
+        return ()
+
+    def accepts(self, document: str) -> bool:
+        """Boolean-spanner acceptance: non-empty result."""
+        return len(self.evaluate(document)) > 0
+
+    def language_slice(self, alphabet: str, max_length: int) -> frozenset[str]:
+        """``{d ∈ Σ^{≤n} : P(d) ≠ ∅}`` — the recognised language slice."""
+        from repro.words.generators import words_up_to
+
+        return frozenset(
+            document
+            for document in words_up_to(alphabet, max_length)
+            if self.accepts(document)
+        )
+
+    # operator sugar
+    def __or__(self, other: "Spanner") -> "SpannerUnion":
+        return SpannerUnion(self, other)
+
+    def __sub__(self, other: "Spanner") -> "Difference":
+        return Difference(self, other)
+
+    def join(self, other: "Spanner") -> "Join":
+        return Join(self, other)
+
+    def project(self, *variables: str) -> "Project":
+        return Project(self, tuple(variables))
+
+    def eq(self, x: str, y: str) -> "EqualitySelect":
+        return EqualitySelect(self, x, y)
+
+
+@dataclass(frozen=True)
+class Extract(Spanner):
+    """A regex-formula extractor leaf."""
+
+    formula: RegexFormula
+
+    def schema(self) -> frozenset[str]:
+        return self.formula.variables()
+
+    def evaluate(self, document: str) -> SpanRelation:
+        rows = [dict(assignment) for assignment in self.formula.match_spans(document)]
+        return SpanRelation.build(document, rows, schema=self.schema())
+
+
+@dataclass(frozen=True)
+class SpannerUnion(Spanner):
+    left: Spanner
+    right: Spanner
+
+    def __post_init__(self) -> None:
+        if self.left.schema() != self.right.schema():
+            raise ValueError(
+                f"union schema mismatch: {sorted(self.left.schema())} vs "
+                f"{sorted(self.right.schema())}"
+            )
+
+    def schema(self) -> frozenset[str]:
+        return self.left.schema()
+
+    def children(self):
+        return (self.left, self.right)
+
+    def evaluate(self, document: str) -> SpanRelation:
+        return self.left.evaluate(document).union(self.right.evaluate(document))
+
+
+@dataclass(frozen=True)
+class Project(Spanner):
+    inner: Spanner
+    variables: tuple[str, ...]
+
+    def schema(self) -> frozenset[str]:
+        return frozenset(self.variables)
+
+    def children(self):
+        return (self.inner,)
+
+    def evaluate(self, document: str) -> SpanRelation:
+        return self.inner.evaluate(document).project(self.variables)
+
+
+@dataclass(frozen=True)
+class Join(Spanner):
+    left: Spanner
+    right: Spanner
+
+    def schema(self) -> frozenset[str]:
+        return self.left.schema() | self.right.schema()
+
+    def children(self):
+        return (self.left, self.right)
+
+    def evaluate(self, document: str) -> SpanRelation:
+        return self.left.evaluate(document).natural_join(
+            self.right.evaluate(document)
+        )
+
+
+@dataclass(frozen=True)
+class Difference(Spanner):
+    """``left \\ right`` — the operator that makes a spanner *generalized*."""
+
+    left: Spanner
+    right: Spanner
+
+    def __post_init__(self) -> None:
+        if self.left.schema() != self.right.schema():
+            raise ValueError(
+                f"difference schema mismatch: {sorted(self.left.schema())} "
+                f"vs {sorted(self.right.schema())}"
+            )
+
+    def schema(self) -> frozenset[str]:
+        return self.left.schema()
+
+    def children(self):
+        return (self.left, self.right)
+
+    def evaluate(self, document: str) -> SpanRelation:
+        return self.left.evaluate(document).difference(
+            self.right.evaluate(document)
+        )
+
+
+@dataclass(frozen=True)
+class EqualitySelect(Spanner):
+    """``ζ=_{x,y}`` — string-equality selection (the core-spanner op)."""
+
+    inner: Spanner
+    x: str
+    y: str
+
+    def schema(self) -> frozenset[str]:
+        return self.inner.schema()
+
+    def children(self):
+        return (self.inner,)
+
+    def evaluate(self, document: str) -> SpanRelation:
+        return self.inner.evaluate(document).select_equal(self.x, self.y)
+
+
+@dataclass(frozen=True)
+class RelationSelect(Spanner):
+    """``ζ^R`` — selection by an arbitrary content relation.
+
+    Not part of the generalized core algebra; this is the hypothetical
+    operator whose redundancy defines *selectability*.  The name is used
+    in reports.
+    """
+
+    inner: Spanner
+    variables: tuple[str, ...]
+    predicate: Callable[..., bool]
+    name: str = "R"
+
+    def schema(self) -> frozenset[str]:
+        return self.inner.schema()
+
+    def children(self):
+        return (self.inner,)
+
+    def evaluate(self, document: str) -> SpanRelation:
+        return self.inner.evaluate(document).select_relation(
+            self.variables, self.predicate
+        )
+
+
+def extract(pattern: str) -> Extract:
+    """Build an extractor leaf from a regex-formula pattern string."""
+    return Extract(parse_regex_formula(pattern))

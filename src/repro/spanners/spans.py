@@ -1,0 +1,74 @@
+"""Spans: intervals over a document (Fagin et al.'s model).
+
+A span ``[i, j⟩`` of a document ``d`` marks the factor ``d[i:j]`` with
+``0 ≤ i ≤ j ≤ |d|`` (0-based here; the literature's 1-based ``[i, j⟩`` is
+the same object shifted).  Spans are *positional*: two spans with equal
+content at different locations are different spans — that distinction is
+exactly what the string-equality selection ζ= is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Span", "all_spans", "spans_of_occurrences"]
+
+
+@dataclass(frozen=True, order=True)
+class Span:
+    """The span ``[start, end⟩``; ``content(d)`` gives the marked factor."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.start <= self.end):
+            raise ValueError(f"invalid span [{self.start}, {self.end}⟩")
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def content(self, document: str) -> str:
+        """The factor of ``document`` this span marks."""
+        if self.end > len(document):
+            raise ValueError(
+                f"span [{self.start}, {self.end}⟩ exceeds document length "
+                f"{len(document)}"
+            )
+        return document[self.start : self.end]
+
+    def is_inside(self, other: "Span") -> bool:
+        """Containment: self ⊆ other."""
+        return other.start <= self.start and self.end <= other.end
+
+    def precedes(self, other: "Span") -> bool:
+        """Strict precedence: self ends before other starts."""
+        return self.end <= other.start
+
+    def adjacent_to(self, other: "Span") -> bool:
+        """self ends exactly where other starts (concatenable)."""
+        return self.end == other.start
+
+    def __repr__(self) -> str:
+        return f"[{self.start},{self.end}⟩"
+
+
+def all_spans(document: str) -> Iterator[Span]:
+    """Every span of ``document`` (Θ(n²) many)."""
+    n = len(document)
+    for start in range(n + 1):
+        for end in range(start, n + 1):
+            yield Span(start, end)
+
+
+def spans_of_occurrences(document: str, factor: str) -> list[Span]:
+    """Spans marking each occurrence of ``factor`` in ``document``."""
+    if factor == "":
+        return [Span(i, i) for i in range(len(document) + 1)]
+    result = []
+    start = document.find(factor)
+    while start != -1:
+        result.append(Span(start, start + len(factor)))
+        start = document.find(factor, start + 1)
+    return result

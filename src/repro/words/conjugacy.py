@@ -1,0 +1,159 @@
+"""Conjugacy and co-primitivity of words.
+
+Two words are *conjugate* if one is a rotation of the other (``w = xy`` and
+``v = yx``).  Two words are *co-primitive* (the paper's Section 4.3 notion)
+if both are primitive and they are **not** conjugate.  Co-primitivity is the
+precondition of the Fooling Lemma: it guarantees (via the periodicity lemma,
+Lemma 4.10) that ``Facs(u^n) ∩ Facs(v^m)`` stabilises, so the
+Pseudo-Congruence Lemma applies with a fixed round overhead ``r``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.words.factors import common_factors, longest_common_factor_length
+from repro.words.primitivity import is_primitive
+
+__all__ = [
+    "conjugates",
+    "are_conjugate",
+    "are_coprimitive",
+    "FactorIntersectionProfile",
+    "factor_intersection_profile",
+    "stable_intersection_bound",
+]
+
+
+def conjugates(word: str) -> list[str]:
+    """Return all distinct rotations of ``word`` (its conjugacy class)."""
+    if not word:
+        return [""]
+    seen: set[str] = set()
+    result = []
+    for i in range(len(word)):
+        rotation = word[i:] + word[:i]
+        if rotation not in seen:
+            seen.add(rotation)
+            result.append(rotation)
+    return result
+
+
+def are_conjugate(u: str, v: str) -> bool:
+    """Return ``True`` iff ``u`` and ``v`` are conjugate (``u=xy``, ``v=yx``).
+
+    Uses the classical linear-time test: ``u`` and ``v`` are conjugate iff
+    ``|u| = |v|`` and ``v`` occurs in ``u·u``.
+    """
+    if len(u) != len(v):
+        return False
+    if not u:
+        return True
+    return v in u + u
+
+
+def are_coprimitive(u: str, v: str) -> bool:
+    """Return ``True`` iff ``u`` and ``v`` are co-primitive.
+
+    Per the paper (Section 4.3): both must be primitive, and they must not
+    be conjugate.  Example: ``aba`` and ``bba`` are co-primitive; ``aabba``
+    and ``aaabb`` are not (they are conjugate via ``x=aabb, y=a``).
+    """
+    return is_primitive(u) and is_primitive(v) and not are_conjugate(u, v)
+
+
+@dataclass(frozen=True)
+class FactorIntersectionProfile:
+    """Empirical profile of ``Facs(u^n) ∩ Facs(v^m)`` as n, m grow.
+
+    Produced by :func:`factor_intersection_profile`; certifies Lemma 4.10
+    condition (2) on a finite window: from ``(n0, m0)`` on, the
+    intersection no longer changes.
+
+    Attributes:
+        u, v: the base words.
+        n0, m0: smallest exponents after which the intersection was stable
+            on the probed window (``None`` if it never stabilised there).
+        max_common_length: length of the longest common factor seen — the
+            paper's bound ``r`` from Lemma 4.10 condition (3).
+        stable_intersection: the stabilised factor set (``None`` if it did
+            not stabilise on the window).
+    """
+
+    u: str
+    v: str
+    n0: int | None
+    m0: int | None
+    max_common_length: int
+    stable_intersection: frozenset[str] | None
+
+    @property
+    def stabilised(self) -> bool:
+        """Whether the intersection stabilised on the probed window."""
+        return self.n0 is not None
+
+
+def factor_intersection_profile(
+    u: str, v: str, max_exponent: int | None = None
+) -> FactorIntersectionProfile:
+    """Probe ``Facs(u^n) ∩ Facs(v^n)`` for ``n = 1 … max_exponent``.
+
+    For co-primitive ``u, v`` the periodicity lemma promises stabilisation
+    (Lemma 4.10); for conjugate words the intersection grows forever.  This
+    function measures which happens on a finite window, returning a
+    :class:`FactorIntersectionProfile`.
+
+    ``max_exponent`` defaults to a window wide enough that co-primitive
+    pairs are guaranteed to stabilise inside it: common factors are shorter
+    than ``|u| + |v| − 1`` (periodicity lemma), so the intersection is
+    fixed once both powers are at least twice that long.
+    """
+    if not u or not v:
+        raise ValueError("base words must be non-empty")
+    if max_exponent is None:
+        target = 2 * (len(u) + len(v))
+        max_exponent = max(
+            4,
+            -(-target // len(u)) + 1,
+            -(-target // len(v)) + 1,
+        )
+    intersections = [
+        common_factors(u * n, v * n) for n in range(1, max_exponent + 1)
+    ]
+    stable_from: int | None = None
+    for index in range(len(intersections) - 1):
+        if all(
+            intersections[later] == intersections[index]
+            for later in range(index + 1, len(intersections))
+        ):
+            stable_from = index + 1  # exponents are 1-based
+            break
+    max_len = max(len(x) for x in intersections[-1])
+    if stable_from is None:
+        return FactorIntersectionProfile(u, v, None, None, max_len, None)
+    return FactorIntersectionProfile(
+        u, v, stable_from, stable_from, max_len, intersections[stable_from - 1]
+    )
+
+
+def stable_intersection_bound(u: str, v: str) -> int:
+    """Return the Lemma 4.10 bound ``r`` for co-primitive ``u``, ``v``.
+
+    By the periodicity lemma, any common factor of ``u^ω`` and ``v^ω`` is
+    shorter than ``|u| + |v| − 1`` when ``u``, ``v`` are primitive and not
+    conjugate.  We compute the exact maximum common-factor length at
+    exponents large enough to expose all common factors (``n`` with
+    ``n·|u| ≥ 2(|u|+|v|)``), which is a valid ``r`` for *all* exponents.
+
+    Raises ``ValueError`` if ``u``, ``v`` are not co-primitive (no finite
+    bound exists for conjugate primitive words).
+    """
+    if not are_coprimitive(u, v):
+        raise ValueError(f"{u!r} and {v!r} are not co-primitive")
+    target = 2 * (len(u) + len(v))
+    nu = -(-target // len(u))  # ceil division
+    nv = -(-target // len(v))
+    bound = longest_common_factor_length(u * nu, v * nv)
+    # Sanity: the periodicity lemma caps common factors at |u| + |v| - 2.
+    assert bound <= len(u) + len(v) - 2
+    return bound

@@ -1,0 +1,131 @@
+"""Word equations: bounded-solution enumeration and classical identities.
+
+FC is a finite-model variant of the *theory of concatenation*, whose
+atomic questions are word equations; the core-spanner inexpressibility
+tradition the paper builds on (Karhumäki–Mignosi–Plandowski) is about
+expressibility by word equations.  This module provides a small word
+equation engine:
+
+* patterns are sequences of letters and variables (``"xAby"`` style is
+  avoided — patterns are explicit tuples, letters as 1-char strings
+  marked by case convention: lowercase = terminal, uppercase = variable);
+* :func:`solutions` enumerates all solutions with variable values up to a
+  length bound (exact within the bound);
+* classical identities used by the paper's proofs are exposed as
+  ready-made equations: commutation ``XY = YX`` (Lothaire 1.3.2) and
+  conjugacy ``XZ = ZY``.
+
+The test-suite cross-checks the commutation identity against
+``repro.words.periodicity.common_root`` — the same mathematical fact,
+computed two ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator, Mapping, Sequence
+
+from repro.words.generators import words_up_to
+
+__all__ = [
+    "Equation",
+    "solutions",
+    "is_solution",
+    "commutation_equation",
+    "conjugacy_equation",
+]
+
+#: A pattern item: a terminal letter (lowercase) or a variable (uppercase).
+PatternItem = str
+
+
+def _is_variable(item: str) -> bool:
+    return item.isupper()
+
+
+@dataclass(frozen=True)
+class Equation:
+    """A word equation ``lhs ≐ rhs`` over terminals and variables.
+
+    Sides are tuples of single-character items; uppercase characters are
+    variables, anything else is a terminal letter.
+    """
+
+    lhs: tuple[str, ...]
+    rhs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        for side in (self.lhs, self.rhs):
+            for item in side:
+                if len(item) != 1:
+                    raise ValueError(
+                        f"pattern items are single characters, got {item!r}"
+                    )
+
+    @classmethod
+    def parse(cls, text: str) -> "Equation":
+        """Parse ``"XY = YX"`` style notation (whitespace ignored)."""
+        left, _, right = text.partition("=")
+        if not _:
+            raise ValueError(f"missing '=' in equation {text!r}")
+        return cls(
+            tuple(left.strip().replace(" ", "")),
+            tuple(right.strip().replace(" ", "")),
+        )
+
+    def variables(self) -> tuple[str, ...]:
+        """Variables in order of first occurrence."""
+        seen: list[str] = []
+        for item in self.lhs + self.rhs:
+            if _is_variable(item) and item not in seen:
+                seen.append(item)
+        return tuple(seen)
+
+    def substitute(self, assignment: Mapping[str, str]) -> tuple[str, str]:
+        """Instantiate both sides under a variable assignment."""
+
+        def build(side: Sequence[str]) -> str:
+            return "".join(
+                assignment[item] if _is_variable(item) else item
+                for item in side
+            )
+
+        return build(self.lhs), build(self.rhs)
+
+    def __repr__(self) -> str:
+        return f"{''.join(self.lhs)} ≐ {''.join(self.rhs)}"
+
+
+def is_solution(equation: Equation, assignment: Mapping[str, str]) -> bool:
+    """Does the assignment solve the equation?"""
+    left, right = equation.substitute(assignment)
+    return left == right
+
+
+def solutions(
+    equation: Equation, alphabet: str, max_length: int
+) -> Iterator[dict[str, str]]:
+    """Enumerate all solutions with every variable value in Σ^{≤n}.
+
+    Exact within the bound; exponential in the number of variables, so
+    keep equations small (the classical identities have 2–3 variables).
+    """
+    variables = equation.variables()
+    pool = list(words_up_to(alphabet, max_length))
+    for values in product(pool, repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if is_solution(equation, assignment):
+            yield assignment
+
+
+def commutation_equation() -> Equation:
+    """``XY = YX`` — solutions are exactly the pairs of powers of a common
+    word (Lothaire, Proposition 1.3.2; the engine of φ_{w*})."""
+    return Equation.parse("XY = YX")
+
+
+def conjugacy_equation() -> Equation:
+    """``XZ = ZY`` — for non-empty X, Y this characterises conjugacy of X
+    and Y (with Z the rotation witness)."""
+    return Equation.parse("XZ = ZY")

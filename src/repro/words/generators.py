@@ -1,0 +1,342 @@
+"""Parametric word families and language oracles for the paper's languages.
+
+Lemma 4.14 lists six concrete non-FC languages L₁…L₆; Example 4.5 treats
+``aⁿbⁿ``; Section 5 needs scattered subwords, permutations, shuffles, etc.
+This module provides, for each language: a *constructor* for members, a
+ground-truth *membership oracle*, and enumeration over ``Σ^{≤n}`` — the
+workload generators for experiments E09, E10, E15, E17.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import product
+from typing import Callable, Iterator
+
+__all__ = [
+    "words_up_to",
+    "words_of_length",
+    "LanguageOracle",
+    "l_anbn",
+    "l_aibj_leq",
+    "l1_an_ban",
+    "l2_ai_baj",
+    "l3_additive",
+    "l4_multiplicative",
+    "l5_coprimitive_blocks",
+    "l6_triple",
+    "l_pow2",
+    "PAPER_LANGUAGES",
+    "is_scattered_subword",
+    "shuffle_product",
+    "in_shuffle",
+    "is_permutation",
+]
+
+L5_LEFT = "abaabb"
+L5_RIGHT = "bbaaba"
+
+
+def words_of_length(alphabet: str, length: int) -> Iterator[str]:
+    """Yield all words over ``alphabet`` of exactly ``length``."""
+    for letters in product(alphabet, repeat=length):
+        yield "".join(letters)
+
+
+def words_up_to(alphabet: str, max_length: int) -> Iterator[str]:
+    """Yield all words over ``alphabet`` of length ``0 … max_length``."""
+    for length in range(max_length + 1):
+        yield from words_of_length(alphabet, length)
+
+
+class LanguageOracle:
+    """A language packaged as (name, membership test, member constructor).
+
+    ``member(n)`` produces the n-th canonical member (used to build EF-game
+    witness pairs); ``__contains__`` is the ground-truth membership oracle.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        contains: Callable[[str], bool],
+        member: Callable[[int], str],
+        alphabet: str,
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self._contains = contains
+        self.member = member
+        self.alphabet = alphabet
+        self.description = description
+
+    def __contains__(self, word: str) -> bool:
+        return self._contains(word)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LanguageOracle({self.name})"
+
+    def members_up_to(self, max_length: int) -> list[str]:
+        """Return all members of length ≤ ``max_length`` (by enumeration)."""
+        return [w for w in words_up_to(self.alphabet, max_length) if w in self]
+
+    def slice(self, max_length: int) -> tuple[frozenset[str], frozenset[str]]:
+        """Return (members, non-members) among all words of length ≤ n."""
+        members, non_members = set(), set()
+        for word in words_up_to(self.alphabet, max_length):
+            (members if word in self else non_members).add(word)
+        return frozenset(members), frozenset(non_members)
+
+
+def _is_block_power(word: str, block: str) -> tuple[bool, int]:
+    """Return (is ``word`` = ``block^m``, the m)."""
+    if not block:
+        raise ValueError("block must be non-empty")
+    quotient, remainder = divmod(len(word), len(block))
+    if remainder != 0 or word != block * quotient:
+        return False, 0
+    return True, quotient
+
+
+# --- Example 4.5 -----------------------------------------------------------
+
+def _anbn_contains(word: str) -> bool:
+    n2 = len(word)
+    if n2 % 2:
+        return False
+    half = n2 // 2
+    return word == "a" * half + "b" * half
+
+
+l_anbn = LanguageOracle(
+    "anbn",
+    _anbn_contains,
+    lambda n: "a" * n + "b" * n,
+    alphabet="ab",
+    description="{ a^n b^n | n ∈ ℕ } (Example 4.5; Freydenberger–Peterfreund)",
+)
+
+
+def _aibj_leq_contains(word: str) -> bool:
+    i = 0
+    while i < len(word) and word[i] == "a":
+        i += 1
+    j = len(word) - i
+    return word == "a" * i + "b" * j and 0 <= i <= j
+
+
+l_aibj_leq = LanguageOracle(
+    "ai_bj_leq",
+    _aibj_leq_contains,
+    lambda n: "a" * n + "b" * (n + 1),
+    alphabet="ab",
+    description="{ a^i b^j | 0 ≤ i ≤ j } (Example 4.5)",
+)
+
+
+# --- Lemma 4.14: L1 … L6 ---------------------------------------------------
+
+def _l1_contains(word: str) -> bool:
+    for n in range(len(word) // 3 + 2):
+        candidate = "a" * n + "ba" * n
+        if candidate == word:
+            return True
+        if len(candidate) > len(word):
+            break
+    return False
+
+
+l1_an_ban = LanguageOracle(
+    "L1",
+    _l1_contains,
+    lambda n: "a" * n + "ba" * n,
+    alphabet="ab",
+    description="L1 = { a^n (ba)^n | n ∈ ℕ } (Prop 4.6)",
+)
+
+
+def _l2_contains(word: str) -> bool:
+    i = 0
+    while i < len(word) and word[i] == "a":
+        i += 1
+    rest = word[i:]
+    ok, j = _is_block_power(rest, "ba") if rest else (True, 0)
+    return ok and 1 <= i <= j and word == "a" * i + "ba" * j
+
+
+l2_ai_baj = LanguageOracle(
+    "L2",
+    _l2_contains,
+    lambda n: "a" * (n + 1) + "ba" * (n + 1),
+    alphabet="ab",
+    description="L2 = { a^i (ba)^j | 1 ≤ i ≤ j }",
+)
+
+
+def _l3_contains(word: str) -> bool:
+    # b^n a^m b^(n+m).  When m = 0 the word is b^n·b^n = b^{2n}, so all-b
+    # words are members iff their length is even (the block parse is
+    # ambiguous there — b^2 is b^1 a^0 b^1).  With m ≥ 1 the parse into
+    # maximal blocks is unique.
+    if all(letter == "b" for letter in word):
+        return len(word) % 2 == 0
+    n = 0
+    while n < len(word) and word[n] == "b":
+        n += 1
+    m = 0
+    while n + m < len(word) and word[n + m] == "a":
+        m += 1
+    tail = word[n + m :]
+    return tail == "b" * (n + m) and word == "b" * n + "a" * m + tail
+
+
+l3_additive = LanguageOracle(
+    "L3",
+    _l3_contains,
+    lambda n: "b" * n + "a" * (n + 1) + "b" * (2 * n + 1),
+    alphabet="ab",
+    description="L3 = { b^n a^m b^(n+m) | m,n ∈ ℕ }",
+)
+
+
+def _l4_contains(word: str) -> bool:
+    n = 0
+    while n < len(word) and word[n] == "b":
+        n += 1
+    m = 0
+    while n + m < len(word) and word[n + m] == "a":
+        m += 1
+    tail = word[n + m :]
+    if word != "b" * n + "a" * m + tail or any(c != "b" for c in tail):
+        return False
+    # leading b-block is maximal, so if m == 0 the tail must be empty, and
+    # then word = b^n with n*m = 0 requires n... careful: b^n a^0 b^0 = b^n
+    # is a member iff n*0 == 0, i.e. always (tail empty).
+    return len(tail) == n * m
+
+
+l4_multiplicative = LanguageOracle(
+    "L4",
+    _l4_contains,
+    lambda n: "b" + "a" * n + "b" * n,  # the n=1 slice used in the proof
+    alphabet="ab",
+    description="L4 = { b^n a^m b^(n·m) | m,n ∈ ℕ }",
+)
+
+
+def _l5_contains(word: str) -> bool:
+    for m in range(len(word) // len(L5_LEFT + L5_RIGHT) + 2):
+        candidate = L5_LEFT * m + L5_RIGHT * m
+        if candidate == word:
+            return True
+        if len(candidate) > len(word):
+            break
+    return False
+
+
+l5_coprimitive_blocks = LanguageOracle(
+    "L5",
+    _l5_contains,
+    lambda m: L5_LEFT * m + L5_RIGHT * m,
+    alphabet="ab",
+    description="L5 = { (abaabb)^m (bbaaba)^m | m ∈ ℕ }",
+)
+
+
+def _l6_contains(word: str) -> bool:
+    for n in range(len(word) // 4 + 2):
+        candidate = "a" * n + "b" * n + "ab" * n
+        if candidate == word:
+            return True
+        if len(candidate) > len(word):
+            break
+    return False
+
+
+l6_triple = LanguageOracle(
+    "L6",
+    _l6_contains,
+    lambda n: "a" * n + "b" * n + "ab" * n,
+    alphabet="ab",
+    description="L6 = { a^n b^n (ab)^n | n ∈ ℕ }",
+)
+
+
+def _l_pow2_contains(word: str) -> bool:
+    n = len(word)
+    if word != "a" * n:
+        return False
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+l_pow2 = LanguageOracle(
+    "L_pow",
+    _l_pow2_contains,
+    lambda n: "a" * (2**n),
+    alphabet="a",
+    description="L_pow = { a^(2^n) | n ∈ ℕ } (not semi-linear; Lemma 3.6)",
+)
+
+#: All language oracles keyed by the paper's names.
+PAPER_LANGUAGES: dict[str, LanguageOracle] = {
+    "anbn": l_anbn,
+    "ai_bj_leq": l_aibj_leq,
+    "L1": l1_an_ban,
+    "L2": l2_ai_baj,
+    "L3": l3_additive,
+    "L4": l4_multiplicative,
+    "L5": l5_coprimitive_blocks,
+    "L6": l6_triple,
+    "L_pow": l_pow2,
+}
+
+
+# --- Section 5 relations' combinatorial primitives -------------------------
+
+def is_scattered_subword(x: str, y: str) -> bool:
+    """Return ``True`` iff ``x ⊑_scatt y`` (x is a subsequence of y)."""
+    it = iter(y)
+    return all(letter in it for letter in x)
+
+
+def shuffle_product(x: str, y: str) -> frozenset[str]:
+    """Return the shuffle product ``x ⧢ y`` as a set of words.
+
+    Computed by dynamic programming over prefix pairs; the result has at
+    most C(|x|+|y|, |x|) elements, so keep inputs short.
+    """
+    table: dict[tuple[int, int], set[str]] = {(0, 0): {""}}
+    for i in range(len(x) + 1):
+        for j in range(len(y) + 1):
+            if (i, j) == (0, 0):
+                continue
+            acc: set[str] = set()
+            if i > 0:
+                acc.update(word + x[i - 1] for word in table[(i - 1, j)])
+            if j > 0:
+                acc.update(word + y[j - 1] for word in table[(i, j - 1)])
+            table[(i, j)] = acc
+    return frozenset(table[(len(x), len(y))])
+
+
+def in_shuffle(z: str, x: str, y: str) -> bool:
+    """Return ``True`` iff ``z ∈ x ⧢ y`` (without materialising the product)."""
+    if len(z) != len(x) + len(y):
+        return False
+    # reachable[j] = True iff z[:i+j] splits into x[:i] ⧢ y[:j].
+    reachable = [False] * (len(y) + 1)
+    reachable[0] = True
+    for j in range(1, len(y) + 1):
+        reachable[j] = reachable[j - 1] and z[j - 1] == y[j - 1]
+    for i in range(1, len(x) + 1):
+        reachable[0] = reachable[0] and z[i - 1] == x[i - 1]
+        for j in range(1, len(y) + 1):
+            from_x = reachable[j] and z[i + j - 1] == x[i - 1]
+            from_y = reachable[j - 1] and z[i + j - 1] == y[j - 1]
+            reachable[j] = from_x or from_y
+    return reachable[len(y)]
+
+
+def is_permutation(x: str, y: str) -> bool:
+    """Return ``True`` iff ``x`` is a permutation (anagram) of ``y``."""
+    return Counter(x) == Counter(y)

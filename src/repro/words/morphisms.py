@@ -1,0 +1,72 @@
+"""Word morphisms ``h : Σ* → Σ*``.
+
+A morphism is determined by its action on letters and extends by
+``h(xy) = h(x)·h(y)``.  Theorem 5.8 shows that the graph relation
+``Morph_h = {(x, h(x))}`` is not FC[REG]-definable; the concrete morphism
+used in the proof (``a ↦ b``, ``b ↦ b``) is provided as a ready-made
+instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["Morphism", "PAPER_MORPHISM", "identity_morphism", "erasing_morphism"]
+
+
+@dataclass(frozen=True)
+class Morphism:
+    """A word morphism given by its letter images.
+
+    Attributes:
+        letter_images: mapping from single letters to their image words.
+        name: optional display name.
+    """
+
+    letter_images: Mapping[str, str]
+    name: str = field(default="h")
+
+    def __post_init__(self) -> None:
+        for letter in self.letter_images:
+            if len(letter) != 1:
+                raise ValueError(f"morphism keys must be letters, got {letter!r}")
+
+    def __call__(self, word: str) -> str:
+        """Apply the morphism: ``h(w) = h(w[0])·…·h(w[-1])``."""
+        try:
+            return "".join(self.letter_images[letter] for letter in word)
+        except KeyError as exc:
+            raise ValueError(
+                f"morphism {self.name} undefined on letter {exc.args[0]!r}"
+            ) from None
+
+    def is_erasing(self) -> bool:
+        """Return ``True`` iff some letter maps to the empty word."""
+        return any(not image for image in self.letter_images.values())
+
+    def is_length_preserving(self) -> bool:
+        """Return ``True`` iff every letter maps to a single letter."""
+        return all(len(image) == 1 for image in self.letter_images.values())
+
+    def graph(self, words: list[str]) -> set[tuple[str, str]]:
+        """Return ``{(w, h(w)) : w ∈ words}`` — a finite slice of Morph_h."""
+        return {(word, self(word)) for word in words}
+
+
+#: The morphism used in the proof of Theorem 5.8: a ↦ b, b ↦ b.
+PAPER_MORPHISM = Morphism({"a": "b", "b": "b"}, name="h_paper")
+
+
+def identity_morphism(alphabet: str) -> Morphism:
+    """Return the identity morphism on ``alphabet``."""
+    return Morphism({letter: letter for letter in alphabet}, name="id")
+
+
+def erasing_morphism(alphabet: str, erased: str) -> Morphism:
+    """Return the morphism erasing the letters of ``erased`` and fixing the
+    rest of ``alphabet``."""
+    images = {
+        letter: ("" if letter in erased else letter) for letter in alphabet
+    }
+    return Morphism(images, name=f"erase[{erased}]")

@@ -1,0 +1,144 @@
+"""Periods, the periodicity lemma, and commutation.
+
+Three classical facts from combinatorics on words that the paper leans on:
+
+* the **periodicity lemma** (Fine and Wilf): if primitive ``w`` and ``v``
+  have powers sharing a factor of length at least ``|w| + |v| − 1``, then
+  ``w`` and ``v`` are conjugate (the paper uses the Hadravová formulation);
+* **commutation** (Lothaire, Proposition 1.3.2): ``uv = vu`` iff ``u`` and
+  ``v`` are powers of a common word — this powers both the φ_{w*} rewriting
+  of Lemma 5.4 and the primitivity lemma A.1;
+* basic period arithmetic (the period set of a word, Fine–Wilf on periods).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.words.conjugacy import are_conjugate
+from repro.words.factors import longest_common_factor_length
+from repro.words.primitivity import is_primitive, primitive_root
+
+__all__ = [
+    "borders",
+    "longest_border",
+    "periods",
+    "smallest_period",
+    "has_period",
+    "fine_wilf_threshold",
+    "fine_wilf_holds",
+    "commute",
+    "common_root",
+    "periodicity_lemma_predicts_conjugacy",
+    "longest_common_factor_of_powers",
+]
+
+
+def borders(word: str) -> list[str]:
+    """All borders of ``word``: proper prefixes that are also suffixes
+    (including ε, excluding the word itself), shortest first."""
+    return [
+        word[:i]
+        for i in range(len(word))
+        if word.endswith(word[:i])
+    ]
+
+
+def longest_border(word: str) -> str:
+    """The longest proper prefix of ``word`` that is also a suffix.
+
+    Border–period duality: ``smallest_period(w) = |w| − |longest_border(w)|``
+    (property-tested).
+    """
+    found = borders(word)
+    return found[-1] if found else ""
+
+
+def has_period(word: str, p: int) -> bool:
+    """Return ``True`` iff ``p`` is a period of ``word``:
+    ``word[i] == word[i+p]`` for all valid ``i``.  Every ``p ≥ len(word)``
+    is trivially a period."""
+    if p <= 0:
+        raise ValueError(f"periods must be positive, got {p}")
+    return all(word[i] == word[i + p] for i in range(len(word) - p))
+
+
+def periods(word: str) -> list[int]:
+    """Return all periods of ``word`` in ``1 … len(word)``, ascending."""
+    return [p for p in range(1, len(word) + 1) if has_period(word, p)]
+
+
+def smallest_period(word: str) -> int:
+    """Return the smallest period of ``word`` (``len(word)`` at worst;
+    0 for the empty word)."""
+    if not word:
+        return 0
+    for p in range(1, len(word) + 1):
+        if has_period(word, p):
+            return p
+    raise AssertionError("unreachable: len(word) is always a period")
+
+
+def fine_wilf_threshold(p: int, q: int) -> int:
+    """Return the Fine–Wilf threshold ``p + q − gcd(p, q)``.
+
+    A word of at least this length with periods ``p`` and ``q`` also has
+    period ``gcd(p, q)``.
+    """
+    if p <= 0 or q <= 0:
+        raise ValueError("periods must be positive")
+    return p + q - math.gcd(p, q)
+
+
+def fine_wilf_holds(word: str, p: int, q: int) -> bool:
+    """Check the Fine–Wilf conclusion on a concrete word: if ``word`` has
+    periods ``p`` and ``q`` and ``len(word) ≥ p + q − gcd(p,q)``, then it
+    has period ``gcd(p, q)``.  Returns the truth of the implication."""
+    if not (has_period(word, p) and has_period(word, q)):
+        return True
+    if len(word) < fine_wilf_threshold(p, q):
+        return True
+    return has_period(word, math.gcd(p, q))
+
+
+def commute(u: str, v: str) -> bool:
+    """Return ``True`` iff ``uv == vu``."""
+    return u + v == v + u
+
+
+def common_root(u: str, v: str) -> str | None:
+    """If ``u`` and ``v`` commute, return the primitive word ``z`` with
+    ``u = z^{k1}`` and ``v = z^{k2}`` (Lothaire, Proposition 1.3.2);
+    otherwise return ``None``.
+
+    For ``u = v = ""`` there is no primitive common root; we return ``""``
+    in that degenerate case.
+    """
+    if not commute(u, v):
+        return None
+    if not u and not v:
+        return ""
+    base = u or v
+    return primitive_root(base)
+
+
+def longest_common_factor_of_powers(w: str, v: str, exponent: int) -> int:
+    """Return the longest common factor length of ``w^exponent`` and
+    ``v^exponent`` — a finite probe of the common factors of ``w^ω``, ``v^ω``."""
+    return longest_common_factor_length(w * exponent, v * exponent)
+
+
+def periodicity_lemma_predicts_conjugacy(w: str, v: str, probe_exponent: int = 6) -> bool:
+    """Empirically instantiate the periodicity lemma (Section 4.3).
+
+    For primitive ``w`` and ``v``: if ``w^ω`` and ``v^ω`` share a factor of
+    length ``≥ |w| + |v| − 1`` then ``w`` and ``v`` are conjugate.  We probe
+    with finite powers and return the truth of the implication.  Raises
+    ``ValueError`` when ``w`` or ``v`` is not primitive.
+    """
+    if not (is_primitive(w) and is_primitive(v)):
+        raise ValueError("the periodicity lemma requires primitive words")
+    shared = longest_common_factor_of_powers(w, v, probe_exponent)
+    if shared < len(w) + len(v) - 1:
+        return True
+    return are_conjugate(w, v)

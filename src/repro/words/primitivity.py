@@ -1,0 +1,221 @@
+"""Primitive words, primitive roots and ``exp_w`` decompositions.
+
+A non-empty word ``w`` is *primitive* if it is not a proper power: ``w = z^m``
+implies ``w = z``.  The paper's Primitive Power Lemma (Lemma 4.8) and the
+Fooling Lemma (Lemma 4.12) are built on a handful of structural facts about
+primitive words, all of which are implemented (and machine-checkable) here:
+
+* ``is_primitive`` / ``primitive_root`` — the classical notions; the empty
+  word is imprimitive by the paper's convention.
+* ``exponent`` — the paper's ``exp_w(u)``: the largest ``m`` with
+  ``w^m ⊑ u``.
+* ``power_factorization`` — Lemma 4.7 (obs:factorOfRep): the *unique*
+  factorisation ``u = u1 · w^{exp_w(u)} · u2`` of a factor of ``w^m`` with a
+  proper suffix ``u1`` and proper prefix ``u2`` of ``w``.
+* ``primitive_overlap_exponents`` — Lemma A.1 (obs:primitive): the only ways
+  a primitive ``w`` sits inside ``w^m``.
+* ``exponent_additivity_defect`` — Lemma D.4 (expoIncrease): for factors of
+  ``w^m``, ``exp_w(uv) ∈ {exp_w(u)+exp_w(v), exp_w(u)+exp_w(v)+1}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "is_primitive",
+    "is_imprimitive",
+    "primitive_root",
+    "power",
+    "exponent",
+    "PowerFactorization",
+    "power_factorization",
+    "primitive_occurrences_in_power",
+    "exponent_additivity_defect",
+]
+
+
+def _smallest_period(word: str) -> int:
+    """Return the smallest ``p`` such that ``word`` is a prefix of
+    ``word[:p]`` repeated — i.e. the smallest period of ``word``.
+
+    Uses the classical failure-function (KMP border) computation.
+    """
+    n = len(word)
+    border = [0] * (n + 1)
+    k = 0
+    for i in range(1, n):
+        while k > 0 and word[i] != word[k]:
+            k = border[k]
+        if word[i] == word[k]:
+            k += 1
+        border[i + 1] = k
+    return n - border[n]
+
+
+def is_primitive(word: str) -> bool:
+    """Return ``True`` iff ``word`` is primitive.
+
+    The empty word is imprimitive by convention (as in the paper).  A word
+    is primitive iff its smallest period ``p`` either does not divide
+    ``len(word)`` or equals ``len(word)``.
+    """
+    if not word:
+        return False
+    n = len(word)
+    p = _smallest_period(word)
+    return p == n or n % p != 0
+
+
+def is_imprimitive(word: str) -> bool:
+    """Return ``True`` iff ``word`` is a proper power ``z^m`` with ``m > 1``
+    (or the empty word, which is imprimitive by convention)."""
+    return not is_primitive(word)
+
+
+def primitive_root(word: str) -> str:
+    """Return the primitive root of ``word``: the unique primitive ``z``
+    with ``word = z^m`` for some ``m ≥ 1``.
+
+    Raises ``ValueError`` on the empty word, which has no primitive root.
+    """
+    if not word:
+        raise ValueError("the empty word has no primitive root")
+    n = len(word)
+    p = _smallest_period(word)
+    if n % p == 0:
+        return word[:p]
+    return word
+
+
+def power(word: str, k: int) -> str:
+    """Return ``word^k`` (``k = 0`` gives the empty word)."""
+    if k < 0:
+        raise ValueError(f"negative exponent: {k}")
+    return word * k
+
+
+def exponent(base: str, word: str) -> int:
+    """Return ``exp_base(word)``: the largest ``m ≥ 0`` with ``base^m ⊑ word``.
+
+    Mirrors the paper's ``exp_w`` function (Section 4.2).  ``base`` must be
+    non-empty.  Example: ``exponent("aab", "aaaabaabaab") == 3``.
+    """
+    if not base:
+        raise ValueError("exp_w is only defined for non-empty base words")
+    if len(base) > len(word):
+        return 0
+    # The exponent is at most len(word) // len(base); search downward from
+    # an incremental upward scan (each containment test is linear, and the
+    # answer is usually tiny).
+    m = 0
+    candidate = base
+    while len(candidate) <= len(word) and candidate in word:
+        m += 1
+        candidate += base
+    return m
+
+
+@dataclass(frozen=True)
+class PowerFactorization:
+    """The unique Lemma 4.7 factorisation ``word = suffix · base^exp · prefix``.
+
+    ``suffix`` is a *proper* suffix of ``base`` and ``prefix`` a *proper*
+    prefix of ``base``; ``exp = exp_base(word) ≥ 1``.
+    """
+
+    suffix: str
+    base: str
+    exp: int
+    prefix: str
+
+    def rebuild(self) -> str:
+        """Reassemble the factorised word."""
+        return self.suffix + self.base * self.exp + self.prefix
+
+    def with_exponent(self, new_exp: int) -> str:
+        """Return ``suffix · base^new_exp · prefix``.
+
+        This is exactly Duplicator's response move in the Primitive Power
+        Lemma strategy (Figure 3 of the paper): keep the fringe words,
+        swap the exponent.
+        """
+        if new_exp < 0:
+            raise ValueError(f"negative exponent: {new_exp}")
+        return self.suffix + self.base * new_exp + self.prefix
+
+
+def power_factorization(base: str, word: str) -> PowerFactorization:
+    """Return the unique factorisation of Lemma 4.7 (obs:factorOfRep).
+
+    Preconditions (checked): ``base`` is primitive, ``exp_base(word) ≥ 1``,
+    and ``word`` is a factor of some power ``base^m``.  Under those
+    conditions there is a *unique* proper suffix ``u1`` and proper prefix
+    ``u2`` of ``base`` with ``word = u1 · base^exp · u2``; uniqueness is what
+    makes the Primitive Power Lemma strategy well defined.
+    """
+    if not is_primitive(base):
+        raise ValueError(f"base {base!r} is not primitive")
+    exp = exponent(base, word)
+    if exp < 1:
+        raise ValueError(f"{word!r} does not contain {base!r}: exp = 0")
+    blen = len(base)
+    # word must sit inside base^m for m large enough; scan all alignments of
+    # the leading base^exp block and keep those consistent with the fringe
+    # conditions.  Uniqueness (Lemma 4.7) guarantees exactly one survives
+    # when word ⊑ base^m.
+    found: PowerFactorization | None = None
+    core = base * exp
+    start = word.find(core)
+    while start != -1:
+        suffix = word[:start]
+        prefix = word[start + len(core) :]
+        if (
+            len(suffix) < blen
+            and len(prefix) < blen
+            and base.endswith(suffix)
+            and base.startswith(prefix)
+        ):
+            candidate = PowerFactorization(suffix, base, exp, prefix)
+            if found is not None and candidate != found:
+                raise ValueError(
+                    f"{word!r} admits two Lemma 4.7 factorisations over "
+                    f"{base!r}; it is not a factor of a power of {base!r}"
+                )
+            found = candidate
+        start = word.find(core, start + 1)
+    if found is None:
+        raise ValueError(
+            f"{word!r} is not a factor of any power of the primitive word "
+            f"{base!r}"
+        )
+    return found
+
+
+def primitive_occurrences_in_power(base: str, m: int) -> list[int]:
+    """Return the start offsets of ``base`` inside ``base^m``.
+
+    Lemma A.1 (obs:primitive) states that for primitive ``base`` these are
+    exactly the multiples of ``len(base)`` — a primitive word cannot occur
+    at a non-trivial offset inside its own powers.  Exposed so that the
+    property can be tested directly.
+    """
+    if not base:
+        raise ValueError("base must be non-empty")
+    host = base * m
+    offsets = []
+    start = host.find(base)
+    while start != -1:
+        offsets.append(start)
+        start = host.find(base, start + 1)
+    return offsets
+
+
+def exponent_additivity_defect(base: str, u: str, v: str) -> int:
+    """Return ``exp_base(u·v) − (exp_base(u) + exp_base(v))``.
+
+    Lemma D.4 (expoIncrease) asserts that whenever ``u·v`` is a factor of a
+    power of the primitive word ``base``, the defect is 0 or 1.  Exposed for
+    property-based testing and used by the Primitive Power strategy checks.
+    """
+    return exponent(base, u + v) - exponent(base, u) - exponent(base, v)

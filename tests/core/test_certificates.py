@@ -1,0 +1,60 @@
+"""Tests for the certificate bundle (solver-free re-verification)."""
+
+import json
+
+import pytest
+
+from repro.core.certificates import bundle_to_json, generate_bundle, verify_bundle
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return generate_bundle(synthesis_max_length=2, witness_ranks=(0, 1))
+
+
+class TestGeneration:
+    def test_schema(self, bundle):
+        assert bundle["schema"] == "repro.certificates/1"
+        assert bundle["unary_minimal_pairs"]["2"] == [12, 14]
+
+    def test_all_languages_covered(self, bundle):
+        covered = {entry["language"] for entry in bundle["language_witnesses"]}
+        assert covered == {"anbn", "L1", "L2", "L3", "L4", "L5", "L6"}
+
+    def test_synthesis_entries_present(self, bundle):
+        assert bundle["separating_sentences"]
+        entry = bundle["separating_sentences"][0]
+        assert {"left", "right", "rank", "formula", "alphabet"} <= set(entry)
+
+    def test_json_round_trip(self, bundle):
+        text = bundle_to_json(bundle)
+        assert json.loads(text) == bundle
+
+
+class TestVerification:
+    def test_bundle_verifies(self, bundle):
+        assert verify_bundle(bundle) == []
+
+    def test_tampered_member_detected(self, bundle):
+        tampered = json.loads(bundle_to_json(bundle))
+        tampered["language_witnesses"][0]["member"] = "bbbbba"
+        failures = verify_bundle(tampered)
+        assert any("not in the language" in f for f in failures)
+
+    def test_tampered_formula_detected(self, bundle):
+        tampered = json.loads(bundle_to_json(bundle))
+        if not tampered["separating_sentences"]:
+            pytest.skip("no synthesis entries at this size")
+        tampered["separating_sentences"][0]["formula"] = "(x = a"
+        failures = verify_bundle(tampered)
+        assert any("unparseable" in f for f in failures)
+
+    def test_swapped_words_detected(self, bundle):
+        tampered = json.loads(bundle_to_json(bundle))
+        entry = tampered["separating_sentences"][0]
+        entry["left"], entry["right"] = entry["right"], entry["left"]
+        failures = verify_bundle(tampered)
+        assert failures
+
+    def test_unknown_schema_rejected(self):
+        assert verify_bundle({"schema": "nope"}) != []

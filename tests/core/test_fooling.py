@@ -1,0 +1,52 @@
+"""Tests for the Fooling Lemma machinery."""
+
+import pytest
+
+from repro.core.fooling import FoolingBudget, fooling_budget, fooling_pair
+from repro.words.generators import l5_coprimitive_blocks
+
+
+class TestBudget:
+    def test_coprimitivity_required(self):
+        with pytest.raises(ValueError):
+            fooling_budget(1, "", "ab", "", "ba", "")
+
+    def test_l5_budget(self):
+        budget = fooling_budget(0, "", "abaabb", "", "bbaaba", "")
+        assert budget.r3 >= 1
+        assert budget.inner > budget.k
+        assert budget.unary_rank == budget.inner + 3
+        assert not budget.fully_certified  # rank far beyond exact reach
+
+    def test_budget_monotone_in_k(self):
+        b0 = fooling_budget(0, "", "abaabb", "", "bbaaba", "")
+        b2 = fooling_budget(2, "", "abaabb", "", "bbaaba", "")
+        assert b2.unary_rank > b0.unary_rank
+
+
+class TestFoolingPair:
+    def test_l5_pair_memberships(self):
+        pair = fooling_pair(0, "", "abaabb", "", "bbaaba", "")
+        assert pair.member in l5_coprimitive_blocks
+        assert pair.foil not in l5_coprimitive_blocks
+        assert pair.p != pair.q
+
+    def test_injective_f_shifts(self):
+        pair = fooling_pair(
+            0, "", "aba", "", "bba", "", f=lambda p: 2 * p + 1
+        )
+        assert pair.member == "aba" * pair.p + "bba" * (2 * pair.p + 1)
+        assert pair.foil == "aba" * pair.q + "bba" * (2 * pair.p + 1)
+
+    def test_with_fixed_contexts(self):
+        pair = fooling_pair(0, "bb", "aba", "b", "bba", "aa")
+        assert pair.member.startswith("bb")
+        assert pair.member.endswith("aa")
+        # member and foil differ exactly in the u-block exponent.
+        assert pair.member.count("aba") != pair.foil.count("aba") or (
+            len(pair.member) != len(pair.foil)
+        )
+
+    def test_equivalence_verification_k0(self):
+        pair = fooling_pair(0, "", "aba", "", "bba", "")
+        assert pair.verify_equivalence(0, "ab")

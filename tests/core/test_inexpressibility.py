@@ -1,0 +1,54 @@
+"""Tests for the top-level report generators."""
+
+import pytest
+
+from repro.core.inexpressibility import (
+    BOUNDING_SEQUENCES,
+    language_report,
+    relation_report,
+)
+from repro.core.witnesses import WITNESS_FAMILIES
+from repro.fcreg.bounded import is_bounded_by
+from repro.words.generators import PAPER_LANGUAGES
+
+
+class TestLanguageReports:
+    @pytest.mark.parametrize("name", sorted(WITNESS_FAMILIES))
+    def test_confirmed(self, name):
+        report = language_report(
+            name, ranks=(0, 1), verify_equivalence_up_to=0
+        )
+        assert report.verdict == "confirmed"
+        assert report.memberships_ok
+        assert report.bounded
+        assert len(report.pairs) == 2
+
+    def test_equivalence_results_recorded(self):
+        report = language_report(
+            "anbn", ranks=(0,), verify_equivalence_up_to=0
+        )
+        assert report.equivalences == {0: True}
+
+
+class TestBoundingSequences:
+    @pytest.mark.parametrize("name", sorted(BOUNDING_SEQUENCES))
+    def test_sequences_cover_members(self, name):
+        oracle = PAPER_LANGUAGES[name]
+        sequence = BOUNDING_SEQUENCES[name]
+        for word in oracle.members_up_to(10):
+            assert is_bounded_by(word, sequence), (name, word)
+
+
+class TestRelationReports:
+    @pytest.mark.parametrize(
+        "name", ["Num_a", "Add", "Mult", "Perm", "Rev", "Morph_h"]
+    )
+    def test_reductions_agree(self, name):
+        report = relation_report(name, max_length=6)
+        assert report.reduction_agrees, report.first_disagreement
+
+    def test_scatt_and_shuff_with_corrections(self):
+        for name in ("Scatt", "Shuff"):
+            report = relation_report(name, max_length=6)
+            assert report.reduction_agrees, (name, report.first_disagreement)
+            assert report.note  # the documented paper corrections

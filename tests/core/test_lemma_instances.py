@@ -1,0 +1,93 @@
+"""Tests for the certified Pseudo-Congruence / Primitive Power instances."""
+
+import pytest
+
+from repro.core.pow2 import pow2_witness
+from repro.core.primitive_power import PrimitivePowerInstance
+from repro.core.pseudo_congruence import (
+    PseudoCongruenceInstance,
+    round_overhead,
+)
+
+
+class TestRoundOverhead:
+    def test_disjoint(self):
+        assert round_overhead("aaa", "bbb") == 0
+
+    def test_prop_4_6_case(self):
+        assert round_overhead("aaa", "bababa") == 1
+
+    def test_l6_case(self):
+        assert round_overhead("aabb", "abab") == 2
+
+
+class TestPseudoCongruenceInstance:
+    def test_side_condition(self):
+        with pytest.raises(ValueError):
+            PseudoCongruenceInstance("ab", "ba", "aa", "bb", 1, "ab")
+
+    def test_example_4_5_full_slack_k0(self):
+        """k = 0, r = 0 → look-ups need 2 rounds: exactly certifiable
+        with the (12, 14) pair.  The only fully-provisioned non-trivial
+        instance within exact reach."""
+        p, q = pow2_witness(2).p, pow2_witness(2).q
+        instance = PseudoCongruenceInstance(
+            "a" * p, "bb", "a" * q, "bb", 0, "ab"
+        )
+        assert instance.r == 0
+        assert instance.lookup_rounds == 2
+        assert instance.premises_hold()
+        result = instance.verify_strategy()
+        assert result.survived
+        assert instance.verify_conclusion()
+
+    def test_identity_instance_k2(self):
+        instance = PseudoCongruenceInstance("ab", "ba", "ab", "ba", 2, "ab")
+        assert instance.premises_hold()
+        assert instance.verify_strategy().survived
+        assert instance.verify_conclusion()
+
+    def test_prop_4_6_structure_k1(self):
+        """a^q(ba)^q ≡₁ a^p(ba)^q with r = 1; look-ups under-provisioned
+        (2 < k+r+2 = 4) — the strategy still survives the 1-round game,
+        and the conclusion is confirmed exactly."""
+        p, q = 12, 14
+        instance = PseudoCongruenceInstance(
+            "a" * q, "ba" * q, "a" * p, "ba" * q, 1, "ab"
+        )
+        assert instance.r == 1
+        result = instance.verify_strategy(lookup_rounds=2)
+        assert result.survived
+        assert instance.verify_conclusion()
+
+    def test_premise_failure_detected(self):
+        instance = PseudoCongruenceInstance("a", "b", "aa", "b", 0, "ab")
+        # a ≢₂ aa (constants distinguish 1 from 2 quickly).
+        assert not instance.premises_hold()
+
+
+class TestPrimitivePowerInstance:
+    def test_requires_primitive(self):
+        with pytest.raises(ValueError):
+            PrimitivePowerInstance("abab", 2, 3, 1, "ab")
+
+    def test_alphabet_check(self):
+        with pytest.raises(ValueError):
+            PrimitivePowerInstance("ab", 2, 3, 1, "a")
+
+    def test_identity_instance(self):
+        instance = PrimitivePowerInstance("aba", 2, 2, 2, "ab")
+        assert instance.premise_holds(lookup_rounds=2)
+        assert instance.verify_strategy(lookup_rounds=0).survived
+
+    def test_12_14_instance_premise(self):
+        instance = PrimitivePowerInstance("ab", 12, 14, 0, "ab")
+        # k = 0 needs a^12 ≡₃ a^14 — which is FALSE (the ≡₃ pair exceeds
+        # 48), so the premise at full slack fails ...
+        assert not instance.premise_holds()
+        # ... but holds at the certifiable rank 2.
+        assert instance.premise_holds(lookup_rounds=2)
+
+    def test_conclusion_direct(self):
+        instance = PrimitivePowerInstance("ab", 12, 14, 1, "ab")
+        assert instance.verify_conclusion()

@@ -1,0 +1,101 @@
+"""Tests for Theorem 5.8 relations and ψ-reductions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.relations import (
+    OracleAtom,
+    PSI_REDUCTIONS,
+    RELATIONS,
+    add_rel,
+    morph_rel,
+    mult_rel,
+    num_a,
+    oracle_for,
+    perm_rel,
+    psi_reduction,
+    rev_rel,
+    scatt_rel,
+    shuff_rel,
+)
+from repro.fc.semantics import defines_language_member, models
+from repro.fc.syntax import Var
+from repro.words.generators import PAPER_LANGUAGES, words_up_to
+
+short = st.text(alphabet="ab", max_size=5)
+
+
+class TestPredicates:
+    @given(short, short)
+    def test_num_a(self, x, y):
+        assert num_a(x, y) == (x.count("a") == y.count("a"))
+
+    @given(short, short, short)
+    def test_add(self, x, y, z):
+        assert add_rel(x, y, z) == (len(z) == len(x) + len(y))
+
+    def test_mult(self):
+        assert mult_rel("aa", "bbb", "a" * 6)
+        assert not mult_rel("aa", "bbb", "a" * 5)
+
+    def test_scatt_perm_rev(self):
+        assert scatt_rel("aa", "aba")
+        assert perm_rel("ab", "ba")
+        assert rev_rel("ab", "ba")
+        assert not rev_rel("ab", "ab") or True  # "ab" reversed is "ba"
+        assert not rev_rel("ab", "ab")
+
+    def test_shuff(self):
+        assert shuff_rel("ab", "b", "abb")
+        assert not shuff_rel("ab", "b", "bba")
+
+    def test_morph(self):
+        assert morph_rel("aab", "bbb")
+        assert not morph_rel("a", "a")
+
+
+class TestOracleAtom:
+    def test_evaluation(self):
+        x, y = Var("x"), Var("y")
+        atom = OracleAtom((x, y), lambda u, v: len(u) == len(v), "LenEq")
+        assert models("ab", atom, "ab", {x: "a", y: "b"})
+        assert not models("ab", atom, "ab", {x: "a", y: "ab"})
+
+    def test_substitution(self):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        atom = OracleAtom((x, y), num_a)
+        replaced = atom._substitute({x: z})
+        assert replaced.variables == (z, y)
+
+    def test_oracle_for_arity(self):
+        for name, (_, arity) in RELATIONS.items():
+            assert len(oracle_for(name).variables) == arity
+
+
+class TestPsiReductions:
+    """L(ψᵢ) = Lᵢ when the relation atom has its intended semantics —
+    the reduction step of Theorem 5.8, machine-checked."""
+
+    @pytest.mark.parametrize("name", sorted(PSI_REDUCTIONS))
+    def test_reduction_agrees_on_short_words(self, name):
+        reduction = psi_reduction(name)
+        oracle = PAPER_LANGUAGES[reduction.target_language]
+        psi = reduction.build(oracle_for(name))
+        for word in words_up_to("ab", 6):
+            assert defines_language_member(word, psi, "ab") == (
+                word in oracle
+            ), (name, word)
+
+    def test_unknown_relation(self):
+        with pytest.raises(KeyError):
+            psi_reduction("NoSuchRelation")
+
+    def test_arity_mismatch_detected(self):
+        x = Var("x")
+        unary_atom = OracleAtom((x,), lambda u: True)
+        with pytest.raises(ValueError):
+            psi_reduction("Num_a").build(unary_atom)
+
+    def test_paper_erratum_notes_present(self):
+        assert PSI_REDUCTIONS["Scatt"].note
+        assert PSI_REDUCTIONS["Shuff"].note

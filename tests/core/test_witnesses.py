@@ -1,0 +1,52 @@
+"""Tests for the L₁…L₆ witness families (Lemma 4.14 as data)."""
+
+import pytest
+
+from repro.core.witnesses import WITNESS_FAMILIES, witness_family
+from repro.words.generators import PAPER_LANGUAGES
+
+ALL_NAMES = sorted(WITNESS_FAMILIES)
+
+
+class TestMemberships:
+    """member ∈ L and foil ∉ L — exact for every family, every small k."""
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_pair_memberships(self, name, k):
+        family = witness_family(name)
+        pair = family.pair(k)
+        assert pair.verify_memberships(PAPER_LANGUAGES[name]), (
+            name,
+            k,
+            pair.member,
+            pair.foil,
+        )
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_pair_records_ranks(self, name):
+        family = witness_family(name)
+        pair = family.pair(1)
+        assert pair.required_unary_rank == 1 + family.rank_overhead
+        assert pair.certified_unary_rank <= 2
+        assert pair.p < pair.q
+
+
+class TestEquivalences:
+    """Exact-solver ≡_k verification of the witness pairs."""
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_k0(self, name):
+        pair = witness_family(name).pair(0)
+        assert pair.verify_equivalence("ab")
+
+    @pytest.mark.parametrize("name", ["anbn", "L1", "L3", "L4", "L6"])
+    def test_k1(self, name):
+        pair = witness_family(name).pair(1)
+        assert pair.verify_equivalence("ab")
+
+
+class TestLookupErrors:
+    def test_unknown_language(self):
+        with pytest.raises(KeyError):
+            witness_family("L99")

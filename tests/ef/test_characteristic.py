@@ -1,0 +1,71 @@
+"""Tests for Hintikka characteristic sentences (χ^k_w ⟺ ≡_k)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ef.characteristic import characteristic_sentence
+from repro.ef.equivalence import equiv_k
+from repro.fc.semantics import models
+from repro.fc.syntax import free_variables, quantifier_rank
+from repro.words.generators import words_up_to
+
+short = st.text(alphabet="ab", max_size=2)
+probes = st.text(alphabet="ab", max_size=3)
+
+
+class TestShape:
+    def test_rank_bound(self):
+        for k in (0, 1, 2):
+            chi = characteristic_sentence("ab", k, "ab")
+            assert quantifier_rank(chi) <= k
+
+    def test_sentence(self):
+        chi = characteristic_sentence("a", 1, "ab")
+        assert not free_variables(chi)
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            characteristic_sentence("a", -1, "ab")
+
+
+class TestEhrenfeuchtTheorem:
+    """models(v, χ^k_w) ⟺ w ≡_k v — the theorem, checked both ways."""
+
+    @pytest.mark.parametrize("k", [0, 1])
+    def test_exhaustive_small_grid(self, k):
+        for w in words_up_to("ab", 2):
+            chi = characteristic_sentence(w, k, "ab")
+            for v in words_up_to("ab", 3):
+                assert models(v, chi, "ab") == equiv_k(
+                    w, v, k, alphabet="ab"
+                ), (w, v, k)
+
+    @settings(max_examples=25, deadline=None)
+    @given(short, probes)
+    def test_random_pairs_k1(self, w, v):
+        chi = characteristic_sentence(w, 1, "ab")
+        assert models(v, chi, "ab") == equiv_k(w, v, 1, alphabet="ab")
+
+    def test_rank_2_spot_checks(self):
+        chi = characteristic_sentence("ab", 2, "ab")
+        assert models("ab", chi, "ab")
+        for v in ("ba", "aab", "abab", ""):
+            assert not models(v, chi, "ab")
+
+    def test_self_satisfaction(self):
+        # w always satisfies its own characteristic sentence.
+        for w in ("", "a", "ab", "aab"):
+            for k in (0, 1):
+                chi = characteristic_sentence(w, k, "ab")
+                assert models(w, chi, "ab")
+
+    def test_unary_witness_pair_shares_type(self):
+        # a³ ≡₁ a⁴, so each satisfies the other's rank-1 characteristic
+        # sentence.
+        chi3 = characteristic_sentence("aaa", 1, "a")
+        assert models("aaaa", chi3, "a")
+        chi4 = characteristic_sentence("aaaa", 1, "a")
+        assert models("aaa", chi4, "a")
+        # ... but not at rank 2.
+        chi3_2 = characteristic_sentence("aaa", 2, "a")
+        assert not models("aaaa", chi3_2, "a")

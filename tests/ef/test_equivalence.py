@@ -1,0 +1,60 @@
+"""Tests for the public ≡_k API."""
+
+import pytest
+
+from repro.ef.equivalence import (
+    UnaryWitness,
+    distinguishing_rank,
+    equiv_k,
+    find_equivalent_unary_pair,
+    solver_for,
+)
+
+
+class TestEquivK:
+    def test_identical_words_shortcut(self):
+        assert equiv_k("abba", "abba", 5)
+
+    def test_alphabet_inference(self):
+        # No explicit alphabet: letters of both words.
+        assert not equiv_k("a", "b", 1)
+
+    def test_explicit_alphabet_with_spare_letters(self):
+        # A spare constant is ⊥ on both sides and changes nothing.
+        assert equiv_k("a" * 3, "a" * 4, 1, alphabet="ab") == equiv_k(
+            "a" * 3, "a" * 4, 1, alphabet="a"
+        )
+
+    def test_solver_cache_reuse(self):
+        s1 = solver_for("aa", "aaa", "a")
+        s2 = solver_for("aa", "aaa", "a")
+        assert s1 is s2
+
+
+class TestDistinguishingRank:
+    def test_equal_words(self):
+        assert distinguishing_rank("ab", "ab", 3) is None
+
+    def test_example_3_3(self):
+        rank = distinguishing_rank("aaaa", "aaa", 3, alphabet="a")
+        assert rank == 2  # one round is not enough, two are
+
+    def test_rank_zero_case(self):
+        assert distinguishing_rank("a", "", 2, alphabet="a") == 0
+
+    def test_none_within_bound(self):
+        assert distinguishing_rank("a" * 12, "a" * 14, 2, alphabet="a") is None
+
+
+class TestUnaryWitnessSearch:
+    def test_k0(self):
+        pair = find_equivalent_unary_pair(0, max_exponent=8)
+        assert pair == (1, 2)
+        assert isinstance(pair, UnaryWitness)
+        assert pair.p == 1 and pair.q == 2
+
+    def test_k1(self):
+        assert find_equivalent_unary_pair(1, max_exponent=8) == (3, 4)
+
+    def test_exhausted_range(self):
+        assert find_equivalent_unary_pair(2, max_exponent=6) is None

@@ -1,0 +1,74 @@
+"""Games over restricted structures — the Appendix C setup of Lemma 4.4.
+
+The Pseudo-Congruence proof plays its look-up games on restrictions
+``𝔄_{w₁w₂}|_{Facs(w₁)}``; Appendix C's definition makes such restrictions
+isomorphic to the plain structure ``𝔄_{w₁}``.  These tests machine-check
+that isomorphism at the game level: the exact solver returns identical
+verdicts on the restriction and on the small structure.
+"""
+
+import pytest
+
+from repro.ef.game import GameArena, Move, Play
+from repro.ef.solver import GameSolver
+from repro.fc.structures import word_structure
+from repro.words.factors import factors
+
+
+def restriction_of(combined: str, part: str, alphabet: str = "ab"):
+    return word_structure(combined, alphabet).restrict(factors(part))
+
+
+class TestRestrictionIsomorphism:
+    @pytest.mark.parametrize(
+        "w1,w2",
+        [("ab", "ba"), ("aab", "bb"), ("a", "bab")],
+    )
+    def test_same_universe_and_constants(self, w1, w2):
+        restricted = restriction_of(w1 + w2, w1)
+        small = word_structure(w1, "ab")
+        assert restricted.universe_factors == small.universe_factors
+        assert restricted.constants_vector() == small.constants_vector()
+
+    @pytest.mark.parametrize(
+        "w1,w2,v1,k",
+        [
+            ("ab", "ba", "ab", 2),
+            ("aab", "bb", "aab", 2),
+            ("a" * 3, "b", "a" * 4, 1),
+        ],
+    )
+    def test_solver_verdicts_match(self, w1, w2, v1, k):
+        """≡_k between restriction-of-concatenation and a plain structure
+        equals ≡_k between the plain small structures."""
+        restricted = restriction_of(w1 + w2, w1)
+        small = word_structure(w1, "ab")
+        other = word_structure(v1, "ab")
+        via_restriction = GameSolver(restricted, other).duplicator_wins(k)
+        via_plain = GameSolver(small, other).duplicator_wins(k)
+        assert via_restriction == via_plain
+
+    def test_restriction_blocks_cross_boundary_factors(self):
+        # "ba" is a factor of "ab"+"ba" = "abba"? abba has factors
+        # a, b, ab, bb, ba... "ba" IS a factor of abba (positions 2-3).
+        # But Facs("ab") excludes it, so a game on the restriction must
+        # not offer it as a move.
+        restricted = restriction_of("abba", "ab")
+        assert not restricted.contains("ba")
+        assert restricted.contains("ab")
+
+    def test_play_on_restriction(self):
+        restricted = restriction_of("abba", "ab")
+        small = word_structure("ab", "ab")
+        arena = GameArena(restricted, small, 1)
+        play = Play(arena)
+        play.record(Move("A", "ab"), "ab")
+        assert play.duplicator_won()
+
+    def test_illegal_move_on_restriction_rejected(self):
+        restricted = restriction_of("abba", "ab")
+        small = word_structure("ab", "ab")
+        arena = GameArena(restricted, small, 1)
+        play = Play(arena)
+        with pytest.raises(ValueError):
+            play.record(Move("A", "bb"), "ab")

@@ -1,0 +1,144 @@
+"""Tests for the exact EF-game solver.
+
+Covers Example 3.3, Theorem 3.4 consistency (via the FC(k) sentence pool),
+Lemma 3.5's contrapositive (distinguishing formulas force ≢_k), and basic
+sanity (reflexivity, monotonicity in k, symmetry).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ef.equivalence import distinguishing_rank, equiv_k
+from repro.ef.solver import GameSolver, solve_equivalence
+from repro.fc.builders import phi_vbv, phi_ww
+from repro.fc.enumeration import sentence_pool
+from repro.fc.semantics import defines_language_member
+from repro.fc.structures import word_structure
+from repro.fc.syntax import quantifier_rank
+
+short_words = st.text(alphabet="ab", max_size=4)
+
+
+class TestBasicProperties:
+    @given(short_words, st.integers(0, 2))
+    def test_reflexive(self, w, k):
+        assert equiv_k(w, w, k, alphabet="ab")
+
+    @given(short_words, short_words)
+    def test_symmetric(self, w, v):
+        assert equiv_k(w, v, 1, alphabet="ab") == equiv_k(
+            v, w, 1, alphabet="ab"
+        )
+
+    @given(short_words, short_words)
+    def test_monotone_in_k(self, w, v):
+        # More rounds only help Spoiler: ≡_2 implies ≡_1 implies ≡_0.
+        results = [equiv_k(w, v, k, alphabet="ab") for k in (0, 1, 2)]
+        for earlier, later in zip(results, results[1:]):
+            if later:
+                assert earlier
+
+    def test_distinct_words_eventually_distinguished(self):
+        # Short distinct words are separated within a few rounds.
+        assert distinguishing_rank("ab", "ba", 3, alphabet="ab") is not None
+
+    def test_rank_zero_constant_separation(self):
+        # "a" vs "": the constants vector alone separates (ε vs ⊥ ... the
+        # letter a is ⊥ in the empty word's structure).
+        assert not equiv_k("a", "", 0, alphabet="a")
+
+
+class TestExampleThreeThree:
+    """Example 3.3: Spoiler wins the 2-round game on a^{2i} vs a^{2i-1}."""
+
+    @pytest.mark.parametrize("i", [1, 2, 3])
+    def test_not_equiv_2(self, i):
+        assert not equiv_k("a" * (2 * i), "a" * (2 * i - 1), 2, alphabet="a")
+
+    @pytest.mark.parametrize("i", [2, 3])
+    def test_equiv_1_for_larger(self, i):
+        # One round is not enough to separate long unary words (both ≥ 3).
+        assert equiv_k("a" * (2 * i), "a" * (2 * i - 1), 1, alphabet="a")
+
+    def test_spoiler_winning_move_exists(self):
+        solver = GameSolver(
+            word_structure("aaaa", "a"), word_structure("aaa", "a")
+        )
+        move = solver.spoiler_winning_move(2)
+        assert move is not None
+
+    def test_paper_strategy_first_move(self):
+        # The paper's Spoiler opens with the whole word a^{2i}; verify that
+        # this specific move is winning (no Duplicator response survives).
+        solver = GameSolver(
+            word_structure("aaaa", "a"), word_structure("aaa", "a")
+        )
+        from repro.ef.game import Move
+
+        assert solver.winning_response(2, frozenset(), Move("A", "aaaa")) is None
+
+
+class TestEhrenfeuchtConsistency:
+    """Theorem 3.4: ≡_k implies agreement on all FC(k) sentences (we check
+    a structured pool — a necessary condition the solver must satisfy)."""
+
+    POOL_1 = list(sentence_pool(1, "ab", max_atoms=1))
+
+    @settings(max_examples=25, deadline=None)
+    @given(short_words, short_words)
+    def test_equiv_1_pairs_agree_on_pool(self, w, v):
+        if not equiv_k(w, v, 1, alphabet="ab"):
+            return
+        for sentence in self.POOL_1:
+            assert defines_language_member(w, sentence, "ab") == (
+                defines_language_member(v, sentence, "ab")
+            ), f"{sentence!r} separates {w!r} ≡_1 {v!r}"
+
+    def test_explicit_formula_forces_inequivalence(self):
+        # φ_ww has rank ≤ 3 and separates abab from aba, so aba ≢_3 abab.
+        phi = phi_ww()
+        k = quantifier_rank(phi)
+        assert defines_language_member("abab", phi, "ab")
+        assert not defines_language_member("aba", phi, "ab")
+        assert not equiv_k("abab", "aba", k, alphabet="ab")
+
+    def test_vbv_formula_matches_prop_3_7(self):
+        # φ_vbv (rank 5) separates a^1 b a^1 from a^2 b a^1; the solver
+        # must therefore report ≢_k for some k ≤ 5 (it does at small k —
+        # short words are easy to tell apart; this checks consistency).
+        phi = phi_vbv()
+        assert defines_language_member("aba", phi, "ab")
+        assert not defines_language_member("aaba", phi, "ab")
+        rank = distinguishing_rank("aba", "aaba", 5, alphabet="ab")
+        assert rank is not None
+        assert rank <= quantifier_rank(phi)
+
+
+class TestSolverMechanics:
+    def test_one_shot_helper(self):
+        assert solve_equivalence(
+            word_structure("ab", "ab"), word_structure("ab", "ab"), 2
+        )
+
+    def test_memo_grows(self):
+        solver = GameSolver(
+            word_structure("aaa", "a"), word_structure("aaaa", "a")
+        )
+        solver.duplicator_wins(2)
+        assert solver.memo_size() > 0
+
+    def test_inconsistent_start_is_spoiler_win(self):
+        solver = GameSolver(
+            word_structure("aa", "a"), word_structure("aaa", "a")
+        )
+        bad = frozenset({("aa", "a")})  # breaks constants mirroring
+        assert not solver.duplicator_wins(1, bad)
+
+    def test_winning_response_requires_rounds(self):
+        solver = GameSolver(
+            word_structure("aa", "a"), word_structure("aa", "a")
+        )
+        from repro.ef.game import Move
+
+        with pytest.raises(ValueError):
+            solver.winning_response(0, frozenset(), Move("A", "a"))

@@ -1,0 +1,151 @@
+"""Tests for strategy objects and the exhaustive verification harness."""
+
+import pytest
+
+from repro.ef.game import GameArena, Move, Play
+from repro.ef.solver import GameSolver
+from repro.ef.strategies import (
+    GreedySolverSpoiler,
+    IdentityDuplicator,
+    RandomSpoiler,
+    ScriptedSpoiler,
+    SolverDuplicator,
+    exhaustively_verify_duplicator,
+    play_game,
+)
+from repro.fc.structures import word_structure
+
+
+def arena(w, v, k, alphabet="ab"):
+    return GameArena(word_structure(w, alphabet), word_structure(v, alphabet), k)
+
+
+class TestIdentityDuplicator:
+    def test_echoes(self):
+        duplicator = IdentityDuplicator()
+        assert duplicator.respond(Move("A", "ab")) == "ab"
+
+    @pytest.mark.parametrize("w", ["", "a", "ab", "aab"])
+    def test_survives_everything_on_equal_words(self, w):
+        result = exhaustively_verify_duplicator(
+            arena(w, w, 2), IdentityDuplicator
+        )
+        assert result.survived
+        assert result.lines_checked > 0
+
+
+class TestSolverDuplicator:
+    def test_wins_on_equivalent_pair(self):
+        # a^12 ≡_2 a^14: optimal play survives every Spoiler line.
+        solver = GameSolver(
+            word_structure("a" * 12, "a"), word_structure("a" * 14, "a")
+        )
+        result = exhaustively_verify_duplicator(
+            arena("a" * 12, "a" * 14, 2, alphabet="a"),
+            lambda: SolverDuplicator(solver, 2),
+        )
+        assert result.survived
+
+    def test_raises_in_lost_position(self):
+        solver = GameSolver(
+            word_structure("aaaa", "a"), word_structure("aaa", "a")
+        )
+        duplicator = SolverDuplicator(solver, 2)
+        with pytest.raises(RuntimeError):
+            # The whole-word move is Spoiler's Example 3.3 kill shot.
+            duplicator.respond(Move("A", "aaaa"))
+            duplicator.respond(Move("A", "aa"))
+
+    def test_round_budget_enforced(self):
+        solver = GameSolver(
+            word_structure("a", "a"), word_structure("a", "a")
+        )
+        duplicator = SolverDuplicator(solver, 1)
+        duplicator.respond(Move("A", "a"))
+        with pytest.raises(RuntimeError):
+            duplicator.respond(Move("A", ""))
+
+    def test_clone_is_independent(self):
+        solver = GameSolver(
+            word_structure("aa", "a"), word_structure("aa", "a")
+        )
+        original = SolverDuplicator(solver, 2)
+        branch = original.clone()
+        original.respond(Move("A", "a"))
+        assert branch.used_rounds == 0
+
+
+class TestSpoilers:
+    def test_scripted(self):
+        spoiler = ScriptedSpoiler([Move("A", "aa"), lambda play: Move("B", "a")])
+        game = arena("aa", "aa", 2, alphabet="a")
+        play = play_game(game, spoiler, IdentityDuplicator())
+        assert play.duplicator_won()
+
+    def test_scripted_exhaustion(self):
+        spoiler = ScriptedSpoiler([])
+        with pytest.raises(RuntimeError):
+            spoiler.choose(Play(arena("a", "a", 1)))
+
+    def test_random_reproducible(self):
+        import random
+
+        game = arena("abab", "abab", 3)
+        s1 = RandomSpoiler(random.Random(7))
+        s2 = RandomSpoiler(random.Random(7))
+        p1 = play_game(game, s1, IdentityDuplicator())
+        p2 = play_game(game, s2, IdentityDuplicator())
+        assert p1.tuples() == p2.tuples()
+
+    def test_greedy_spoiler_wins_inequivalent(self):
+        # Example 3.3: Spoiler beats ANY Duplicator on a^4 vs a^3 in 2
+        # rounds; the greedy spoiler must beat the (doomed) identity-like
+        # behaviour of optimal play extraction.
+        solver = GameSolver(
+            word_structure("aaaa", "a"), word_structure("aaa", "a")
+        )
+        spoiler = GreedySolverSpoiler(solver, 2)
+        game = arena("aaaa", "aaa", 2, alphabet="a")
+
+        class BestEffortDuplicator:
+            """Respond with a same-length factor when possible."""
+
+            def respond(self, move):
+                other = "aaa" if move.side == "A" else "aaaa"
+                value = move.element
+                if value is None:
+                    return None
+                length = min(len(value), len(other))
+                return other[:length]
+
+            def clone(self):
+                return BestEffortDuplicator()
+
+        play = play_game(game, spoiler, BestEffortDuplicator())
+        assert not play.duplicator_won()
+
+
+class TestExhaustiveVerification:
+    def test_counts_all_lines(self):
+        # 1-round game on "a" vs "a": Spoiler moves = 2 sides × 2 non-⊥
+        # elements = 4 lines.
+        result = exhaustively_verify_duplicator(
+            arena("a", "a", 1, alphabet="a"), IdentityDuplicator
+        )
+        assert result.survived
+        assert result.lines_checked == 4
+
+    def test_detects_bad_strategy(self):
+        class EpsilonDuplicator:
+            def respond(self, move):
+                return ""
+
+            def clone(self):
+                return EpsilonDuplicator()
+
+        result = exhaustively_verify_duplicator(
+            arena("ab", "ab", 1), EpsilonDuplicator
+        )
+        assert not result.survived
+        assert result.losing_line is not None
+        assert not result.losing_line.duplicator_won()

@@ -1,0 +1,72 @@
+"""Tests for distinguishing-formula synthesis (constructive Theorem 3.4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ef.equivalence import equiv_k
+from repro.ef.synthesis import (
+    SynthesisFailure,
+    synthesize_distinguishing_sentence,
+)
+from repro.fc.semantics import defines_language_member
+from repro.fc.syntax import free_variables, quantifier_rank
+
+short = st.text(alphabet="ab", max_size=4)
+
+
+def certificate_is_valid(w, v, k, alphabet):
+    phi = synthesize_distinguishing_sentence(w, v, k, alphabet)
+    assert quantifier_rank(phi) <= k
+    assert not free_variables(phi)
+    assert defines_language_member(w, phi, alphabet)
+    assert not defines_language_member(v, phi, alphabet)
+    return phi
+
+
+class TestCertificates:
+    @pytest.mark.parametrize(
+        "w,v,k",
+        [
+            ("aaaa", "aaa", 2),
+            ("aaaa", "aa", 1),
+            ("a", "", 0),
+            ("ab", "ba", 2),
+            ("aab", "aba", 2),
+            ("abab", "abba", 2),
+        ],
+    )
+    def test_known_pairs(self, w, v, k):
+        alphabet = "".join(sorted(set(w) | set(v))) or "a"
+        certificate_is_valid(w, v, k, alphabet)
+
+    def test_equivalent_pair_fails(self):
+        with pytest.raises(SynthesisFailure):
+            synthesize_distinguishing_sentence("aaa", "aaaa", 1, "a")
+
+    def test_same_word_fails(self):
+        with pytest.raises(SynthesisFailure):
+            synthesize_distinguishing_sentence("ab", "ab", 3, "ab")
+
+    def test_example_3_3_certificate(self):
+        # Spoiler's Example 3.3 win becomes a rank-≤2 separating sentence.
+        phi = certificate_is_valid("aaaa", "aaa", 2, "a")
+        assert quantifier_rank(phi) <= 2
+
+
+class TestAgreementWithSolver:
+    """Synthesis succeeds exactly when the solver reports ≢_k —
+    Theorem 3.4, both directions, machine-checked on a random sample."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(short, short, st.integers(0, 2))
+    def test_synthesis_iff_inequivalent(self, w, v, k):
+        separable = not equiv_k(w, v, k, alphabet="ab")
+        try:
+            phi = synthesize_distinguishing_sentence(w, v, k, "ab")
+            produced = True
+            assert defines_language_member(w, phi, "ab")
+            assert not defines_language_member(v, phi, "ab")
+            assert quantifier_rank(phi) <= k
+        except SynthesisFailure:
+            produced = False
+        assert produced == separable

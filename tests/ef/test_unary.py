@@ -1,0 +1,100 @@
+"""Tests for the arithmetic unary solver and its generic cross-validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ef.equivalence import equiv_k
+from repro.ef.unary import (
+    UnaryGameSolver,
+    minimal_equivalent_pair,
+    unary_equiv_k,
+    unary_equivalence_classes,
+)
+
+small = st.integers(min_value=0, max_value=7)
+
+
+class TestCrossValidation:
+    """The int encoding must agree with the generic string solver."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(small, small, st.integers(0, 2))
+    def test_agrees_with_generic_solver(self, p, q, k):
+        assert unary_equiv_k(p, q, k) == equiv_k(
+            "a" * p, "a" * q, k, alphabet="a"
+        )
+
+    def test_known_equivalent_pair(self):
+        assert unary_equiv_k(12, 14, 2)
+        assert unary_equiv_k(3, 4, 1)
+        assert unary_equiv_k(1, 2, 0)
+
+    def test_known_inequivalent(self):
+        assert not unary_equiv_k(12, 13, 2)
+        assert not unary_equiv_k(3, 4, 2)
+        assert not unary_equiv_k(11, 13, 2)
+
+
+class TestBasicProperties:
+    @given(small, st.integers(0, 3))
+    def test_reflexive(self, p, k):
+        assert unary_equiv_k(p, p, k)
+
+    @given(small, small, st.integers(0, 2))
+    def test_symmetric(self, p, q, k):
+        assert unary_equiv_k(p, q, k) == unary_equiv_k(q, p, k)
+
+    @given(small, small)
+    def test_monotone_in_k(self, p, q):
+        results = [unary_equiv_k(p, q, k) for k in (0, 1, 2)]
+        for earlier, later in zip(results, results[1:]):
+            if later:
+                assert earlier
+
+    def test_negative_exponents_rejected(self):
+        with pytest.raises(ValueError):
+            UnaryGameSolver(-1, 3)
+
+    def test_empty_vs_nonempty_rank_zero(self):
+        # Constants separate a^0 from a^n (n ≥ 1): the letter a is ⊥ in
+        # the empty word's structure.
+        assert not unary_equiv_k(0, 1, 0)
+        assert not unary_equiv_k(0, 5, 0)
+
+
+class TestMinimalPairs:
+    """Lemma 3.6's witness table (the E03 experiment rows)."""
+
+    def test_rank_0(self):
+        assert minimal_equivalent_pair(0, 8) == (1, 2)
+
+    def test_rank_1(self):
+        assert minimal_equivalent_pair(1, 8) == (3, 4)
+
+    def test_rank_2(self):
+        assert minimal_equivalent_pair(2, 16) == (12, 14)
+
+    def test_none_when_bound_too_small(self):
+        assert minimal_equivalent_pair(2, 8) is None
+
+
+class TestEquivalenceClasses:
+    def test_rank_1_classes(self):
+        # ≡₁ over {0..6}: 0,1,2 singletons, then everything ≥ 3 merges.
+        classes = unary_equivalence_classes(1, 6)
+        assert [0] in classes
+        assert [1] in classes
+        assert [2] in classes
+        assert [3, 4, 5, 6] in classes
+
+    def test_rank_2_parity_from_threshold(self):
+        # ≡₂ classes become parity-periodic from 12: 12 ~ 14 ~ 16.
+        classes = unary_equivalence_classes(2, 16)
+        merged = next(cls for cls in classes if 12 in cls)
+        assert {12, 14, 16} <= set(merged)
+        assert 13 not in merged
+
+    def test_classes_partition(self):
+        classes = unary_equivalence_classes(1, 8)
+        flattened = sorted(n for cls in classes for n in cls)
+        assert flattened == list(range(9))

@@ -1,0 +1,198 @@
+"""Tests for the paper's concrete formulas (Examples 2.4, Prop 3.7, 4.1…)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fc.builders import (
+    phi_contains_letter,
+    phi_copy,
+    phi_epsilon,
+    phi_equals_word,
+    phi_fib,
+    phi_in_finite_language,
+    phi_is_prefix,
+    phi_is_suffix,
+    phi_k_copies,
+    phi_no_cube,
+    phi_vbv,
+    phi_w_star,
+    phi_whole_word,
+    phi_ww,
+)
+from repro.fc.semantics import models, satisfying_assignments
+from repro.fc.syntax import Var, quantifier_rank
+from repro.words.fibonacci import is_l_fib, l_fib_word
+from repro.words.generators import words_up_to
+
+x, y = Var("x"), Var("y")
+words = st.text(alphabet="ab", max_size=6)
+
+
+class TestWholeWord:
+    """Example 2.4's φ_w(x): pins σ(x) to the entire input word."""
+
+    @given(words)
+    def test_unique_satisfier_is_the_word(self, w):
+        results = list(satisfying_assignments(w, phi_whole_word(x), "ab"))
+        assert results == [{x: w}]
+
+
+class TestWW:
+    """Example 2.4's φ_ww: the squares {ww}."""
+
+    @given(words)
+    def test_against_oracle(self, w):
+        expected = len(w) % 2 == 0 and w[: len(w) // 2] == w[len(w) // 2:]
+        assert models(w, phi_ww(), "ab") == expected
+
+
+class TestCopyRelations:
+    """Example 2.4: R_copy and R_{k-copies}."""
+
+    @given(words)
+    def test_copy(self, w):
+        pairs = {
+            (s[x], s[y])
+            for s in satisfying_assignments(w, phi_copy(x, y), "ab")
+        }
+        for u, v in pairs:
+            assert u == v + v
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 4])
+    def test_k_copies(self, k):
+        w = "aaaaaaaa"
+        pairs = {
+            (s[x], s[y])
+            for s in satisfying_assignments(w, phi_k_copies(x, y, k), "ab")
+        }
+        assert pairs  # never empty: ε = ε^k
+        for u, v in pairs:
+            assert u == v * k
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            phi_k_copies(x, y, -1)
+
+
+class TestNoCube:
+    """The introduction's cube-freeness sentence."""
+
+    def test_rank_is_three(self):
+        assert quantifier_rank(phi_no_cube()) == 3
+
+    @given(words)
+    def test_against_oracle(self, w):
+        from repro.words.fibonacci import contains_kth_power
+
+        assert models(w, phi_no_cube(), "ab") == (not contains_kth_power(w, 3))
+
+
+class TestVBV:
+    """Prop 3.7's rank-5 sentence for {v·b·v}."""
+
+    def test_rank_is_five(self):
+        assert quantifier_rank(phi_vbv()) == 5
+
+    @given(words)
+    def test_against_oracle(self, w):
+        expected = any(
+            w == v + "b" + v
+            for v in [w[:i] for i in range(len(w) + 1)]
+        )
+        assert models(w, phi_vbv(), "ab") == expected
+
+    def test_separates_congruence_counterexample(self):
+        # a^p b a^p ⊨ φ but a^q b a^p ⊭ φ — the Prop 3.7 separation.
+        phi = phi_vbv()
+        assert models("aabaa", phi, "ab")
+        assert not models("aaabaa", phi, "ab")
+
+
+class TestEqualsAndFinite:
+    def test_equals_word(self):
+        phi = phi_equals_word(x, "aba")
+        results = [s[x] for s in satisfying_assignments("ababa", phi, "ab")]
+        assert results == ["aba"]
+
+    def test_equals_epsilon(self):
+        phi = phi_equals_word(x, "")
+        results = [s[x] for s in satisfying_assignments("ab", phi, "ab")]
+        assert results == [""]
+
+    def test_finite_language(self):
+        phi = phi_in_finite_language(x, ["a", "bb"])
+        results = {s[x] for s in satisfying_assignments("abba", phi, "ab")}
+        assert results == {"a", "bb"}
+
+    def test_empty_finite_language_rejected(self):
+        with pytest.raises(ValueError):
+            phi_in_finite_language(x, [])
+
+
+class TestPrefixSuffixFactor:
+    @given(words)
+    def test_prefix(self, w):
+        phi = phi_is_prefix(x, y)
+        pairs = {
+            (s[x], s[y]) for s in satisfying_assignments(w, phi, "ab")
+        }
+        for u, v in pairs:
+            assert v.startswith(u)
+
+    @given(words)
+    def test_suffix(self, w):
+        phi = phi_is_suffix(x, y)
+        pairs = {
+            (s[x], s[y]) for s in satisfying_assignments(w, phi, "ab")
+        }
+        for u, v in pairs:
+            assert v.endswith(u)
+
+    def test_contains_letter(self):
+        phi = phi_contains_letter(x, "b")
+        results = {s[x] for s in satisfying_assignments("aba", phi, "ab")}
+        assert results == {"b", "ab", "ba", "aba"}
+
+
+class TestWStar:
+    """Lemma 5.4's commutation construction for w*."""
+
+    @pytest.mark.parametrize("base", ["a", "ab", "ba", "aab"])
+    def test_against_oracle(self, base):
+        phi = phi_w_star(x, base)
+        host = base * 4
+        results = {s[x] for s in satisfying_assignments(host, phi, "ab")}
+        expected = {base * i for i in range(5)}
+        assert results == expected
+
+    def test_epsilon_base(self):
+        phi = phi_w_star(x, "")
+        results = {s[x] for s in satisfying_assignments("ab", phi, "ab")}
+        assert results == {""}
+
+
+class TestFib:
+    """Prop 4.1: L(φ_fib) = L_fib."""
+
+    @pytest.mark.parametrize("n", range(5))
+    def test_members(self, n):
+        assert models(l_fib_word(n), phi_fib(), "abc")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "c", "cc", "ca", "cac" + "ab", "cacabcab", "cacabcbac",
+         "cacabcabacab", "cacabcabacc"],
+    )
+    def test_non_members(self, bad):
+        assert not models(bad, phi_fib(), "abc")
+
+    @settings(deadline=None)
+    @given(st.text(alphabet="abc", max_size=7))
+    def test_exhaustive_small_words(self, w):
+        assert models(w, phi_fib(), "abc") == is_l_fib(w)
+
+    def test_agreement_exhaustive_short(self):
+        # Exhaustive over Σ^{≤6} (~1100 words); bench E05 pushes further.
+        phi = phi_fib()
+        for w in words_up_to("abc", 6):
+            assert models(w, phi, "abc") == is_l_fib(w), w

@@ -1,0 +1,78 @@
+"""Tests for FC closure operations and the regular-intersection argument."""
+
+import pytest
+
+from repro.fc.builders import phi_no_cube, phi_ww
+from repro.fc.closures import (
+    RegularIntersectionArgument,
+    intersect_with_regex,
+    sentence_and,
+    sentence_not,
+    sentence_or,
+)
+from repro.fc.semantics import defines_language_member, language_slice
+from repro.fc.syntax import Concat, Var
+from repro.words.generators import PAPER_LANGUAGES, words_up_to
+
+
+class TestBooleanClosures:
+    def test_and(self):
+        phi = sentence_and(phi_ww(), phi_no_cube())
+        # squares that are cube-free: abab qualifies? abab has no cube ✓.
+        assert defines_language_member("abab", phi, "ab")
+        assert not defines_language_member("aaaa", phi, "ab")  # cube aaa
+
+    def test_or(self):
+        phi = sentence_or(phi_ww(), phi_no_cube())
+        assert defines_language_member("aaaa", phi, "ab")  # square
+        assert defines_language_member("aba", phi, "ab")  # cube-free
+
+    def test_not(self):
+        phi = sentence_not(phi_ww())
+        slice_plain = language_slice(phi_ww(), "ab", 4)
+        slice_not = language_slice(phi, "ab", 4)
+        universe = frozenset(words_up_to("ab", 4))
+        assert slice_plain | slice_not == universe
+        assert not (slice_plain & slice_not)
+
+    def test_open_formula_rejected(self):
+        x = Var("x")
+        with pytest.raises(ValueError):
+            sentence_not(Concat(x, x, x))
+
+
+class TestRegularIntersection:
+    def test_intersect_with_regex(self):
+        phi = intersect_with_regex(phi_ww(), "a*b*")
+        # squares inside a*b*: aa, bb, aaaa, ... but not abab.
+        assert defines_language_member("aa", phi, "ab")
+        assert defines_language_member("aabb"[2:] * 2, phi, "ab")  # bbbb
+        assert not defines_language_member("abab", phi, "ab")
+
+    def test_conclusion_argument(self):
+        class Balanced:
+            def __contains__(self, w):
+                return w.count("a") == w.count("b")
+
+        argument = RegularIntersectionArgument(
+            "{|w|_a = |w|_b}",
+            Balanced(),
+            "a*b*",
+            "anbn",
+            PAPER_LANGUAGES["anbn"],
+        )
+        ok, witness = argument.check(7)
+        assert ok, witness
+        assert "closed under regular intersection" in argument.conclusion
+
+    def test_argument_detects_wrong_target(self):
+        class Balanced:
+            def __contains__(self, w):
+                return w.count("a") == w.count("b")
+
+        argument = RegularIntersectionArgument(
+            "balanced", Balanced(), "a*b*", "L1", PAPER_LANGUAGES["L1"]
+        )
+        ok, witness = argument.check(6)
+        assert not ok
+        assert witness is not None

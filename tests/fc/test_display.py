@@ -1,0 +1,85 @@
+"""Round-trip tests: to_text ∘ parse_fc is the identity on pure FC."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fc.display import to_text
+from repro.fc.parser import parse_fc
+from repro.fc.syntax import (
+    And,
+    Concat,
+    ConcatChain,
+    Const,
+    EPSILON,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Var,
+)
+
+# Variable names must not collide with alphabet letters for the round
+# trip (single alphabet letters parse as constants).
+VARS = [Var("x0"), Var("y0"), Var("z0")]
+TERMS = VARS + [Const("a"), Const("b"), EPSILON]
+
+
+def atoms():
+    plain = st.tuples(
+        st.sampled_from(TERMS), st.sampled_from(TERMS), st.sampled_from(TERMS)
+    ).map(lambda t: Concat(*t))
+    chains = st.tuples(
+        st.sampled_from(TERMS),
+        st.lists(st.sampled_from(TERMS), min_size=3, max_size=4),
+    ).map(lambda t: ConcatChain(t[0], tuple(t[1])))
+    return st.one_of(plain, chains)
+
+
+def formulas():
+    def extend(children):
+        return (
+            children.map(Not)
+            | st.tuples(children, children).map(lambda t: And(*t))
+            | st.tuples(children, children).map(lambda t: Or(*t))
+            | st.tuples(children, children).map(lambda t: Implies(*t))
+            | st.tuples(st.sampled_from(VARS), children).map(
+                lambda t: Exists(*t)
+            )
+            | st.tuples(st.sampled_from(VARS), children).map(
+                lambda t: Forall(*t)
+            )
+        )
+
+    return st.recursive(atoms(), extend, max_leaves=5)
+
+
+class TestRoundTrip:
+    @given(formulas())
+    def test_parse_of_text_is_identity(self, phi):
+        rendered = to_text(phi)
+        reparsed = parse_fc(rendered, "ab")
+        assert reparsed == phi, rendered
+
+    def test_paper_formulas_round_trip(self):
+        from repro.fc.builders import phi_no_cube, phi_vbv, phi_ww
+
+        for phi in (phi_no_cube(), phi_vbv(), phi_ww()):
+            assert parse_fc(to_text(phi), "ab") == phi
+
+    def test_synthesised_certificates_round_trip(self):
+        from repro.ef.synthesis import synthesize_distinguishing_sentence
+
+        phi = synthesize_distinguishing_sentence("aaaa", "aaa", 2, "a")
+        assert parse_fc(to_text(phi), "a") == phi
+
+    def test_epsilon_rendering(self):
+        x = Var("x0")
+        assert to_text(Concat(x, EPSILON, EPSILON)) == "(x0 = eps.eps)"
+        assert to_text(Concat(x, x, EPSILON)) == "(x0 = x0)"
+
+    def test_unprintable_nodes_rejected(self):
+        from repro.fcreg.constraints import in_regex
+
+        with pytest.raises(ValueError):
+            to_text(in_regex(Var("x0"), "a*"))

@@ -1,0 +1,42 @@
+"""Tests for the FC(k) sentence pool (Ehrenfeucht-theorem workloads)."""
+
+import pytest
+
+from repro.fc.enumeration import atom_pool, pool_size, sentence_pool
+from repro.fc.syntax import Var, free_variables, quantifier_rank
+
+
+class TestAtomPool:
+    def test_no_constant_only_atoms(self):
+        variables = [Var("p0")]
+        for atom in atom_pool(variables, "ab"):
+            assert free_variables(atom)
+
+    def test_dedup(self):
+        variables = [Var("p0")]
+        atoms = atom_pool(variables, "a")
+        assert len(atoms) == len(set(atoms))
+
+
+class TestSentencePool:
+    def test_rank_zero_empty(self):
+        assert pool_size(0, "ab") == 0
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            list(sentence_pool(-1, "ab"))
+
+    def test_all_sentences_closed_and_ranked(self):
+        for sentence in sentence_pool(1, "a", max_atoms=1):
+            assert not free_variables(sentence)
+            assert quantifier_rank(sentence) == 1
+
+    def test_rank_two_uses_both_variables(self):
+        count = 0
+        for sentence in sentence_pool(2, "a", max_atoms=1):
+            assert quantifier_rank(sentence) == 2
+            count += 1
+        assert count > 0
+
+    def test_pool_is_reasonably_sized(self):
+        assert 10 < pool_size(1, "a") < 20000

@@ -1,0 +1,176 @@
+"""Soundness of the candidate-pool optimiser.
+
+The optimised evaluator must agree with the naive reference evaluator on
+*every* formula — the candidate pools may only skip values that cannot
+change the quantifier's outcome.  We check this on randomized formulas
+(hypothesis-generated ASTs over a small variable set) and on all the
+paper's concrete formulas, plus direct unit tests of the pool rules.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fc.optimizer import formula_pool, necessary_atoms
+from repro.fc.semantics import evaluate, evaluate_naive
+from repro.fc.structures import word_structure
+from repro.fc.syntax import (
+    And,
+    Concat,
+    ConcatChain,
+    Const,
+    EPSILON,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Var,
+    free_variables,
+)
+
+VARS = [Var("v0"), Var("v1"), Var("v2")]
+TERMS = VARS + [Const("a"), Const("b"), EPSILON]
+
+
+def atoms():
+    triples = st.tuples(
+        st.sampled_from(TERMS), st.sampled_from(TERMS), st.sampled_from(TERMS)
+    )
+    plain = triples.map(lambda t: Concat(*t))
+    chains = st.tuples(
+        st.sampled_from(TERMS),
+        st.lists(st.sampled_from(TERMS), min_size=1, max_size=4),
+    ).map(lambda t: ConcatChain(t[0], tuple(t[1])))
+    return st.one_of(plain, chains)
+
+
+def formulas(depth: int = 3):
+    def extend(children):
+        unary = children.map(Not)
+        binary = st.tuples(children, children).map(
+            lambda t: And(*t)
+        ) | st.tuples(children, children).map(
+            lambda t: Or(*t)
+        ) | st.tuples(children, children).map(lambda t: Implies(*t))
+        quantified = st.tuples(st.sampled_from(VARS), children).map(
+            lambda t: Exists(*t)
+        ) | st.tuples(st.sampled_from(VARS), children).map(
+            lambda t: Forall(*t)
+        )
+        return unary | binary | quantified
+
+    return st.recursive(atoms(), extend, max_leaves=6)
+
+
+words = st.text(alphabet="ab", max_size=5)
+
+
+class TestOptimizerAgreesWithNaive:
+    @settings(max_examples=300, deadline=None)
+    @given(formulas(), words, st.data())
+    def test_random_formulas(self, phi, w, data):
+        structure = word_structure(w, "ab")
+        pool = sorted(structure.universe_factors)
+        assignment = {}
+        for variable in free_variables(phi):
+            assignment[variable] = data.draw(st.sampled_from(pool))
+        fast = evaluate(structure, phi, dict(assignment))
+        slow = evaluate_naive(structure, phi, dict(assignment))
+        assert fast == slow, f"optimiser diverges on {phi!r} over {w!r}"
+
+    @pytest.mark.parametrize("w", ["", "a", "ab", "aab", "abab", "cacabcabac"])
+    def test_paper_formulas(self, w):
+        from repro.fc.builders import phi_fib, phi_no_cube, phi_vbv, phi_ww
+
+        alphabet = "abc" if "c" in w else "ab"
+        for phi in (phi_ww(), phi_no_cube(), phi_vbv()):
+            structure = word_structure(w, alphabet)
+            assert evaluate(structure, phi, {}) == evaluate_naive(
+                structure, phi, {}
+            )
+        if len(w) <= 4:
+            structure = word_structure(w, "abc")
+            phi = phi_fib()
+            assert evaluate(structure, phi, {}) == evaluate_naive(
+                structure, phi, {}
+            )
+
+
+class TestPoolRules:
+    def test_determined_head(self):
+        structure = word_structure("abab", "ab")
+        x, y = Var("x"), Var("y")
+        atom = Concat(x, Const("a"), Const("b"))
+        pool = formula_pool(structure, {}, x, atom, True)
+        assert pool == {"ab"}
+
+    def test_prefix_constraint(self):
+        structure = word_structure("aab", "ab")
+        x, y = Var("x"), Var("y")
+        atom = Concat(Var("k"), x, y)
+        pool = formula_pool(structure, {Var("k"): "aab"}, x, atom, True)
+        assert pool == {"", "a", "aa", "aab"}
+
+    def test_or_union(self):
+        structure = word_structure("ab", "ab")
+        x = Var("x")
+        phi = Or(Concat(x, Const("a"), EPSILON), Concat(x, Const("b"), EPSILON))
+        pool = formula_pool(structure, {}, x, phi, True)
+        assert pool == {"a", "b"}
+
+    def test_and_intersection(self):
+        structure = word_structure("ab", "ab")
+        x = Var("x")
+        phi = And(
+            Concat(x, Const("a"), EPSILON), Concat(x, Const("b"), EPSILON)
+        )
+        pool = formula_pool(structure, {}, x, phi, True)
+        assert pool == frozenset()
+
+    def test_negative_atom_unconstrained(self):
+        structure = word_structure("ab", "ab")
+        x = Var("x")
+        pool = formula_pool(
+            structure, {}, x, Concat(x, Const("a"), EPSILON), False
+        )
+        assert pool is None
+
+    def test_bound_variables_masked(self):
+        # x ≐ c·y with y bound deeper: candidates treat y as unknown.
+        structure = word_structure("aba", "ab")
+        x, y = Var("x"), Var("y")
+        phi = Exists(y, Concat(x, Const("b"), y))
+        pool = formula_pool(structure, {y: "a"}, x, phi, True)
+        # factors starting with b: b, ba
+        assert pool == {"b", "ba"}
+
+    def test_chain_decomposition_pool(self):
+        structure = word_structure("abba", "ab")
+        x, y1, y2 = Var("x"), Var("y1"), Var("y2")
+        atom = ConcatChain(x, (y1, Const("b"), Const("b"), y2))
+        pool = formula_pool(structure, {x: "abba"}, y1, atom, True)
+        assert pool == {"a"}
+
+    def test_chain_repeated_variable(self):
+        structure = word_structure("abab", "ab")
+        x, y = Var("x"), Var("y")
+        atom = ConcatChain(x, (y, y))
+        pool = formula_pool(structure, {x: "abab"}, y, atom, True)
+        assert pool == {"ab"}
+
+    def test_necessary_atoms_and(self):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        a1, a2 = Concat(x, y, z), Concat(y, x, z)
+        assert necessary_atoms(And(a1, a2), True) == {a1, a2}
+        assert necessary_atoms(And(a1, a2), False) == frozenset()
+
+    def test_necessary_atoms_not_or(self):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        a1, a2 = Concat(x, y, z), Concat(y, x, z)
+        assert necessary_atoms(Or(a1, a2), False) == frozenset()
+        assert necessary_atoms(Not(Or(a1, a2)), True) == frozenset()
+
+    def test_necessary_atoms_exclude_bound(self):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        phi = Exists(y, And(Concat(x, y, z), Concat(x, z, z)))
+        assert necessary_atoms(phi, True) == {Concat(x, z, z)}

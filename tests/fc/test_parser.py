@@ -1,0 +1,120 @@
+"""Tests for the FC text parser."""
+
+import pytest
+
+from repro.fc.parser import FCParseError, parse_fc
+from repro.fc.semantics import models, satisfying_assignments
+from repro.fc.syntax import (
+    And,
+    Concat,
+    ConcatChain,
+    Const,
+    EPSILON,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Var,
+    free_variables,
+    quantifier_rank,
+)
+
+
+class TestAtoms:
+    def test_binary_atom(self):
+        phi = parse_fc("(x = y.z)", "ab")
+        assert phi == Concat(Var("x"), Var("y"), Var("z"))
+
+    def test_unary_rhs_pads_epsilon(self):
+        phi = parse_fc("(x = y)", "ab")
+        assert phi == Concat(Var("x"), Var("y"), EPSILON)
+
+    def test_epsilon_constant(self):
+        phi = parse_fc("(x = eps)", "ab")
+        assert phi == Concat(Var("x"), EPSILON, EPSILON)
+
+    def test_unicode_epsilon(self):
+        assert parse_fc("(x = ε)", "ab") == parse_fc("(x = eps)", "ab")
+
+    def test_letter_constants(self):
+        phi = parse_fc("(x = a.b)", "ab")
+        assert phi == Concat(Var("x"), Const("a"), Const("b"))
+
+    def test_letters_outside_alphabet_are_variables(self):
+        phi = parse_fc("(x = c.c)", "ab")
+        assert phi == Concat(Var("x"), Var("c"), Var("c"))
+
+    def test_chain_atom(self):
+        phi = parse_fc("(x = a.y.b)", "ab")
+        assert phi == ConcatChain(
+            Var("x"), (Const("a"), Var("y"), Const("b"))
+        )
+
+
+class TestConnectivesAndQuantifiers:
+    def test_quantifier_block(self):
+        phi = parse_fc("E x y: (x = y.y)", "ab")
+        assert isinstance(phi, Exists)
+        assert isinstance(phi.inner, Exists)
+        assert quantifier_rank(phi) == 2
+
+    def test_forall(self):
+        phi = parse_fc("A z: (z = z)", "ab")
+        assert isinstance(phi, Forall)
+
+    def test_precedence(self):
+        # ~ binds tighter than &, & tighter than |, | tighter than ->.
+        phi = parse_fc("~(x = a) & (x = b) | (x = eps) -> (x = x)", "ab")
+        assert isinstance(phi, Implies)
+
+    def test_unicode_connectives(self):
+        ascii_version = parse_fc("~(x = a) & (y = b)", "ab")
+        unicode_version = parse_fc("¬(x ≐ a) ∧ (y ≐ b)", "ab")
+        assert ascii_version == unicode_version
+
+    def test_paper_intro_formula(self):
+        """The introduction's cube-freeness sentence, from text."""
+        phi = parse_fc(
+            "A z: (~(z = eps) -> ~E x y: ((x = z.y) & (y = z.z)))", "ab"
+        )
+        assert quantifier_rank(phi) == 3
+        assert not free_variables(phi)
+        assert models("aab", phi, "ab")
+        assert not models("aaa", phi, "ab")
+
+    def test_parsed_formula_evaluates(self):
+        phi = parse_fc("E x: E y: ((x = y.y) & ~(y = eps))", "ab")
+        assert models("abab", phi, "ab")
+        assert not models("aba", phi, "ab")
+
+    def test_open_formula(self):
+        phi = parse_fc("(x = y.y)", "ab")
+        pairs = {
+            (s[Var("x")], s[Var("y")])
+            for s in satisfying_assignments("aaaa", phi, "ab")
+        }
+        assert ("aa", "a") in pairs
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "(x = )",
+            "(x y)",
+            "E : (x = x)",
+            "E a: (a = a)",  # quantifying a constant
+            "(x = y.z",
+            "(x = y) extra",
+            "~",
+            "(x = y..z)",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(FCParseError):
+            parse_fc(bad, "ab")
+
+    def test_error_mentions_position(self):
+        with pytest.raises(FCParseError, match="position"):
+            parse_fc("(x = y) (z = z)", "ab")

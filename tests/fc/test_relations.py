@@ -1,0 +1,55 @@
+"""Tests for FC-definable relations (Section 2's 'defines' condition)."""
+
+import pytest
+
+from repro.fc.builders import phi_copy, phi_k_copies
+from repro.fc.relations import FCRelation, defines_relation, relation_slice
+from repro.fc.syntax import Concat, Var
+
+x, y = Var("x"), Var("y")
+SAMPLE_WORDS = ["", "a", "aa", "ab", "aabb", "aaaa", "ababab"]
+
+
+class TestFCRelation:
+    def test_copy_is_definable(self):
+        relation = FCRelation(phi_copy(x, y), (x, y), "ab")
+        assert defines_relation(
+            relation, lambda u, v: u == v + v, SAMPLE_WORDS
+        )
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_k_copies_definable(self, k):
+        relation = FCRelation(phi_k_copies(x, y, k), (x, y), "ab")
+        assert defines_relation(
+            relation, lambda u, v: u == v * k, ["", "a", "aaa", "aaaa"]
+        )
+
+    def test_wrong_predicate_detected(self):
+        relation = FCRelation(phi_copy(x, y), (x, y), "ab")
+        assert not defines_relation(
+            relation, lambda u, v: u == v, SAMPLE_WORDS
+        )
+
+    def test_evaluate(self):
+        relation = FCRelation(phi_copy(x, y), (x, y), "ab")
+        result = relation.evaluate("aaaa")
+        assert ("aa", "a") in result
+        assert ("aaaa", "aa") in result
+        assert ("a", "a") not in result
+
+    def test_variable_validation(self):
+        with pytest.raises(ValueError):
+            FCRelation(phi_copy(x, y), (x,), "ab")
+        with pytest.raises(ValueError):
+            FCRelation(Concat(x, y, y), (x, y, y), "ab")
+
+
+class TestRelationSlice:
+    def test_slice_respects_facs(self):
+        slice_ = relation_slice(lambda u, v: u == v, "ab", 2, "ab")
+        assert ("a", "a") in slice_
+        assert ("ba", "ba") not in slice_  # ba is not a factor of ab
+
+    def test_arity(self):
+        slice_ = relation_slice(lambda u: len(u) == 1, "ab", 1, "ab")
+        assert slice_ == {("a",), ("b",)}

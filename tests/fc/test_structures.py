@@ -1,0 +1,140 @@
+"""Tests for τ_Σ word structures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fc.structures import BOTTOM, Bottom, WordStructure, word_structure
+from repro.words.factors import factors
+
+words = st.text(alphabet="ab", max_size=10)
+
+
+class TestUniverse:
+    @given(words)
+    def test_universe_is_factors_plus_bottom(self, w):
+        structure = WordStructure(w, "ab")
+        assert structure.universe_factors == factors(w)
+        universe = structure.universe()
+        assert universe[-1] is BOTTOM
+        assert set(universe[:-1]) == set(factors(w))
+
+    @given(words)
+    def test_universe_size(self, w):
+        structure = WordStructure(w, "ab")
+        assert structure.universe_size() == len(factors(w)) + 1
+
+    def test_contains(self):
+        structure = WordStructure("aba", "ab")
+        assert structure.contains("ab")
+        assert structure.contains(BOTTOM)
+        assert not structure.contains("bb")
+
+    def test_alphabet_validation(self):
+        with pytest.raises(ValueError):
+            WordStructure("abc", "ab")
+        with pytest.raises(ValueError):
+            WordStructure("a", "aa")
+
+
+class TestConstants:
+    def test_present_letter(self):
+        structure = WordStructure("aba", "ab")
+        assert structure.constant("a") == "a"
+        assert structure.constant("b") == "b"
+        assert structure.constant("") == ""
+
+    def test_absent_letter_is_bottom(self):
+        structure = WordStructure("aaa", "ab")
+        assert structure.constant("b") is BOTTOM
+
+    def test_unknown_symbol(self):
+        structure = WordStructure("a", "ab")
+        with pytest.raises(ValueError):
+            structure.constant("c")
+
+    def test_constants_vector_order(self):
+        structure = WordStructure("ab", "ab")
+        assert structure.constants_vector() == ("a", "b", "")
+
+    def test_constants_vector_with_bottom(self):
+        structure = WordStructure("aa", "ab")
+        vector = structure.constants_vector()
+        assert vector[0] == "a"
+        assert vector[1] is BOTTOM
+        assert vector[2] == ""
+
+
+class TestConcatRelation:
+    def test_basic(self):
+        structure = WordStructure("aba", "ab")
+        assert structure.concat_holds("ab", "a", "b")
+        assert structure.concat_holds("aba", "ab", "a")
+        assert not structure.concat_holds("ab", "b", "a")
+
+    def test_result_must_be_factor(self):
+        structure = WordStructure("aba", "ab")
+        # "ba" and "b" are factors but "bab" is not.
+        assert not structure.concat_holds("bab", "ba", "b")
+
+    def test_bottom_never_participates(self):
+        structure = WordStructure("aba", "ab")
+        assert not structure.concat_holds(BOTTOM, "", "")
+        assert not structure.concat_holds("a", BOTTOM, "a")
+
+    @given(words, st.data())
+    def test_concat_matches_string_concatenation(self, w, data):
+        structure = WordStructure(w, "ab")
+        pool = sorted(structure.universe_factors)
+        if not pool:
+            return
+        a = data.draw(st.sampled_from(pool))
+        b = data.draw(st.sampled_from(pool))
+        expected = (a + b) in w
+        assert structure.concat_holds(a + b, a, b) == expected
+
+
+class TestRestriction:
+    def test_restriction_universe(self):
+        base = WordStructure("aab", "ab")
+        restricted = base.restrict({"", "a", "aa"})
+        assert restricted.universe_factors == {"", "a", "aa"}
+        assert restricted.universe_size() == 4
+
+    def test_restriction_concat(self):
+        base = WordStructure("aab", "ab")
+        restricted = base.restrict({"", "a", "aa"})
+        assert restricted.concat_holds("aa", "a", "a")
+        # "ab" is outside the sub-universe even though it is a factor.
+        assert not restricted.concat_holds("ab", "a", "b")
+
+    def test_restriction_constants(self):
+        base = WordStructure("aab", "ab")
+        restricted = base.restrict({"", "a", "aa"})
+        assert restricted.constant("a") == "a"
+        assert restricted.constant("b") is BOTTOM  # b excluded
+
+    def test_restriction_matches_small_word_structure(self):
+        # 𝔄_{w1·w2}|Facs(w1) behaves like 𝔄_{w1} (the Lemma 4.4 setup).
+        combined = WordStructure("aabba", "ab")
+        restricted = combined.restrict(factors("aab"))
+        small = WordStructure("aab", "ab")
+        assert restricted.universe_factors == small.universe_factors
+        assert restricted.constants_vector() == small.constants_vector()
+        for a in restricted.universe_factors:
+            for b in restricted.universe_factors:
+                assert restricted.concat_holds(a + b, a, b) == (
+                    small.concat_holds(a + b, a, b)
+                )
+
+    def test_non_factor_rejected(self):
+        base = WordStructure("aab", "ab")
+        with pytest.raises(ValueError):
+            base.restrict({"bb"})
+
+
+class TestBottom:
+    def test_singleton(self):
+        assert Bottom() is BOTTOM
+
+    def test_cached_structure(self):
+        assert word_structure("aba", "ab") is word_structure("aba", "ab")

@@ -1,0 +1,156 @@
+"""Tests for the FC AST: quantifier rank, free variables, substitution."""
+
+import pytest
+
+from repro.fc.syntax import (
+    And,
+    Concat,
+    ConcatChain,
+    Const,
+    EPSILON,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Var,
+    all_variables,
+    conjunction,
+    constants_used,
+    disjunction,
+    exists_many,
+    forall_many,
+    free_variables,
+    quantifier_rank,
+    subformulas,
+    substitute,
+    term,
+)
+
+x, y, z = Var("x"), Var("y"), Var("z")
+A = Const("a")
+
+
+class TestQuantifierRank:
+    """The qr definition from Section 3."""
+
+    def test_atom_rank_zero(self):
+        assert quantifier_rank(Concat(x, y, z)) == 0
+
+    def test_chain_rank_zero(self):
+        assert quantifier_rank(ConcatChain(x, (y, A, z))) == 0
+
+    def test_negation_preserves(self):
+        assert quantifier_rank(Not(Exists(x, Concat(x, y, z)))) == 1
+
+    def test_connectives_take_max(self):
+        left = Exists(x, Concat(x, x, x))
+        right = Exists(x, Exists(y, Concat(x, y, y)))
+        assert quantifier_rank(And(left, right)) == 2
+        assert quantifier_rank(Or(left, right)) == 2
+        assert quantifier_rank(Implies(left, right)) == 2
+
+    def test_quantifiers_add_one(self):
+        phi = Forall(x, Exists(y, Concat(x, y, y)))
+        assert quantifier_rank(phi) == 2
+
+    def test_nested_same_variable_still_counts(self):
+        phi = Exists(x, Exists(x, Concat(x, x, x)))
+        assert quantifier_rank(phi) == 2
+
+
+class TestFreeVariables:
+    def test_atom(self):
+        assert free_variables(Concat(x, A, y)) == {x, y}
+
+    def test_quantifier_binds(self):
+        assert free_variables(Exists(x, Concat(x, y, z))) == {y, z}
+
+    def test_shadowing(self):
+        phi = And(Concat(x, x, x), Exists(x, Concat(x, y, y)))
+        assert free_variables(phi) == {x, y}
+
+    def test_sentence_has_none(self):
+        phi = exists_many([x, y], Concat(x, y, y))
+        assert free_variables(phi) == frozenset()
+
+    def test_all_variables_includes_bound(self):
+        phi = Exists(x, Concat(x, y, EPSILON))
+        assert all_variables(phi) == {x, y}
+
+    def test_constants_used(self):
+        phi = Exists(x, Concat(x, A, EPSILON))
+        assert constants_used(phi) == {A, EPSILON}
+
+
+class TestSubstitution:
+    def test_atom_substitution(self):
+        phi = Concat(x, y, z)
+        assert substitute(phi, {y: A}) == Concat(x, A, z)
+
+    def test_bound_variable_untouched(self):
+        phi = Exists(x, Concat(x, y, y))
+        result = substitute(phi, {x: A})
+        assert result == phi
+
+    def test_free_under_quantifier(self):
+        phi = Exists(x, Concat(x, y, y))
+        result = substitute(phi, {y: z})
+        assert result == Exists(x, Concat(x, z, z))
+
+    def test_capture_detected(self):
+        phi = Exists(x, Concat(x, y, y))
+        with pytest.raises(ValueError):
+            substitute(phi, {y: x})
+
+    def test_chain_substitution(self):
+        phi = ConcatChain(x, (y, A, y))
+        assert substitute(phi, {y: z}) == ConcatChain(x, (z, A, z))
+
+
+class TestHelpers:
+    def test_term_coercion(self):
+        assert term("a") == Const("a")
+        assert term("") == EPSILON
+        assert term(x) is x
+        with pytest.raises(ValueError):
+            term("ab")
+        with pytest.raises(TypeError):
+            term(3)
+
+    def test_conjunction_disjunction(self):
+        atoms = [Concat(x, x, x), Concat(y, y, y), Concat(z, z, z)]
+        conj = conjunction(atoms)
+        assert isinstance(conj, And)
+        disj = disjunction(atoms)
+        assert isinstance(disj, Or)
+        with pytest.raises(ValueError):
+            conjunction([])
+        with pytest.raises(ValueError):
+            disjunction([])
+
+    def test_quantifier_folds(self):
+        phi = exists_many([x, y], Concat(x, y, y))
+        assert quantifier_rank(phi) == 2
+        psi = forall_many([x, y], Concat(x, y, y))
+        assert quantifier_rank(psi) == 2
+        assert isinstance(psi, Forall)
+
+    def test_operator_sugar(self):
+        atom = Concat(x, x, x)
+        assert isinstance(atom & atom, And)
+        assert isinstance(atom | atom, Or)
+        assert isinstance(~atom, Not)
+
+    def test_subformulas(self):
+        phi = Exists(x, And(Concat(x, x, x), Not(Concat(x, y, y))))
+        nodes = list(subformulas(phi))
+        assert len(nodes) == 5
+
+    def test_chain_requires_parts(self):
+        with pytest.raises(ValueError):
+            ConcatChain(x, ())
+
+    def test_const_validation(self):
+        with pytest.raises(ValueError):
+            Const("ab")

@@ -1,0 +1,87 @@
+"""Tests for the NFA/DFA pipeline."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fcreg.automata import (
+    DFA,
+    NFA,
+    compile_regex,
+    regex_language_slice,
+    regex_matches,
+)
+from repro.fcreg.regex import parse_regex
+
+words = st.text(alphabet="ab", max_size=7)
+
+
+class TestNFA:
+    @given(words)
+    def test_nfa_and_dfa_agree(self, w):
+        regex = parse_regex("(a|bb)*a?")
+        nfa = NFA.from_regex(regex)
+        dfa = DFA.from_nfa(nfa)
+        assert nfa.accepts(w) == dfa.accepts(w)
+
+    def test_empty_regex_language(self):
+        from repro.fcreg.regex import Empty
+
+        nfa = NFA.from_regex(Empty())
+        assert not nfa.accepts("")
+        assert not nfa.accepts("a")
+
+    def test_alphabet_extraction(self):
+        nfa = NFA.from_regex(parse_regex("ab*"))
+        assert nfa.alphabet() == {"a", "b"}
+
+
+class TestDFADecisions:
+    def test_emptiness(self):
+        from repro.fcreg.regex import Empty
+
+        assert compile_regex(Empty()).is_empty()
+        assert not compile_regex(parse_regex("a*")).is_empty()
+
+    def test_finiteness(self):
+        assert compile_regex(parse_regex("a|bb|aba")).is_finite()
+        assert not compile_regex(parse_regex("a*")).is_finite()
+        assert not compile_regex(parse_regex("ab+a")).is_finite()
+
+    def test_finite_language_extraction(self):
+        dfa = compile_regex(parse_regex("a|bb|aba"))
+        assert dfa.language_if_finite() == {"a", "bb", "aba"}
+
+    def test_finite_extraction_rejects_infinite(self):
+        with pytest.raises(ValueError):
+            compile_regex(parse_regex("a*")).language_if_finite()
+
+    def test_language_slice(self):
+        slice_ = regex_language_slice(parse_regex("(ab)*"), "ab", 4)
+        assert slice_ == {"", "ab", "abab"}
+
+    @given(words)
+    def test_slice_membership_consistent(self, w):
+        regex = parse_regex("a*b*")
+        slice_ = regex_language_slice(regex, "ab", 7)
+        assert (w in slice_) == regex_matches(regex, w)
+
+
+class TestPaperPatterns:
+    """The concrete regular languages the paper's Section 5 uses."""
+
+    @pytest.mark.parametrize(
+        "pattern,member,non_member",
+        [
+            ("a*", "aaa", "ab"),
+            ("(ba)*", "baba", "bab"),
+            ("(abaabb)*", "abaabbabaabb", "abaabba"),
+            ("(bbaaba)*", "bbaaba", "bbaab"),
+            ("a+", "a", ""),
+            ("b+", "bb", "ab"),
+            ("(ab)*", "abab", "aba"),
+        ],
+    )
+    def test_membership(self, pattern, member, non_member):
+        dfa = compile_regex(parse_regex(pattern))
+        assert dfa.accepts(member)
+        assert not dfa.accepts(non_member)

@@ -1,0 +1,100 @@
+"""Tests for boundedness decision and Ginsburg decomposition."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fcreg.automata import compile_regex, regex_matches
+from repro.fcreg.bounded import (
+    BStar,
+    BWord,
+    bounded_decomposition,
+    bounding_sequence,
+    is_bounded_by,
+    is_bounded_regular,
+)
+from repro.fcreg.regex import parse_regex
+from repro.words.generators import words_up_to
+
+BOUNDED_PATTERNS = [
+    "a*",
+    "(ba)*",
+    "a*b*",
+    "ab|b(aa)*",
+    "(abaabb)*",
+    "a+b+",
+    "a?b",
+    "(ab)*(ba)*",
+    "",
+]
+UNBOUNDED_PATTERNS = ["(a|b)*", "(ab|ba)*", "a*(b|a)*", "(a|b)(a|b)*"]
+
+
+class TestBoundednessDecision:
+    @pytest.mark.parametrize("pattern", BOUNDED_PATTERNS)
+    def test_bounded(self, pattern):
+        assert is_bounded_regular(compile_regex(parse_regex(pattern)))
+
+    @pytest.mark.parametrize("pattern", UNBOUNDED_PATTERNS)
+    def test_unbounded(self, pattern):
+        assert not is_bounded_regular(compile_regex(parse_regex(pattern)))
+
+    def test_finite_languages_are_bounded(self):
+        assert is_bounded_regular(compile_regex(parse_regex("a|bb|aab")))
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("pattern", BOUNDED_PATTERNS)
+    def test_decomposition_denotes_same_language(self, pattern):
+        regex = parse_regex(pattern)
+        expr = bounded_decomposition(compile_regex(regex))
+        denoted = expr.words_up_to(8)
+        expected = frozenset(
+            w for w in words_up_to("ab", 8) if regex_matches(regex, w)
+        )
+        assert denoted == expected, pattern
+
+    def test_unbounded_rejected(self):
+        with pytest.raises(ValueError):
+            bounded_decomposition(compile_regex(parse_regex("(a|b)*")))
+
+    def test_empty_language(self):
+        from repro.fcreg.regex import Empty
+
+        expr = bounded_decomposition(compile_regex(Empty()))
+        assert expr.words_up_to(5) == frozenset()
+
+
+class TestBoundingSequence:
+    @pytest.mark.parametrize("pattern", BOUNDED_PATTERNS)
+    def test_sequence_covers_language(self, pattern):
+        regex = parse_regex(pattern)
+        expr = bounded_decomposition(compile_regex(regex))
+        sequence = bounding_sequence(expr)
+        for w in words_up_to("ab", 7):
+            if regex_matches(regex, w):
+                assert is_bounded_by(w, sequence), (pattern, w)
+
+    def test_is_bounded_by_basics(self):
+        assert is_bounded_by("aabb", ["a", "b"])
+        assert not is_bounded_by("aba", ["a", "b"])
+        assert is_bounded_by("", ["a", "b"])
+        assert is_bounded_by("abaabbabaabb", ["abaabb", "bbaaba"])
+
+    def test_paper_language_boundedness(self):
+        # Lemma 4.14's languages are bounded — the Lemma 5.4 side condition.
+        assert is_bounded_by("aabb", ["a", "b"])                 # anbn
+        assert is_bounded_by("aababa", ["a", "ba"])              # L1
+        assert is_bounded_by("b" + "aa" + "bb", ["b", "a", "b"])  # L3
+        assert is_bounded_by("aabbabab", ["a", "b", "ab"])       # L6
+
+
+class TestExprNodes:
+    def test_star_words(self):
+        assert BStar("ab").words_up_to(5) == {"", "ab", "abab"}
+
+    def test_word_cutoff(self):
+        assert BWord("aaa").words_up_to(2) == frozenset()
+
+    def test_epsilon_star_rejected(self):
+        with pytest.raises(ValueError):
+            BStar("")

@@ -1,0 +1,97 @@
+"""Tests for the regex AST and parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fcreg.automata import regex_matches
+from repro.fcreg.regex import (
+    Concat,
+    Empty,
+    Epsilon,
+    Letter,
+    Star,
+    Union,
+    from_words,
+    literal,
+    parse_regex,
+    word_star,
+)
+
+
+class TestParser:
+    def test_empty_pattern_is_epsilon(self):
+        assert isinstance(parse_regex(""), Epsilon)
+
+    def test_letter(self):
+        assert parse_regex("a") == Letter("a")
+
+    def test_concat_and_union_precedence(self):
+        # ab|c parses as (ab)|c
+        node = parse_regex("ab|c")
+        assert isinstance(node, Union)
+        assert isinstance(node.left, Concat)
+
+    def test_star_binds_tightest(self):
+        node = parse_regex("ab*")
+        assert isinstance(node, Concat)
+        assert isinstance(node.right, Star)
+
+    def test_plus_desugars(self):
+        node = parse_regex("a+")
+        assert isinstance(node, Concat)
+        assert isinstance(node.right, Star)
+
+    def test_optional_desugars(self):
+        node = parse_regex("a?")
+        assert isinstance(node, Union)
+
+    def test_groups(self):
+        node = parse_regex("(ab)*")
+        assert isinstance(node, Star)
+
+    def test_empty_group(self):
+        assert isinstance(parse_regex("()"), Epsilon)
+
+    @pytest.mark.parametrize("bad", ["(", ")", "*", "a(", "a|*", "(a"])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_regex(bad)
+
+    def test_trailing_paren(self):
+        with pytest.raises(ValueError):
+            parse_regex("a)b")
+
+
+class TestBuilders:
+    def test_literal(self):
+        assert regex_matches(literal("aba"), "aba")
+        assert not regex_matches(literal("aba"), "ab")
+
+    def test_literal_epsilon(self):
+        assert regex_matches(literal(""), "")
+
+    def test_word_star(self):
+        star = word_star("ab")
+        assert regex_matches(star, "")
+        assert regex_matches(star, "abab")
+        assert not regex_matches(star, "aba")
+
+    def test_from_words(self):
+        finite = from_words(["a", "bb"])
+        assert regex_matches(finite, "a")
+        assert regex_matches(finite, "bb")
+        assert not regex_matches(finite, "ab")
+
+    def test_from_no_words_is_empty(self):
+        assert isinstance(from_words([]), Empty)
+
+    def test_operator_sugar(self):
+        node = (Letter("a") | Letter("b")) + Letter("a").star()
+        assert regex_matches(node, "baaa")
+
+
+@given(st.text(alphabet="ab", max_size=6))
+def test_a_star_b_star(w):
+    pattern = parse_regex("a*b*")
+    expected = "ba" not in w  # all a's before all b's
+    assert regex_matches(pattern, w) == expected

@@ -1,0 +1,83 @@
+"""Tests for the Lemma 5.4 rewriting: bounded constraints → pure FC."""
+
+import pytest
+
+from repro.fc.semantics import models, satisfying_assignments
+from repro.fc.syntax import And, Exists, Not, Var
+from repro.fcreg.constraints import in_regex, regular_constraints_of
+from repro.fcreg.rewriting import (
+    constraint_to_fc,
+    eliminate_bounded_constraints,
+)
+from repro.words.generators import words_up_to
+
+x = Var("x")
+
+BOUNDED = ["a*", "(ba)*", "a*b*", "ab|b(aa)*", "(abaabb)*", "a+", "a?b", ""]
+HOSTS = ["", "a", "ab", "abab", "aabb", "bababa", "abaabbab", "bbaaaa"]
+
+
+def assignments(word, phi):
+    return {s[x] for s in satisfying_assignments(word, phi, "ab")}
+
+
+class TestConstraintRewriting:
+    @pytest.mark.parametrize("pattern", BOUNDED)
+    def test_rewritten_formula_agrees(self, pattern):
+        constraint = in_regex(x, pattern)
+        rewritten = constraint_to_fc(constraint)
+        assert not regular_constraints_of(rewritten)
+        for word in HOSTS:
+            assert assignments(word, constraint) == assignments(
+                word, rewritten
+            ), (pattern, word)
+
+    def test_unbounded_rejected(self):
+        with pytest.raises(ValueError):
+            constraint_to_fc(in_regex(x, "(a|b)*"))
+
+    def test_constant_subject_rejected(self):
+        with pytest.raises(ValueError):
+            constraint_to_fc(in_regex("a", "a*"))
+
+
+class TestFormulaRewriting:
+    def test_whole_formula(self):
+        from repro.fc.builders import phi_whole_word
+
+        u, v = Var("u"), Var("v")
+        phi = Exists(
+            u,
+            Exists(
+                v,
+                And(
+                    phi_whole_word(u),
+                    And(
+                        in_regex(u, "a*b*"),
+                        And(in_regex(v, "a*"), Not(in_regex(v, "aa*"))),
+                    ),
+                ),
+            ),
+        )
+        rewritten = eliminate_bounded_constraints(phi)
+        assert not regular_constraints_of(rewritten)
+        for word in words_up_to("ab", 5):
+            assert models(word, phi, "ab") == models(word, rewritten, "ab")
+
+    def test_language_level_agreement(self):
+        # Sentence: the whole word is in (ba)* — via constraint vs pure FC.
+        from repro.fc.builders import phi_whole_word
+
+        u = Var("u")
+        phi = Exists(u, And(phi_whole_word(u), in_regex(u, "(ba)*")))
+        rewritten = eliminate_bounded_constraints(phi)
+        for word in words_up_to("ab", 6):
+            expected = word == "ba" * (len(word) // 2) and len(word) % 2 == 0
+            assert models(word, phi, "ab") == expected
+            assert models(word, rewritten, "ab") == expected
+
+    def test_plain_fc_passes_through(self):
+        from repro.fc.builders import phi_ww
+
+        phi = phi_ww()
+        assert eliminate_bounded_constraints(phi) == phi

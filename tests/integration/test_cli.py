@@ -1,0 +1,98 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_equiv(self, capsys):
+        assert main(["equiv", "a" * 12, "a" * 14, "2"]) == 0
+        assert "≡_2" in capsys.readouterr().out
+
+    def test_inequiv(self, capsys):
+        assert main(["equiv", "aaaa", "aaa", "2"]) == 0
+        assert "≢_2" in capsys.readouterr().out
+
+    def test_rank(self, capsys):
+        assert main(["rank", "aaaa", "aaa"]) == 0
+        assert "distinguishing rank: 2" in capsys.readouterr().out
+
+    def test_rank_equivalent(self, capsys):
+        assert main(["rank", "a" * 12, "a" * 14, "2"]) == 0
+        assert "equivalent through rank 2" in capsys.readouterr().out
+
+    def test_synth_success(self, capsys):
+        assert main(["synth", "aaaa", "aaa", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "qr(φ) = 2" in out
+        assert "'aaaa' ⊨ φ: True" in out
+        assert "'aaa' ⊨ φ: False" in out
+
+    def test_synth_failure(self, capsys):
+        assert main(["synth", "aaa", "aaaa", "1"]) == 1
+        assert "no certificate" in capsys.readouterr().out
+
+    def test_check(self, capsys):
+        assert main(["check", "abab", "ww"]) == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_check_unknown_formula(self):
+        with pytest.raises(SystemExit):
+            main(["check", "abab", "nonsense"])
+
+    def test_pow2(self, capsys):
+        assert main(["pow2", "1"]) == 0
+        assert "a^3 ≡_1 a^4" in capsys.readouterr().out
+
+    def test_report_runs(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 4.14" in out
+        assert "Theorem 5.8" in out
+
+
+class TestEvalCommand:
+    def test_eval_sentence(self, capsys):
+        assert main(["eval", "E x: (x = a.a)", "baa"]) == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_eval_false(self, capsys):
+        assert main(["eval", "E x: (x = a.a)", "bab"]) == 0
+        assert "False" in capsys.readouterr().out
+
+    def test_eval_parse_error(self, capsys):
+        assert main(["eval", "(x = ", "ab"]) == 2
+        assert "parse error" in capsys.readouterr().err
+
+    def test_eval_open_formula(self, capsys):
+        assert main(["eval", "(x = a)", "ab"]) == 2
+        assert "open" in capsys.readouterr().err
+
+    def test_eval_explicit_alphabet(self, capsys):
+        assert main(["eval", "E x: (x = b)", "aa", "ab"]) == 0
+        assert "False" in capsys.readouterr().out
+
+
+class TestCertifyCommand:
+    def test_emit_and_verify(self, capsys, tmp_path):
+        import json
+
+        assert main(["certify"]) == 0
+        emitted = capsys.readouterr().out
+        bundle_path = tmp_path / "bundle.json"
+        bundle_path.write_text(emitted, encoding="utf-8")
+        assert main(["certify", str(bundle_path)]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_tampered_bundle_fails(self, capsys, tmp_path):
+        import json
+
+        assert main(["certify"]) == 0
+        bundle = json.loads(capsys.readouterr().out)
+        bundle["language_witnesses"][0]["foil"] = bundle[
+            "language_witnesses"
+        ][0]["member"]
+        bundle_path = tmp_path / "tampered.json"
+        bundle_path.write_text(json.dumps(bundle), encoding="utf-8")
+        assert main(["certify", str(bundle_path)]) == 1

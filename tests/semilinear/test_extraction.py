@@ -1,0 +1,61 @@
+"""Tests for unary FC → semi-linear extraction."""
+
+import pytest
+
+from repro.core.relations import OracleAtom
+from repro.fc.builders import phi_epsilon, phi_k_copies, phi_whole_word, phi_ww
+from repro.fc.syntax import And, Exists, Not, Var
+from repro.semilinear.extraction import extract_semilinear
+
+
+class TestExtraction:
+    def test_squares_are_even_lengths(self):
+        # Over {a}, φ_ww defines the even lengths: {2n}.
+        result = extract_semilinear(phi_ww(), probe_bound=24, letter="a")
+        assert result.found
+        assert result.period == 2 or result.period % 2 == 0
+        for n in range(40):
+            assert (n in result.semilinear) == (n % 2 == 0)
+
+    def test_triples(self):
+        # ∃x, y: φ_w(x) ∧ x = y³ — lengths divisible by 3.
+        x, y = Var("x"), Var("y")
+        phi = Exists(
+            x, Exists(y, And(phi_whole_word(x), phi_k_copies(x, y, 3)))
+        )
+        result = extract_semilinear(phi, probe_bound=24, letter="a")
+        assert result.found
+        for n in range(40):
+            assert (n in result.semilinear) == (n % 3 == 0)
+
+    def test_finite_language(self):
+        # "the word is empty": {0}.
+        x = Var("x")
+        phi = Exists(x, And(phi_whole_word(x), phi_epsilon(x)))
+        result = extract_semilinear(phi, probe_bound=12, letter="a")
+        assert result.found
+        for n in range(20):
+            assert (n in result.semilinear) == (n == 0)
+
+    def test_cofinite_language(self):
+        # "the word is NOT empty".
+        x = Var("x")
+        phi = Not(Exists(x, And(phi_whole_word(x), phi_epsilon(x))))
+        result = extract_semilinear(phi, probe_bound=12, letter="a")
+        assert result.found
+        assert 0 not in result.semilinear
+        assert all(n in result.semilinear for n in range(1, 20))
+
+    def test_powers_of_two_oracle_not_extracted(self):
+        """An oracle-backed pseudo-sentence for {a^{2ⁿ}} — exactly the
+        Lemma 3.6 language — yields no window-stable structure."""
+        x = Var("x")
+
+        def is_power_of_two_factor(value: str) -> bool:
+            n = len(value)
+            return n >= 1 and (n & (n - 1)) == 0
+
+        atom = OracleAtom((x,), is_power_of_two_factor, "Pow2")
+        phi = Exists(x, And(phi_whole_word(x), atom))
+        result = extract_semilinear(phi, probe_bound=40, letter="a")
+        assert not result.found

@@ -1,0 +1,83 @@
+"""Tests for linear / semi-linear sets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.semilinear.linear_sets import LinearSet, SemiLinearSet
+
+
+class TestLinearSet:
+    def test_singleton(self):
+        s = LinearSet(5)
+        assert 5 in s
+        assert 4 not in s
+        assert 6 not in s
+
+    def test_arithmetic_progression(self):
+        s = LinearSet(1, (3,))
+        assert all(n in s for n in (1, 4, 7, 100))
+        assert all(n not in s for n in (0, 2, 3, 5))
+
+    def test_two_periods(self):
+        # {0 + 3i + 5j} — the Chicken McNugget set: misses 1,2,4,7.
+        s = LinearSet(0, (3, 5))
+        members = s.elements_up_to(12)
+        assert members == {0, 3, 5, 6, 8, 9, 10, 11, 12}
+
+    def test_frobenius_tail(self):
+        s = LinearSet(0, (3, 5))
+        # beyond the Frobenius number 7, everything is in.
+        assert all(n in s for n in range(8, 60))
+
+    @given(
+        st.integers(0, 10),
+        st.lists(st.integers(1, 6), max_size=3).map(tuple),
+        st.integers(0, 60),
+    )
+    def test_membership_matches_brute_force(self, offset, periods, n):
+        s = LinearSet(offset, periods)
+        reachable = {offset}
+        while True:
+            extended = reachable | {
+                r + m for r in reachable for m in periods if r + m <= 60
+            }
+            if extended == reachable:
+                break
+            reachable = extended
+        assert (n in s) == (n in reachable)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearSet(-1)
+        with pytest.raises(ValueError):
+            LinearSet(0, (0,))
+
+
+class TestSemiLinearSet:
+    def test_union_membership(self):
+        s = SemiLinearSet.from_parts(LinearSet(0, (2,)), 7)
+        assert 4 in s
+        assert 7 in s
+        assert 5 not in s
+
+    def test_from_ints(self):
+        s = SemiLinearSet.from_parts(1, 2, 4)
+        assert s.elements_up_to(8) == {1, 2, 4}
+
+    def test_union_operation(self):
+        evens = SemiLinearSet.arithmetic_progression(0, 2)
+        odds = SemiLinearSet.arithmetic_progression(1, 2)
+        both = evens.union(odds)
+        assert both.elements_up_to(5) == {0, 1, 2, 3, 4, 5}
+
+    def test_eventually_periodic_form(self):
+        s = SemiLinearSet.arithmetic_progression(3, 4)
+        exceptions, threshold, period = s.eventually_periodic_form()
+        assert period % 4 == 0
+        for n in range(threshold, threshold + 3 * period):
+            assert (n in s) == ((n + period) in s)
+
+    def test_empty(self):
+        s = SemiLinearSet()
+        assert 0 not in s
+        assert s.eventually_periodic_form() == (frozenset(), 0, 1)

@@ -1,0 +1,131 @@
+"""Tests for the span relational algebra (∪, π, ⋈, \\, ζ=, ζ^R)."""
+
+import pytest
+
+from repro.spanners.algebra import SpanRelation
+from repro.spanners.spans import Span
+
+DOC = "aabaa"
+
+
+def rel(rows, schema=None):
+    return SpanRelation.build(DOC, rows, schema=schema)
+
+
+class TestConstruction:
+    def test_build_and_contains(self):
+        r = rel([{"x": Span(0, 1)}])
+        assert {"x": Span(0, 1)} in r
+        assert {"x": Span(0, 2)} not in r
+        assert len(r) == 1
+
+    def test_schema_inference_and_validation(self):
+        with pytest.raises(ValueError):
+            rel([{"x": Span(0, 1)}, {"y": Span(0, 1)}])
+        with pytest.raises(ValueError):
+            SpanRelation.build(DOC, [])
+
+    def test_empty_with_schema(self):
+        r = SpanRelation.empty(DOC, {"x"})
+        assert len(r) == 0
+        assert r.schema == {"x"}
+
+    def test_contents_view(self):
+        r = rel([{"x": Span(0, 2)}, {"x": Span(3, 5)}])
+        assert r.contents() == {(("x", "aa"),)}  # both spans mark "aa"
+
+
+class TestSetOperations:
+    def test_union(self):
+        r1 = rel([{"x": Span(0, 1)}])
+        r2 = rel([{"x": Span(1, 2)}])
+        assert len(r1.union(r2)) == 2
+
+    def test_union_schema_mismatch(self):
+        r1 = rel([{"x": Span(0, 1)}])
+        r2 = rel([{"y": Span(0, 1)}])
+        with pytest.raises(ValueError):
+            r1.union(r2)
+
+    def test_difference(self):
+        r1 = rel([{"x": Span(0, 1)}, {"x": Span(1, 2)}])
+        r2 = rel([{"x": Span(1, 2)}])
+        result = r1.difference(r2)
+        assert list(result) == [{"x": Span(0, 1)}]
+
+    def test_cross_document_rejected(self):
+        r1 = rel([{"x": Span(0, 1)}])
+        r2 = SpanRelation.build("bb", [{"x": Span(0, 1)}])
+        with pytest.raises(ValueError):
+            r1.union(r2)
+
+
+class TestProjectJoin:
+    def test_project(self):
+        r = rel([{"x": Span(0, 1), "y": Span(1, 2)}])
+        projected = r.project(["x"])
+        assert projected.schema == {"x"}
+        assert {"x": Span(0, 1)} in projected
+
+    def test_project_unknown_variable(self):
+        r = rel([{"x": Span(0, 1)}])
+        with pytest.raises(ValueError):
+            r.project(["z"])
+
+    def test_project_to_boolean(self):
+        r = rel([{"x": Span(0, 1)}])
+        boolean = r.project([])
+        assert len(boolean) == 1  # the empty tuple: "non-empty" marker
+
+    def test_natural_join_shared_variable(self):
+        r1 = rel([{"x": Span(0, 1), "y": Span(1, 2)}])
+        r2 = rel([{"y": Span(1, 2), "z": Span(2, 3)}, {"y": Span(0, 1), "z": Span(2, 3)}])
+        joined = r1.natural_join(r2)
+        assert len(joined) == 1
+        row = next(iter(joined))
+        assert row == {"x": Span(0, 1), "y": Span(1, 2), "z": Span(2, 3)}
+
+    def test_join_disjoint_schemas_is_product(self):
+        r1 = rel([{"x": Span(0, 1)}, {"x": Span(1, 2)}])
+        r2 = rel([{"y": Span(2, 3)}])
+        assert len(r1.natural_join(r2)) == 2
+
+
+class TestSelections:
+    def test_equality_selection(self):
+        # x marks "aa" at 0..2, y marks "aa" at 3..5: same content,
+        # different spans — ζ= keeps the row.
+        r = rel(
+            [
+                {"x": Span(0, 2), "y": Span(3, 5)},
+                {"x": Span(0, 2), "y": Span(2, 3)},
+            ]
+        )
+        selected = r.select_equal("x", "y")
+        assert len(selected) == 1
+        kept = next(iter(selected))
+        assert kept["y"] == Span(3, 5)
+
+    def test_equality_selection_unknown_variable(self):
+        r = rel([{"x": Span(0, 1)}])
+        with pytest.raises(ValueError):
+            r.select_equal("x", "nope")
+
+    def test_relation_selection(self):
+        r = rel(
+            [
+                {"x": Span(0, 2), "y": Span(2, 3)},  # aa, b
+                {"x": Span(0, 1), "y": Span(2, 3)},  # a, b
+            ]
+        )
+        same_length = r.select_relation(
+            ("x", "y"), lambda u, v: len(u) == len(v)
+        )
+        assert len(same_length) == 1
+
+    def test_relation_selection_order_matters(self):
+        r = rel([{"x": Span(0, 2), "y": Span(2, 3)}])  # aa, b
+        prefix = r.select_relation(("y", "x"), lambda u, v: v.startswith(u))
+        assert len(prefix) == 0
+        prefix2 = r.select_relation(("x", "y"), lambda u, v: u.startswith("a"))
+        assert len(prefix2) == 1

@@ -1,0 +1,154 @@
+"""Tests for the regular-spanner normal form and core simplification."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spanners.normal_form import (
+    CoreSimplification,
+    compile_spanner,
+    core_simplify,
+    vset_join,
+    vset_project,
+    vset_union,
+)
+from repro.spanners.spanner import (
+    Difference,
+    EqualitySelect,
+    Join,
+    Project,
+    SpannerUnion,
+    extract,
+)
+from repro.spanners.vset_automata import compile_regex_formula
+from repro.spanners.regex_formulas import parse_regex_formula
+
+documents = st.text(alphabet="ab", max_size=6)
+
+
+def rows(relation):
+    return {frozenset(r.items()) for r in relation}
+
+
+class TestClosureOperations:
+    @settings(max_examples=30, deadline=None)
+    @given(documents)
+    def test_union(self, document):
+        left = extract(".*x{aa}.*")
+        right = extract(".*x{bb}.*")
+        automaton = vset_union(
+            compile_spanner(left), compile_spanner(right)
+        )
+        expected = rows(SpannerUnion(left, right).evaluate(document))
+        assert rows(automaton.evaluate(document)) == expected
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(ValueError):
+            vset_union(
+                compile_spanner(extract(".*x{a}.*")),
+                compile_spanner(extract(".*y{a}.*")),
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(documents)
+    def test_project(self, document):
+        base = extract("x{a*}y{b*}")
+        automaton = vset_project(compile_spanner(base), frozenset(["x"]))
+        expected = rows(Project(base, ("x",)).evaluate(document))
+        assert rows(automaton.evaluate(document)) == expected
+
+    def test_project_unknown_variable(self):
+        with pytest.raises(ValueError):
+            vset_project(
+                compile_spanner(extract(".*x{a}.*")), frozenset(["z"])
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(documents)
+    def test_join_disjoint(self, document):
+        left = extract(".*x{a+}.*")
+        right = extract(".*y{b+}.*")
+        automaton = vset_join(compile_spanner(left), compile_spanner(right))
+        expected = rows(Join(left, right).evaluate(document))
+        assert rows(automaton.evaluate(document)) == expected
+
+    def test_join_shared_rejected(self):
+        with pytest.raises(ValueError):
+            vset_join(
+                compile_spanner(extract(".*x{a}.*")),
+                compile_spanner(extract(".*x{b}.*")),
+            )
+
+
+class TestCompileSpanner:
+    TREES = [
+        SpannerUnion(extract(".*x{aa}.*"), extract(".*x{ab}.*")),
+        Project(extract("x{a*}y{b*}"), ("y",)),
+        Join(extract(".*x{a+}.*"), extract(".*y{ba}.*")),
+        Project(
+            Join(extract(".*x{a+}.*"), extract(".*y{b+}.*")), ("x",)
+        ),
+    ]
+
+    @pytest.mark.parametrize("tree", TREES)
+    def test_single_automaton_equals_tree(self, tree):
+        automaton = compile_spanner(tree)
+        for document in ("", "a", "ab", "abba", "aabab"):
+            assert rows(automaton.evaluate(document)) == rows(
+                tree.evaluate(document)
+            ), document
+
+    def test_non_regular_rejected(self):
+        core = EqualitySelect(
+            Join(extract(".*x{a+}.*"), extract(".*y{a+}.*")), "x", "y"
+        )
+        with pytest.raises(ValueError):
+            compile_spanner(core)
+
+
+class TestCoreSimplification:
+    def test_selection_hoisted(self):
+        core = EqualitySelect(
+            Join(extract(".*x{a+}.*"), extract(".*y{a+}.*")), "x", "y"
+        )
+        simplified = core_simplify(core)
+        assert isinstance(simplified, CoreSimplification)
+        assert simplified.selections == (("x", "y"),)
+        for document in ("", "aa", "aba", "aabaa"):
+            assert rows(simplified.evaluate(document)) == rows(
+                core.evaluate(document)
+            ), document
+
+    def test_selection_under_join_hoisted(self):
+        inner = EqualitySelect(
+            Join(extract(".*x{a+}.*"), extract(".*y{a+}.*")), "x", "y"
+        )
+        tree = Join(inner, extract(".*z{b+}.*"))
+        simplified = core_simplify(tree)
+        assert simplified.selections == (("x", "y"),)
+        for document in ("ab", "aabaa", "abab"):
+            assert rows(simplified.evaluate(document)) == rows(
+                tree.evaluate(document)
+            )
+
+    def test_projection_dropping_selected_variable_rejected(self):
+        inner = EqualitySelect(
+            Join(extract(".*x{a+}.*"), extract(".*y{a+}.*")), "x", "y"
+        )
+        with pytest.raises(ValueError):
+            core_simplify(Project(inner, ("x",)))
+
+    def test_projection_keeping_selected_variables_ok(self):
+        inner = EqualitySelect(
+            Join(
+                Join(extract(".*x{a+}.*"), extract(".*y{a+}.*")),
+                extract(".*z{b+}.*"),
+            ),
+            "x",
+            "y",
+        )
+        tree = Project(inner, ("x", "y"))
+        simplified = core_simplify(tree)
+        for document in ("ab", "aabaa" + "b",):
+            assert rows(simplified.evaluate(document)) == rows(
+                tree.evaluate(document)
+            )

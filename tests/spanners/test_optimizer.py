@@ -1,0 +1,94 @@
+"""Tests for the spanner-algebra optimiser: rewrites preserve semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spanners.optimizer import explain, optimize, tree_size
+from repro.spanners.spanner import (
+    Difference,
+    EqualitySelect,
+    Join,
+    Project,
+    SpannerUnion,
+    extract,
+)
+
+documents = st.text(alphabet="ab", max_size=6)
+
+A_BLOCKS = extract(".*x{a+}.*")
+B_BLOCKS = extract(".*y{b+}.*")
+PAIRS = Join(A_BLOCKS, extract(".*y{a+}.*"))
+
+
+def relations_equal(left, right, document):
+    return {
+        frozenset(row.items()) for row in left.evaluate(document)
+    } == {frozenset(row.items()) for row in right.evaluate(document)}
+
+
+EXPRESSIONS = [
+    # π over ∪ and nested π.
+    Project(Project(SpannerUnion(PAIRS, PAIRS), ("x", "y")), ("x",)),
+    # ζ= over a join where both variables live on one side.
+    EqualitySelect(Join(PAIRS, B_BLOCKS), "x", "y"),
+    # ζ= over a difference.
+    EqualitySelect(Difference(PAIRS, PAIRS), "x", "y"),
+    # identity projection and ζ=_{x,x}.
+    Project(EqualitySelect(A_BLOCKS, "x", "x"), ("x",)),
+    # projection pushdown through a join.
+    Project(Join(PAIRS, B_BLOCKS), ("x",)),
+    # union idempotence.
+    SpannerUnion(A_BLOCKS, A_BLOCKS),
+]
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    def test_fixed_documents(self, expression):
+        optimised = optimize(expression)
+        for document in ("", "a", "ab", "aab", "abab", "aabba"):
+            assert relations_equal(expression, optimised, document), (
+                explain(expression, optimised),
+                document,
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from(EXPRESSIONS), documents)
+    def test_random_documents(self, expression, document):
+        optimised = optimize(expression)
+        assert relations_equal(expression, optimised, document)
+
+
+class TestRewrites:
+    def test_union_idempotence(self):
+        assert optimize(SpannerUnion(A_BLOCKS, A_BLOCKS)) == A_BLOCKS
+
+    def test_identity_projection_removed(self):
+        assert optimize(Project(A_BLOCKS, ("x",))) == A_BLOCKS
+
+    def test_reflexive_selection_removed(self):
+        assert optimize(EqualitySelect(A_BLOCKS, "x", "x")) == A_BLOCKS
+
+    def test_nested_projection_collapsed(self):
+        expression = Project(Project(PAIRS, ("x", "y")), ("x",))
+        optimised = optimize(expression)
+        # No Project-of-Project chains remain.
+        for node in optimised.walk():
+            if isinstance(node, Project):
+                assert not isinstance(node.inner, Project)
+
+    def test_selection_pushed_into_join_side(self):
+        expression = EqualitySelect(Join(PAIRS, B_BLOCKS), "x", "y")
+        optimised = optimize(expression)
+        assert isinstance(optimised, Join)
+
+    def test_class_preserved(self):
+        expression = EqualitySelect(Difference(PAIRS, PAIRS), "x", "y")
+        optimised = optimize(expression)
+        assert optimised.classify() == expression.classify()
+
+    def test_size_reported(self):
+        expression = Project(Project(PAIRS, ("x", "y")), ("x",))
+        optimised = optimize(expression)
+        assert tree_size(optimised) <= tree_size(expression)
+        assert "nodes" in explain(expression, optimised)

@@ -1,0 +1,101 @@
+"""Tests for regex formulas (the spanner extractor layer)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spanners.regex_formulas import (
+    RBind,
+    RStar,
+    RTerminal,
+    RUnion,
+    parse_regex_formula,
+)
+from repro.spanners.spans import Span
+
+
+def spans_of(pattern, document, var="x"):
+    formula = parse_regex_formula(pattern)
+    return {
+        dict(match)[var] for match in formula.match_spans(document)
+    }
+
+
+class TestParsing:
+    def test_binding_syntax(self):
+        formula = parse_regex_formula("x{ab}")
+        assert isinstance(formula, RBind)
+        assert formula.variables() == {"x"}
+
+    def test_plain_letter(self):
+        assert isinstance(parse_regex_formula("a"), RTerminal)
+
+    def test_star(self):
+        assert isinstance(parse_regex_formula("a*"), RStar)
+
+    @pytest.mark.parametrize("bad", ["x{a", "(a", "a)", "*a"])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_regex_formula(bad)
+
+
+class TestFunctionality:
+    def test_union_must_bind_same_vars(self):
+        with pytest.raises(ValueError):
+            parse_regex_formula("x{a}|b")
+
+    def test_star_cannot_bind(self):
+        with pytest.raises(ValueError):
+            parse_regex_formula("(x{a})*")
+
+    def test_double_binding_rejected(self):
+        with pytest.raises(ValueError):
+            parse_regex_formula("x{a}x{b}")
+
+    def test_optional_binding_rejected(self):
+        with pytest.raises(ValueError):
+            parse_regex_formula("x{a}?")
+
+
+class TestMatching:
+    def test_intro_misspelling_example(self):
+        """The paper's introduction: γ(x) = Σ* x{...} Σ*."""
+        spans = spans_of(".*x{ab|ba}.*", "abba")
+        assert spans == {Span(0, 2), Span(2, 4)}
+
+    def test_whole_document_binding(self):
+        spans = spans_of("x{.*}", "ab")
+        assert spans == {Span(0, 2)}
+
+    def test_two_variables(self):
+        formula = parse_regex_formula("x{a*}y{b*}")
+        matches = formula.match_spans("aab")
+        assert len(matches) == 1
+        row = dict(next(iter(matches)))
+        assert row["x"] == Span(0, 2)
+        assert row["y"] == Span(2, 3)
+
+    def test_no_match(self):
+        assert parse_regex_formula("x{aa}").match_spans("ab") == frozenset()
+
+    def test_empty_document(self):
+        spans = spans_of("x{a*}", "")
+        assert spans == {Span(0, 0)}
+
+    def test_star_dp(self):
+        formula = parse_regex_formula("(ab)*")
+        assert formula.match_spans("abab")
+        assert not formula.match_spans("aba")
+
+    @given(st.text(alphabet="ab", max_size=6))
+    def test_sigma_star_var_sigma_star_finds_all_occurrences(self, d):
+        spans = spans_of(".*x{ab}.*", d)
+        expected = {
+            Span(i, i + 2)
+            for i in range(len(d) - 1)
+            if d[i : i + 2] == "ab"
+        }
+        assert spans == expected
+
+    def test_plus_with_binding(self):
+        spans = spans_of(".*x{a+}.*", "aab")
+        assert spans == {Span(0, 1), Span(0, 2), Span(1, 2)}

@@ -1,0 +1,75 @@
+"""Tests for the selectability harness (spanners ↔ FC[REG])."""
+
+import pytest
+
+from repro.core.relations import num_a
+from repro.fc.builders import phi_copy
+from repro.fc.syntax import And, Concat, Var
+from repro.fcreg.constraints import in_regex
+from repro.spanners.selectable import (
+    agree_extensionally,
+    regular_intersection_trick,
+    selection_gap_language,
+    spanner_content_relation,
+)
+from repro.spanners.spanner import extract
+from repro.words.generators import l_anbn, words_up_to
+
+
+class TestContentRelation:
+    def test_projection_to_contents(self):
+        spanner = extract(".*x{a+}.*")
+        contents = spanner_content_relation(spanner, "aab", ("x",))
+        assert contents == {("a",), ("aa",)}
+
+
+class TestExtensionalAgreement:
+    def test_factor_extractor_matches_fc(self):
+        """Σ* x{(ba)*ba} Σ*  ≍  (x ∈̇ (ba)*ba) — same content relation."""
+        spanner = extract(".*x{(ba)*ba}.*")
+        x = Var("x")
+        formula = in_regex(x, "(ba)+")
+        agrees, witness = agree_extensionally(spanner, formula, "ab", 5)
+        assert agrees, witness
+
+    def test_disagreement_detected(self):
+        spanner = extract(".*x{a}.*")
+        x = Var("x")
+        formula = in_regex(x, "b")
+        agrees, witness = agree_extensionally(spanner, formula, "ab", 2)
+        assert not agrees
+        assert witness is not None
+
+    def test_arity_mismatch(self):
+        spanner = extract(".*x{a}.*")
+        x, y = Var("x"), Var("y")
+        with pytest.raises(ValueError):
+            agree_extensionally(spanner, phi_copy(x, y), "ab", 2)
+
+
+class TestSelectionGap:
+    def test_unselectable_relation_recognises_non_fc_language(self):
+        """π_∅ ζ^Num_a over a*-block × (ba)*-block recognises L₁-shaped
+        words — exactly the Theorem 5.8 argument, run on real spanners."""
+        base = extract("x{a*}y{(ba)*}")
+        language = selection_gap_language(
+            base, ("x", "y"), num_a, "ab", 6, name="Num_a"
+        )
+        from repro.words.generators import l1_an_ban
+
+        expected = frozenset(
+            w for w in words_up_to("ab", 6) if w in l1_an_ban
+        )
+        assert language == expected
+
+    def test_regular_intersection_trick(self):
+        """{w : |w|_a = |w|_b} ∩ a*b* = {aⁿbⁿ} (the conclusion section)."""
+        balanced = frozenset(
+            w for w in words_up_to("ab", 6) if w.count("a") == w.count("b")
+        )
+        def in_a_star_b_star(w):
+            return "ba" not in w
+
+        intersection = regular_intersection_trick(balanced, in_a_star_b_star)
+        expected = frozenset(w for w in words_up_to("ab", 6) if w in l_anbn)
+        assert intersection == expected

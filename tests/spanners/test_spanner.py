@@ -1,0 +1,105 @@
+"""Tests for spanner expression trees and classification."""
+
+import pytest
+
+from repro.spanners.spanner import (
+    Difference,
+    EqualitySelect,
+    Join,
+    Project,
+    RelationSelect,
+    SpannerUnion,
+    extract,
+)
+from repro.spanners.spans import Span
+
+
+class TestClassification:
+    def test_regular(self):
+        spanner = extract(".*x{a}.*") | extract(".*x{b}.*")
+        assert spanner.classify() == "regular"
+
+    def test_core(self):
+        two = extract(".*x{a+}.*").join(extract(".*y{a+}.*"))
+        assert two.eq("x", "y").classify() == "core"
+
+    def test_generalized_core(self):
+        two = extract(".*x{a+}.*").join(extract(".*y{a+}.*"))
+        spanner = two - two.eq("x", "y")
+        assert spanner.classify() == "generalized core"
+
+    def test_extended(self):
+        base = extract(".*x{a+}.*")
+        spanner = RelationSelect(base, ("x",), lambda u: len(u) > 1)
+        assert spanner.classify() == "extended (ζ^R)"
+
+
+class TestEvaluation:
+    def test_extract(self):
+        relation = extract(".*x{ab}.*").evaluate("abab")
+        assert {"x": Span(0, 2)} in relation
+        assert {"x": Span(2, 4)} in relation
+
+    def test_union_schema_check(self):
+        with pytest.raises(ValueError):
+            SpannerUnion(extract(".*x{a}.*"), extract(".*y{a}.*"))
+
+    def test_join_and_project(self):
+        spanner = Project(
+            Join(extract(".*x{aa}.*"), extract(".*y{b}.*")), ("x",)
+        )
+        relation = spanner.evaluate("aab")
+        assert relation.schema == {"x"}
+        assert len(relation) == 1
+
+    def test_difference_schema_check(self):
+        with pytest.raises(ValueError):
+            Difference(extract(".*x{a}.*"), extract(".*y{a}.*"))
+
+    def test_equality_select(self):
+        two = extract(".*x{a+}.*").join(extract(".*y{a+}.*"))
+        equal = two.eq("x", "y")
+        relation = equal.evaluate("aba")
+        for row in relation:
+            assert row["x"].content("aba") == row["y"].content("aba")
+
+    def test_boolean_acceptance(self):
+        # Boolean spanner: does the document contain a square aa / bb?
+        square = extract(".*x{aa|bb}.*").project()
+        assert square.accepts("abba")
+        assert not square.accepts("abab")
+
+    def test_language_slice(self):
+        square = extract(".*x{aa|bb}.*").project()
+        slice_ = square.language_slice("ab", 3)
+        assert "aa" in slice_
+        assert "aba" not in slice_
+
+
+class TestCoreSpannerIdioms:
+    def test_zeta_eq_finds_repeated_factor(self):
+        """ζ= selects positional pairs with equal content — the classic
+        core-spanner capability (find repeats)."""
+        pattern = ".*x{aa.}.*"
+        two = extract(pattern).join(
+            extract(pattern.replace("x{", "y{"))
+        )
+        distinct_repeat = two.eq("x", "y")
+        relation = distinct_repeat.evaluate("aabaab")
+        pairs = [
+            (row["x"], row["y"])
+            for row in relation
+            if row["x"] != row["y"]
+        ]
+        assert pairs  # "aab" occurs twice at different positions
+
+    def test_difference_expresses_negation(self):
+        """Generalized core spanners can say 'x is a maximal a-block':
+        all a-blocks minus the extendable ones."""
+        blocks = extract(".*x{a+}.*")
+        extendable_left = extract(".*ax{a+}.*")
+        extendable_right = extract(".*x{a+}a.*")
+        maximal = (blocks - extendable_left) - extendable_right
+        relation = maximal.evaluate("aabab" + "aa")  # aabab + aa = aababaa
+        contents = {row["x"] for row in relation}
+        assert contents == {Span(0, 2), Span(3, 4), Span(5, 7)}

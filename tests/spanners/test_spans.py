@@ -1,0 +1,52 @@
+"""Tests for spans."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spanners.spans import Span, all_spans, spans_of_occurrences
+
+
+class TestSpan:
+    def test_content(self):
+        assert Span(1, 3).content("abba") == "bb"
+
+    def test_empty_span(self):
+        assert Span(2, 2).content("abba") == ""
+        assert len(Span(2, 2)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Span(3, 1)
+        with pytest.raises(ValueError):
+            Span(-1, 0)
+
+    def test_out_of_range_content(self):
+        with pytest.raises(ValueError):
+            Span(0, 5).content("ab")
+
+    def test_relations(self):
+        assert Span(1, 2).is_inside(Span(0, 3))
+        assert not Span(0, 3).is_inside(Span(1, 2))
+        assert Span(0, 1).precedes(Span(1, 2))
+        assert Span(0, 1).adjacent_to(Span(1, 2))
+        assert not Span(0, 2).adjacent_to(Span(1, 2))
+
+    def test_ordering(self):
+        assert Span(0, 1) < Span(0, 2) < Span(1, 1)
+
+
+class TestEnumeration:
+    @given(st.text(alphabet="ab", max_size=8))
+    def test_all_spans_count(self, d):
+        n = len(d)
+        assert sum(1 for _ in all_spans(d)) == (n + 1) * (n + 2) // 2
+
+    def test_occurrences(self):
+        spans = spans_of_occurrences("abab", "ab")
+        assert spans == [Span(0, 2), Span(2, 4)]
+
+    def test_overlapping_occurrences(self):
+        assert len(spans_of_occurrences("aaa", "aa")) == 2
+
+    def test_empty_factor_occurrences(self):
+        assert len(spans_of_occurrences("ab", "")) == 3

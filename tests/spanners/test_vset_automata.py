@@ -1,0 +1,111 @@
+"""Tests for VSet-automata — cross-checked against the recursive evaluator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spanners.regex_formulas import parse_regex_formula
+from repro.spanners.spans import Span
+from repro.spanners.vset_automata import (
+    VOp,
+    VSetAutomaton,
+    compile_regex_formula,
+)
+
+PATTERNS = [
+    ".*x{ab|ba}.*",
+    "x{a*}y{b*}",
+    ".*x{a+}.*",
+    "x{.*}",
+    "x{(ab)*}b*",
+    ".*x{acheive|begining}.*".replace("acheive", "aab").replace(
+        "begining", "bba"
+    ),
+]
+
+documents = st.text(alphabet="ab", max_size=7)
+
+
+class TestCompilation:
+    def test_linear_size(self):
+        formula = parse_regex_formula(".*x{ab|ba}.*")
+        automaton = compile_regex_formula(formula)
+        assert automaton.state_count() < 60
+        assert automaton.variables == {"x"}
+
+    def test_vop_repr(self):
+        assert repr(VOp("x", True)) == "⊢x"
+        assert repr(VOp("x", False)) == "x⊣"
+
+
+class TestAgreementWithRecursiveEvaluator:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_fixed_documents(self, pattern):
+        formula = parse_regex_formula(pattern)
+        automaton = compile_regex_formula(formula)
+        for document in ("", "a", "ab", "abba", "aabba", "bababa"):
+            from_automaton = {
+                frozenset(row.items())
+                for row in automaton.evaluate(document)
+            }
+            from_recursion = set(formula.match_spans(document))
+            assert from_automaton == from_recursion, (pattern, document)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(PATTERNS), documents)
+    def test_random_documents(self, pattern, document):
+        formula = parse_regex_formula(pattern)
+        automaton = compile_regex_formula(formula)
+        from_automaton = {
+            frozenset(row.items()) for row in automaton.evaluate(document)
+        }
+        from_recursion = set(formula.match_spans(document))
+        assert from_automaton == from_recursion
+
+
+class TestValidityEnforcement:
+    def test_double_open_rejected(self):
+        # Hand-built automaton that opens x twice: no valid runs.
+        automaton = VSetAutomaton(
+            start=0,
+            accepting=frozenset([3]),
+            transitions={
+                0: [(VOp("x", True), 1)],
+                1: [(VOp("x", True), 2)],
+                2: [(VOp("x", False), 3)],
+            },
+            variables=frozenset(["x"]),
+        )
+        assert len(automaton.evaluate("")) == 0
+
+    def test_unclosed_variable_rejected(self):
+        automaton = VSetAutomaton(
+            start=0,
+            accepting=frozenset([1]),
+            transitions={0: [(VOp("x", True), 1)]},
+            variables=frozenset(["x"]),
+        )
+        assert len(automaton.evaluate("")) == 0
+
+    def test_close_before_open_rejected(self):
+        automaton = VSetAutomaton(
+            start=0,
+            accepting=frozenset([1]),
+            transitions={0: [(VOp("x", False), 1)]},
+            variables=frozenset(["x"]),
+        )
+        assert len(automaton.evaluate("")) == 0
+
+    def test_valid_hand_built(self):
+        # ⊢x, read one letter, x⊣.
+        automaton = VSetAutomaton(
+            start=0,
+            accepting=frozenset([3]),
+            transitions={
+                0: [(VOp("x", True), 1)],
+                1: [("a", 2)],
+                2: [(VOp("x", False), 3)],
+            },
+            variables=frozenset(["x"]),
+        )
+        relation = automaton.evaluate("a")
+        assert list(relation) == [{"x": Span(0, 1)}]

@@ -1,0 +1,120 @@
+"""Tests for conjugacy, co-primitivity, and Lemma 4.10's stabilisation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.words.conjugacy import (
+    are_conjugate,
+    are_coprimitive,
+    conjugates,
+    factor_intersection_profile,
+    stable_intersection_bound,
+)
+from repro.words.primitivity import is_primitive
+
+words = st.text(alphabet="ab", min_size=1, max_size=8)
+
+
+class TestConjugacy:
+    def test_paper_example_conjugate(self):
+        # aabba and aaabb are conjugate via x = aabb, y = a (Section 4.3).
+        assert are_conjugate("aabba", "aaabb")
+
+    def test_paper_example_coprimitive(self):
+        # aba and bba are co-primitive (different letter counts).
+        assert are_coprimitive("aba", "bba")
+        assert not are_coprimitive("aabba", "aaabb")
+
+    def test_l5_blocks_are_coprimitive(self):
+        # The L5 building blocks from Lemma 4.14.
+        assert are_coprimitive("abaabb", "bbaaba")
+
+    @given(words)
+    def test_conjugacy_reflexive(self, w):
+        assert are_conjugate(w, w)
+
+    @given(words, st.integers(min_value=0, max_value=7))
+    def test_rotations_are_conjugate(self, w, i):
+        rotation = w[i % len(w):] + w[: i % len(w)]
+        assert are_conjugate(w, rotation)
+
+    @given(words)
+    def test_conjugates_listing(self, w):
+        rotated = conjugates(w)
+        assert w in rotated
+        assert all(are_conjugate(w, v) for v in rotated)
+        assert len(rotated) == len(set(rotated))
+
+    def test_different_lengths_never_conjugate(self):
+        assert not are_conjugate("ab", "aba")
+
+    @given(words, words)
+    def test_conjugate_words_are_anagrams(self, u, v):
+        if are_conjugate(u, v):
+            assert sorted(u) == sorted(v)
+
+
+class TestCoprimitivity:
+    @given(words, words)
+    def test_coprimitive_requires_primitive(self, u, v):
+        if are_coprimitive(u, v):
+            assert is_primitive(u) and is_primitive(v)
+
+    def test_imprimitive_never_coprimitive(self):
+        assert not are_coprimitive("abab", "bba")
+
+
+class TestIntersectionStabilisation:
+    """Lemma 4.10: co-primitive ⟺ Facs(wⁿ) ∩ Facs(vᵐ) stabilises."""
+
+    def test_coprimitive_stabilises(self):
+        profile = factor_intersection_profile("aba", "bba", max_exponent=8)
+        assert profile.stabilised
+        assert profile.max_common_length <= len("aba") + len("bba") - 2
+
+    def test_conjugate_does_not_stabilise(self):
+        profile = factor_intersection_profile("ab", "ba", max_exponent=8)
+        assert not profile.stabilised
+
+    def test_l5_blocks_stabilise(self):
+        profile = factor_intersection_profile(
+            "abaabb", "bbaaba", max_exponent=6
+        )
+        assert profile.stabilised
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        words.filter(is_primitive),
+        words.filter(is_primitive),
+    )
+    def test_lemma_4_10_equivalence(self, u, v):
+        profile = factor_intersection_profile(u, v)
+        if are_coprimitive(u, v):
+            assert profile.stabilised
+        else:
+            # Primitive but not co-primitive means conjugate; conjugate
+            # words share ever-longer factors, so no stabilisation.
+            assert not profile.stabilised
+
+    def test_bound_raises_on_conjugates(self):
+        with pytest.raises(ValueError):
+            stable_intersection_bound("ab", "ba")
+
+    def test_bound_respects_periodicity_lemma(self):
+        bound = stable_intersection_bound("aba", "bba")
+        assert bound <= len("aba") + len("bba") - 2
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        words.filter(is_primitive),
+        words.filter(is_primitive),
+    )
+    def test_bound_dominates_observed_intersections(self, u, v):
+        if not are_coprimitive(u, v):
+            return
+        bound = stable_intersection_bound(u, v)
+        from repro.words.factors import common_factors
+
+        for n in range(1, 6):
+            longest = max(len(x) for x in common_factors(u * n, v * n))
+            assert longest <= bound

@@ -1,0 +1,88 @@
+"""Tests for the word-equation engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.words.equations import (
+    Equation,
+    commutation_equation,
+    conjugacy_equation,
+    is_solution,
+    solutions,
+)
+from repro.words.conjugacy import are_conjugate
+from repro.words.periodicity import common_root
+
+short = st.text(alphabet="ab", max_size=4)
+
+
+class TestEquation:
+    def test_parse(self):
+        eq = Equation.parse("XY = YX")
+        assert eq.lhs == ("X", "Y")
+        assert eq.rhs == ("Y", "X")
+
+    def test_parse_with_terminals(self):
+        eq = Equation.parse("Xa = aX")
+        assert eq.variables() == ("X",)
+
+    def test_missing_equals(self):
+        with pytest.raises(ValueError):
+            Equation.parse("XY YX")
+
+    def test_substitute(self):
+        eq = Equation.parse("XbY = ab" + "a")
+        left, right = eq.substitute({"X": "a", "Y": "a"})
+        assert left == "aba"
+        assert right == "aba"
+
+    def test_variables_in_order(self):
+        eq = Equation.parse("ZXY = XYZ")
+        assert eq.variables() == ("Z", "X", "Y")
+
+
+class TestSolutions:
+    def test_commutation_matches_lothaire(self):
+        """Solutions of XY = YX are exactly the common-root pairs —
+        the same fact computed by the periodicity module."""
+        eq = commutation_equation()
+        found = {
+            (sigma["X"], sigma["Y"]) for sigma in solutions(eq, "ab", 3)
+        }
+        from repro.words.generators import words_up_to
+
+        expected = {
+            (u, v)
+            for u in words_up_to("ab", 3)
+            for v in words_up_to("ab", 3)
+            if common_root(u, v) is not None
+        }
+        assert found == expected
+
+    def test_conjugacy_projects_to_conjugates(self):
+        eq = conjugacy_equation()
+        for sigma in solutions(eq, "ab", 3):
+            if sigma["X"] and sigma["Y"]:
+                assert are_conjugate(sigma["X"], sigma["Y"])
+
+    def test_every_conjugate_pair_has_witness(self):
+        eq = conjugacy_equation()
+        found = {
+            (sigma["X"], sigma["Y"])
+            for sigma in solutions(eq, "ab", 3)
+        }
+        assert ("ab", "ba") in found
+        assert ("aab", "aba") in found
+
+    def test_ground_equation(self):
+        eq = Equation.parse("ab = ab")
+        assert list(solutions(eq, "ab", 1)) == [{}]
+
+    def test_unsolvable(self):
+        eq = Equation.parse("a = b")
+        assert list(solutions(eq, "ab", 2)) == []
+
+    @given(short, short)
+    def test_is_solution_agrees_with_substitution(self, u, v):
+        eq = commutation_equation()
+        assert is_solution(eq, {"X": u, "Y": v}) == (u + v == v + u)

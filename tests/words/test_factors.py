@@ -1,0 +1,153 @@
+"""Tests for repro.words.factors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.words.factors import (
+    common_factors,
+    factor_count,
+    factors,
+    is_factor,
+    is_prefix,
+    is_strict_factor,
+    is_strict_prefix,
+    is_strict_suffix,
+    is_suffix,
+    iter_factors,
+    longest_common_factor_length,
+    occurrence_count,
+    prefixes,
+    suffixes,
+)
+
+words = st.text(alphabet="ab", max_size=12)
+
+
+class TestFactors:
+    def test_empty_word(self):
+        assert factors("") == {""}
+
+    def test_single_letter(self):
+        assert factors("a") == {"", "a"}
+
+    def test_paper_style_example(self):
+        assert factors("aba") == {"", "a", "b", "ab", "ba", "aba"}
+
+    def test_iter_yields_each_factor_once(self):
+        listed = list(iter_factors("aabaa"))
+        assert len(listed) == len(set(listed))
+
+    def test_iter_ordered_by_length(self):
+        lengths = [len(f) for f in iter_factors("abba")]
+        assert lengths == sorted(lengths)
+
+    @given(words)
+    def test_every_factor_is_substring(self, w):
+        assert all(f in w for f in factors(w))
+
+    @given(words)
+    def test_word_and_epsilon_are_factors(self, w):
+        assert "" in factors(w)
+        assert w in factors(w)
+
+    @given(words, words)
+    def test_factors_of_concatenation_contain_both(self, u, v):
+        combined = factors(u + v)
+        assert factors(u) <= combined
+        assert factors(v) <= combined
+
+    @given(words)
+    def test_factor_count_bound(self, w):
+        n = len(w)
+        assert factor_count(w) <= n * (n + 1) // 2 + 1
+
+
+class TestPrefixesSuffixes:
+    def test_prefixes(self):
+        assert prefixes("abc"[:2] + "a") == ["", "a", "ab", "aba"]
+
+    def test_suffixes(self):
+        assert suffixes("aba") == ["aba", "ba", "a", ""]
+
+    @given(words)
+    def test_prefix_suffix_counts(self, w):
+        assert len(prefixes(w)) == len(w) + 1
+        assert len(suffixes(w)) == len(w) + 1
+
+    @given(words)
+    def test_prefixes_are_factors(self, w):
+        assert set(prefixes(w)) <= factors(w)
+
+    def test_strict_variants(self):
+        assert is_strict_prefix("a", "ab")
+        assert not is_strict_prefix("ab", "ab")
+        assert is_strict_suffix("b", "ab")
+        assert not is_strict_suffix("ab", "ab")
+        assert is_strict_factor("b", "ab")
+        assert not is_strict_factor("ab", "ab")
+
+    def test_predicates(self):
+        assert is_factor("ba", "aba")
+        assert not is_factor("bb", "aba")
+        assert is_prefix("ab", "aba")
+        assert is_suffix("ba", "aba")
+
+
+class TestCommonFactors:
+    def test_disjoint_alphabets_share_epsilon(self):
+        assert common_factors("aaa", "bbb") == {""}
+
+    def test_paper_example_a_and_ba(self):
+        # Facs(a^m) ∩ Facs((ba)^n) = {ε, a} — the r=1 case of Prop 4.6.
+        assert common_factors("aaaa", "bababa") == {"", "a"}
+
+    @given(words, words)
+    def test_lcf_matches_setwise_computation(self, u, v):
+        expected = max(len(x) for x in common_factors(u, v))
+        assert longest_common_factor_length(u, v) == expected
+
+    def test_lcf_empty(self):
+        assert longest_common_factor_length("", "abc"[:2]) == 0
+
+
+class TestOccurrences:
+    def test_overlapping(self):
+        assert occurrence_count("aa", "aaaa") == 3
+
+    def test_empty_factor(self):
+        assert occurrence_count("", "abc"[:2]) == 3
+
+    def test_letter_count_matches_paper_notation(self):
+        # |w|_a for w = aabab
+        assert occurrence_count("a", "aabab") == 3
+        assert occurrence_count("b", "aabab") == 2
+
+
+class TestFactorComplexity:
+    def test_unary(self):
+        from repro.words.factors import factor_complexity
+
+        assert factor_complexity("aaaa") == [1, 1, 1, 1, 1]
+
+    def test_small_binary(self):
+        from repro.words.factors import factor_complexity
+
+        assert factor_complexity("ab") == [1, 2, 1]
+
+    def test_fibonacci_prefixes_are_sturmian(self):
+        """The Fibonacci word is Sturmian: complexity n + 1 at every
+        length (checked on the interior of a long finite prefix, where
+        boundary effects don't truncate the factor set)."""
+        from repro.words.factors import factor_complexity
+        from repro.words.fibonacci import fibonacci_word
+
+        w = fibonacci_word(12)
+        complexity = factor_complexity(w)
+        for n in range(1, 20):
+            assert complexity[n] == n + 1
+
+    def test_total_is_factor_count(self):
+        from repro.words.factors import factor_complexity, factor_count
+
+        word = "abbab"
+        assert sum(factor_complexity(word)) == factor_count(word)

@@ -1,0 +1,90 @@
+"""Tests for Fibonacci words and L_fib (Proposition 4.1's language)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.words.fibonacci import (
+    contains_kth_power,
+    fibonacci_word,
+    fibonacci_words,
+    is_fourth_power_free,
+    is_l_fib,
+    l_fib_members,
+    l_fib_word,
+)
+
+
+class TestFibonacciWords:
+    def test_base_cases(self):
+        assert fibonacci_word(0) == "a"
+        assert fibonacci_word(1) == "ab"
+
+    def test_recursion(self):
+        assert fibonacci_word(2) == "aba"
+        assert fibonacci_word(3) == "abaab"
+        assert fibonacci_word(4) == "abaababa"
+
+    @given(st.integers(min_value=2, max_value=12))
+    def test_recurrence(self, i):
+        assert fibonacci_word(i) == fibonacci_word(i - 1) + fibonacci_word(i - 2)
+
+    @given(st.integers(min_value=0, max_value=15))
+    def test_lengths_are_fibonacci_numbers(self, i):
+        fib = [1, 2]
+        while len(fib) <= i:
+            fib.append(fib[-1] + fib[-2])
+        assert len(fibonacci_word(i)) == fib[i]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fibonacci_word(-1)
+
+    def test_listing(self):
+        assert fibonacci_words(3) == ["a", "ab", "aba"]
+
+
+class TestLFib:
+    def test_smallest_members(self):
+        assert l_fib_word(0) == "cac"
+        assert l_fib_word(1) == "cacabc"
+        assert l_fib_word(2) == "cacabcabac"
+
+    @given(st.integers(min_value=0, max_value=8))
+    def test_membership_of_members(self, n):
+        assert is_l_fib(l_fib_word(n))
+
+    @pytest.mark.parametrize(
+        "word",
+        ["", "c", "cc", "cac" + "c", "cacab", "cacabcab", "cacabcbac",
+         "cabcac", "cacabcabac" + "ab"],
+    )
+    def test_non_members(self, word):
+        assert not is_l_fib(word)
+
+    def test_members_up_to(self):
+        members = l_fib_members(16)
+        assert members == ["cac", "cacabc", "cacabcabac", "cacabcabacabaabc"]
+
+
+class TestPowerFreeness:
+    """Karhumäki: the Fibonacci word is 4th-power-free — the paper's
+    reason FC has no classical pumping lemma."""
+
+    @given(st.integers(min_value=0, max_value=13))
+    def test_fibonacci_words_fourth_power_free(self, i):
+        assert is_fourth_power_free(fibonacci_word(i))
+
+    def test_fibonacci_words_do_contain_cubes(self):
+        # 4 is tight: long Fibonacci words contain cubes.
+        assert contains_kth_power(fibonacci_word(9), 3)
+
+    def test_power_detection(self):
+        assert contains_kth_power("aaaa", 4)
+        assert contains_kth_power("ababab", 3)
+        assert contains_kth_power("abaab", 2)  # contains aa
+        assert not contains_kth_power("ab", 2)
+        assert not contains_kth_power("aba", 2)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            contains_kth_power("ab", 0)

@@ -1,0 +1,153 @@
+"""Tests for the language oracles and combinatorial predicates."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.words.generators import (
+    PAPER_LANGUAGES,
+    in_shuffle,
+    is_permutation,
+    is_scattered_subword,
+    l1_an_ban,
+    l2_ai_baj,
+    l3_additive,
+    l4_multiplicative,
+    l5_coprimitive_blocks,
+    l6_triple,
+    l_anbn,
+    l_pow2,
+    shuffle_product,
+    words_of_length,
+    words_up_to,
+)
+
+short = st.text(alphabet="ab", max_size=6)
+
+
+class TestEnumeration:
+    def test_words_of_length(self):
+        assert sorted(words_of_length("ab", 2)) == ["aa", "ab", "ba", "bb"]
+
+    def test_words_up_to_count(self):
+        assert sum(1 for _ in words_up_to("ab", 3)) == 1 + 2 + 4 + 8
+
+    def test_unary(self):
+        assert list(words_up_to("a", 2)) == ["", "a", "aa"]
+
+
+class TestOracleMembership:
+    @pytest.mark.parametrize("name", sorted(PAPER_LANGUAGES))
+    def test_members_are_members(self, name):
+        oracle = PAPER_LANGUAGES[name]
+        for n in range(4):
+            assert oracle.member(n) in oracle, (name, n)
+
+    def test_anbn(self):
+        assert "aabb" in l_anbn
+        assert "" in l_anbn
+        assert "aab" not in l_anbn
+        assert "abab" not in l_anbn
+
+    def test_l1(self):
+        assert "" in l1_an_ban
+        assert "aba" in l1_an_ban
+        assert "aabab" not in l1_an_ban
+        assert "aababa" in l1_an_ban
+
+    def test_l2(self):
+        assert "aba" in l2_ai_baj          # i = j = 1
+        assert "ababa" in l2_ai_baj        # i = 1 ≤ j = 2
+        assert "" not in l2_ai_baj         # needs i ≥ 1
+        assert "aaba" not in l2_ai_baj     # i = 2 > j = 1
+
+    def test_l3(self):
+        assert "" in l3_additive            # n = m = 0
+        assert "bab" + "b" in l3_additive   # n=1, m=1, tail bb
+        assert "ab" in l3_additive          # n=0, m=1
+        assert "abb" not in l3_additive
+
+    def test_l4(self):
+        assert "" in l4_multiplicative           # n=0, m=0: b^0 a^0 b^0
+        assert "b" in l4_multiplicative          # n=1, m=0 → tail 0
+        assert "bab" in l4_multiplicative        # 1·1 = 1
+        assert "bbabb" in l4_multiplicative      # 2·1 = 2
+        assert "babb" not in l4_multiplicative   # 1·1 ≠ 2
+
+    def test_l5(self):
+        assert "" in l5_coprimitive_blocks
+        assert "abaabbbbaaba" in l5_coprimitive_blocks
+        assert "abaabb" not in l5_coprimitive_blocks
+
+    def test_l6(self):
+        assert "" in l6_triple
+        assert "abab" in l6_triple  # n=1: a b ab
+        assert "aabbabab" in l6_triple  # n=2
+        assert "aabab" not in l6_triple
+
+    def test_pow2(self):
+        assert "a" in l_pow2
+        assert "aa" in l_pow2
+        assert "aaa" not in l_pow2
+        assert "aaaa" in l_pow2
+        assert "" not in l_pow2
+
+    @pytest.mark.parametrize("name", ["anbn", "L1", "L2", "L3", "L4", "L6"])
+    def test_slices_are_complementary(self, name):
+        oracle = PAPER_LANGUAGES[name]
+        members, non_members = oracle.slice(6)
+        assert members | non_members == frozenset(words_up_to("ab", 6))
+        assert not (members & non_members)
+
+
+class TestScatteredSubword:
+    def test_paper_example(self):
+        assert is_scattered_subword("aa", "abba")
+
+    @given(short, short)
+    def test_reflexive_on_prefixes(self, u, v):
+        assert is_scattered_subword(u, u + v)
+        assert is_scattered_subword(v, u + v)
+
+    @given(short)
+    def test_epsilon_always_scattered(self, w):
+        assert is_scattered_subword("", w)
+
+    def test_negative(self):
+        assert not is_scattered_subword("ba", "aab")
+
+    def test_length_constraint(self):
+        assert not is_scattered_subword("aaa", "aa")
+
+
+class TestShuffle:
+    def test_paper_example(self):
+        assert "ababaa" in shuffle_product("abba", "aa")
+
+    def test_small_product(self):
+        assert shuffle_product("a", "b") == {"ab", "ba"}
+
+    @given(short, short)
+    def test_in_shuffle_matches_product(self, x, y):
+        product = shuffle_product(x, y)
+        for z in product:
+            assert in_shuffle(z, x, y)
+        # and a wrong-length word never is
+        assert not in_shuffle("a" * (len(x) + len(y) + 1), x, y)
+
+    def test_in_shuffle_negative(self):
+        assert not in_shuffle("ba", "a", "a")
+
+    @given(short, short)
+    def test_concatenations_always_shuffles(self, x, y):
+        assert in_shuffle(x + y, x, y)
+        assert in_shuffle(y + x, x, y)
+
+
+class TestPermutation:
+    def test_examples(self):
+        assert is_permutation("ab", "ba")
+        assert not is_permutation("aab", "abb")
+
+    @given(short)
+    def test_reverse_is_permutation(self, w):
+        assert is_permutation(w, w[::-1])

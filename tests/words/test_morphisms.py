@@ -1,0 +1,49 @@
+"""Tests for word morphisms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.words.morphisms import (
+    PAPER_MORPHISM,
+    Morphism,
+    erasing_morphism,
+    identity_morphism,
+)
+
+words = st.text(alphabet="ab", max_size=10)
+
+
+class TestMorphism:
+    def test_paper_morphism(self):
+        # h(a) = b, h(b) = b from the Theorem 5.8 proof.
+        assert PAPER_MORPHISM("aab") == "bbb"
+        assert PAPER_MORPHISM("") == ""
+
+    @given(words, words)
+    def test_homomorphism_law(self, u, v):
+        h = PAPER_MORPHISM
+        assert h(u + v) == h(u) + h(v)
+
+    @given(words)
+    def test_identity(self, w):
+        assert identity_morphism("ab")(w) == w
+
+    def test_erasing(self):
+        h = erasing_morphism("ab", "b")
+        assert h("abba") == "aa"
+        assert h.is_erasing()
+
+    def test_length_preserving(self):
+        assert PAPER_MORPHISM.is_length_preserving()
+        assert not erasing_morphism("ab", "a").is_length_preserving()
+
+    def test_undefined_letter(self):
+        with pytest.raises(ValueError):
+            PAPER_MORPHISM("abc")
+
+    def test_multiletter_key_rejected(self):
+        with pytest.raises(ValueError):
+            Morphism({"ab": "a"})
+
+    def test_graph(self):
+        assert PAPER_MORPHISM.graph(["a", "b"]) == {("a", "b"), ("b", "b")}

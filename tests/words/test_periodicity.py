@@ -1,0 +1,135 @@
+"""Tests for periods, Fine–Wilf, commutation, the periodicity lemma."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.words.periodicity import (
+    common_root,
+    commute,
+    fine_wilf_holds,
+    fine_wilf_threshold,
+    has_period,
+    periodicity_lemma_predicts_conjugacy,
+    periods,
+    smallest_period,
+)
+from repro.words.primitivity import is_primitive, primitive_root
+
+words = st.text(alphabet="ab", max_size=12)
+nonempty = st.text(alphabet="ab", min_size=1, max_size=10)
+
+
+class TestPeriods:
+    def test_abab(self):
+        assert periods("ababa") == [2, 4, 5]
+
+    def test_full_length_always_a_period(self):
+        assert has_period("abba", 4)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            has_period("ab", 0)
+
+    @given(nonempty)
+    def test_smallest_period_divides_for_powers(self, w):
+        tripled = w * 3
+        p = smallest_period(tripled)
+        assert p <= len(w)
+        assert has_period(tripled, p)
+
+    @given(nonempty)
+    def test_smallest_period_vs_primitive_root(self, w):
+        # For w = z^k (z primitive), w has period |z|.
+        root = primitive_root(w)
+        assert has_period(w, len(root))
+
+
+class TestFineWilf:
+    def test_threshold(self):
+        assert fine_wilf_threshold(4, 6) == 4 + 6 - 2
+
+    @given(words, st.integers(1, 6), st.integers(1, 6))
+    def test_fine_wilf_never_violated(self, w, p, q):
+        assert fine_wilf_holds(w, p, q)
+
+    def test_below_threshold_can_fail_gcd_period(self):
+        # aabaa has periods 3 and 4 but not gcd = 1; length 5 < 3+4-1 = 6.
+        w = "aabaa"
+        assert has_period(w, 3) and has_period(w, 4)
+        assert not has_period(w, 1)
+        assert len(w) < fine_wilf_threshold(3, 4)
+
+
+class TestCommutation:
+    """Lothaire, Proposition 1.3.2 — the engine behind φ_{w*}."""
+
+    def test_commuting_powers(self):
+        assert commute("abab", "ab")
+        assert common_root("abab", "ab") == "ab"
+
+    def test_non_commuting(self):
+        assert not commute("ab", "ba")
+        assert common_root("ab", "ba") is None
+
+    @given(nonempty, st.integers(0, 4), st.integers(0, 4))
+    def test_powers_of_common_word_commute(self, z, i, j):
+        assert commute(z * i, z * j)
+
+    @given(nonempty, nonempty)
+    def test_commutation_implies_common_root(self, u, v):
+        if commute(u, v):
+            root = common_root(u, v)
+            assert root is not None
+            assert u == root * (len(u) // len(root))
+            assert v == root * (len(v) // len(root))
+
+    def test_empty_pair(self):
+        assert common_root("", "") == ""
+
+
+class TestPeriodicityLemma:
+    @given(
+        nonempty.filter(is_primitive),
+        nonempty.filter(is_primitive),
+    )
+    def test_implication_always_holds(self, w, v):
+        assert periodicity_lemma_predicts_conjugacy(w, v)
+
+    def test_requires_primitive(self):
+        with pytest.raises(ValueError):
+            periodicity_lemma_predicts_conjugacy("abab", "a")
+
+
+class TestBorders:
+    def test_borders_listing(self):
+        from repro.words.periodicity import borders
+
+        assert borders("abab") == ["", "ab"]
+        assert borders("aaa") == ["", "a", "aa"]
+        assert borders("ab") == [""]
+
+    def test_longest_border(self):
+        from repro.words.periodicity import longest_border
+
+        assert longest_border("abab") == "ab"
+        assert longest_border("ab") == ""
+        assert longest_border("") == ""
+
+    @given(nonempty)
+    def test_border_period_duality(self, w):
+        """smallest_period(w) = |w| − |longest_border(w)| — the classical
+        duality, property-tested."""
+        from repro.words.periodicity import longest_border, smallest_period
+
+        assert smallest_period(w) == len(w) - len(longest_border(w))
+
+    @given(nonempty)
+    def test_borders_are_prefixes_and_suffixes(self, w):
+        from repro.words.periodicity import borders
+
+        for border in borders(w):
+            assert w.startswith(border)
+            assert w.endswith(border)
+            assert len(border) < len(w)

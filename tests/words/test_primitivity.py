@@ -1,0 +1,153 @@
+"""Tests for repro.words.primitivity — including the paper's word lemmas."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.words.primitivity import (
+    PowerFactorization,
+    exponent,
+    exponent_additivity_defect,
+    is_imprimitive,
+    is_primitive,
+    power_factorization,
+    primitive_occurrences_in_power,
+    primitive_root,
+)
+
+words = st.text(alphabet="ab", min_size=1, max_size=10)
+primitive_words = words.filter(is_primitive)
+
+
+class TestPrimitivity:
+    def test_empty_word_imprimitive_by_convention(self):
+        assert is_imprimitive("")
+        assert not is_primitive("")
+
+    @pytest.mark.parametrize("w", ["a", "ab", "aab", "aba", "abaabb", "bbaaba"])
+    def test_primitive_examples(self, w):
+        assert is_primitive(w)
+
+    @pytest.mark.parametrize("w", ["aa", "abab", "aabaab", "bbbb"])
+    def test_imprimitive_examples(self, w):
+        assert is_imprimitive(w)
+
+    @given(words, st.integers(min_value=2, max_value=4))
+    def test_proper_powers_are_imprimitive(self, w, k):
+        assert is_imprimitive(w * k)
+
+    @given(words)
+    def test_primitive_iff_brute_force(self, w):
+        brute = not any(
+            w == w[:d] * (len(w) // d)
+            for d in range(1, len(w))
+            if len(w) % d == 0
+        )
+        assert is_primitive(w) == brute
+
+
+class TestPrimitiveRoot:
+    def test_root_of_power(self):
+        assert primitive_root("ababab") == "ab"
+
+    def test_root_of_primitive_is_itself(self):
+        assert primitive_root("aab") == "aab"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            primitive_root("")
+
+    @given(words)
+    def test_root_is_primitive_and_generates(self, w):
+        root = primitive_root(w)
+        assert is_primitive(root)
+        assert len(w) % len(root) == 0
+        assert root * (len(w) // len(root)) == w
+
+
+class TestExponent:
+    def test_paper_example(self):
+        # exp_a(aaaabaabaab) = 4 and exp_aab(aaaabaabaab) = 3 (Section 4.2).
+        u = "aaaabaabaab"
+        assert exponent("a", u) == 4
+        assert exponent("aab", u) == 3
+
+    def test_no_occurrence(self):
+        assert exponent("ba", "aaa") == 0
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(ValueError):
+            exponent("", "abc"[:2])
+
+    @given(primitive_words, st.integers(min_value=0, max_value=5))
+    def test_exponent_of_exact_power(self, w, m):
+        # exp_w(w^m) can exceed m only via internal overlap — impossible
+        # for primitive w (Lemma A.1).
+        assert exponent(w, w * m) == m
+
+
+class TestPowerFactorization:
+    """Lemma 4.7 (obs:factorOfRep): unique u₁·wⁿ·u₂ factorisation."""
+
+    def test_simple(self):
+        decomposition = power_factorization("ab", "babab")
+        assert decomposition.rebuild() == "babab"
+        assert decomposition.suffix == "b"
+        assert decomposition.exp == 2
+        assert decomposition.prefix == ""
+
+    def test_exponent_swap_is_duplicators_move(self):
+        decomposition = power_factorization("ab", "babab")
+        assert decomposition.with_exponent(3) == "b" + "ab" * 3
+
+    def test_requires_primitive_base(self):
+        with pytest.raises(ValueError):
+            power_factorization("abab", "abababab")
+
+    def test_requires_occurrence(self):
+        with pytest.raises(ValueError):
+            power_factorization("ab", "aa")
+
+    @given(primitive_words, st.integers(min_value=2, max_value=4),
+           st.data())
+    def test_factorization_of_random_factor(self, w, m, data):
+        host = w * m
+        start = data.draw(st.integers(min_value=0, max_value=len(host) - 1))
+        end = data.draw(st.integers(min_value=start + 1, max_value=len(host)))
+        u = host[start:end]
+        if exponent(w, u) < 1:
+            return
+        decomposition = power_factorization(w, u)
+        assert decomposition.rebuild() == u
+        assert len(decomposition.suffix) < len(w)
+        assert len(decomposition.prefix) < len(w)
+        assert w.endswith(decomposition.suffix)
+        assert w.startswith(decomposition.prefix)
+        assert decomposition.exp == exponent(w, u)
+
+
+class TestPrimitiveOverlap:
+    """Lemma A.1 (obs:primitive): primitive words occur in their powers
+    only at multiples of their length."""
+
+    @given(primitive_words, st.integers(min_value=1, max_value=5))
+    def test_occurrences_at_multiples_only(self, w, m):
+        offsets = primitive_occurrences_in_power(w, m)
+        assert offsets == [i * len(w) for i in range(m)]
+
+    def test_imprimitive_counterexample(self):
+        # aa occurs inside (aa)^2 at offset 1 as well — imprimitivity.
+        assert 1 in primitive_occurrences_in_power("aa", 2)
+
+
+class TestExponentAdditivity:
+    """Lemma D.4 (expoIncrease): defect ∈ {0, 1} for factors of w^m."""
+
+    @given(primitive_words, st.integers(min_value=2, max_value=4), st.data())
+    def test_defect_zero_or_one(self, w, m, data):
+        host = w * m
+        cut_1 = data.draw(st.integers(min_value=0, max_value=len(host)))
+        cut_2 = data.draw(st.integers(min_value=cut_1, max_value=len(host)))
+        cut_0 = data.draw(st.integers(min_value=0, max_value=cut_1))
+        u = host[cut_0:cut_1]
+        v = host[cut_1:cut_2]
+        assert exponent_additivity_defect(w, u, v) in (0, 1)
