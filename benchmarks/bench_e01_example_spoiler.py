@@ -1,42 +1,23 @@
 """E01 — Example 3.3: Spoiler wins the 2-round game on a^{2i} vs a^{2i-1}.
 
-Regenerates the example's claim for i = 1…5 with the exact solver, and
-replays the paper's scripted two-round Spoiler strategy, checking it beats
-an optimal Duplicator.
+Drives the ``E01`` engine task (``repro.engine.experiments.run_e01``):
+the exact solver regenerates the example's claim for i = 1…5 and replays
+the paper's scripted two-round Spoiler strategy against an optimal
+Duplicator.
 """
 
-import pytest
-
-from benchmarks.reporting import print_banner, print_table
-from repro.ef.equivalence import distinguishing_rank, equiv_k
-from repro.ef.game import Move
-from repro.ef.solver import GameSolver
-from repro.fc.structures import word_structure
-
-
-def _rows():
-    rows = []
-    for i in range(1, 6):
-        w, v = "a" * (2 * i), "a" * (2 * i - 1)
-        not_equiv_2 = not equiv_k(w, v, 2, alphabet="a")
-        rank = distinguishing_rank(w, v, 2, alphabet="a")
-        solver = GameSolver(word_structure(w, "a"), word_structure(v, "a"))
-        opening_kills = (
-            solver.winning_response(2, frozenset(), Move("A", w)) is None
-        )
-        rows.append([f"a^{2*i} vs a^{2*i-1}", not_equiv_2, rank, opening_kills])
-    return rows
+from benchmarks.reporting import print_banner, print_records
+from repro.engine.experiments import run_e01
 
 
 def test_e01_spoiler_wins(benchmark):
-    rows = benchmark(_rows)
+    record = benchmark(run_e01)
     print_banner(
         "E01 / Example 3.3",
         "Spoiler has a 2-round winning strategy on a^{2i} vs a^{2i-1}",
     )
-    print_table(
-        ["pair", "≢₂ (solver)", "distinguishing rank", "paper's opening move wins"],
-        rows,
+    print_records(
+        record["rows"], ["pair", "not_equiv_2", "rank", "opening_wins"]
     )
-    assert all(row[1] for row in rows)
-    assert all(row[3] for row in rows)
+    assert record["passed"]
+    assert all(row["rank"] == 2 or row["rank"] == 1 for row in record["rows"])

@@ -1,57 +1,32 @@
 """E02 — Theorem 3.4 (Ehrenfeucht for FC): ≡_k ⟺ FC(k)-agreement.
 
-Cross-validates the exact game solver against a structured pool of FC(1)
-sentences on every word pair over {a,b}^{≤4}: solver-equivalent pairs must
-agree on every pool sentence; solver-separated pairs should (and here do)
-disagree on some pool sentence.
+Drives the ``E02`` engine task: the exact solver is cross-validated
+against a structured pool of FC(1) sentences on every word pair over
+{a,b}^{≤4} — solver-equivalent pairs must agree on every pool sentence,
+solver-separated pairs should (and here do) disagree on some sentence.
 """
 
 from benchmarks.reporting import print_banner, print_table
-from repro.ef.equivalence import equiv_k
-from repro.fc.enumeration import sentence_pool
-from repro.fc.semantics import defines_language_member
-from repro.words.generators import words_up_to
-
-POOL = list(sentence_pool(1, "ab", max_atoms=1))
-WORDS = list(words_up_to("ab", 4))
-
-
-def _signature(word):
-    return tuple(
-        defines_language_member(word, sentence, "ab") for sentence in POOL
-    )
-
-
-def _sweep():
-    signatures = {word: _signature(word) for word in WORDS}
-    consistent = 0
-    separated_confirmed = 0
-    pairs = 0
-    violations = []
-    for i, w in enumerate(WORDS):
-        for v in WORDS[i + 1 :]:
-            pairs += 1
-            same_sig = signatures[w] == signatures[v]
-            if equiv_k(w, v, 1, alphabet="ab"):
-                if same_sig:
-                    consistent += 1
-                else:
-                    violations.append((w, v))
-            else:
-                if not same_sig:
-                    separated_confirmed += 1
-    return pairs, consistent, separated_confirmed, violations
+from repro.engine.experiments import run_e02
 
 
 def test_e02_ehrenfeucht_consistency(benchmark):
-    pairs, consistent, separated_confirmed, violations = benchmark(_sweep)
+    record = benchmark(run_e02)
     print_banner(
         "E02 / Theorem 3.4",
         "w ≡₁ v  ⟺  agreement on all FC(1) sentences (pool of "
-        f"{len(POOL)} sentences, {len(WORDS)} words)",
+        f"{record['pool_size']} sentences, {record['words']} words)",
     )
     print_table(
         ["pairs", "≡₁ & pool-consistent", "≢₁ & pool-separated", "violations"],
-        [[pairs, consistent, separated_confirmed, len(violations)]],
+        [
+            [
+                record["pairs"],
+                record["consistent"],
+                record["separated_confirmed"],
+                len(record["violations"]),
+            ]
+        ],
     )
-    assert not violations
+    assert record["passed"]
+    assert not record["violations"]

@@ -1,39 +1,34 @@
 """E03 — Lemma 3.6 (pow2): minimal unary equivalent pairs per rank.
 
-Regenerates the witness table k ↦ minimal (p, q) with aᵖ ≡_k a^q by exact
-search (the arithmetic unary solver), plus the non-semi-linearity evidence
-for {2ⁿ} that powers the paper's proof.  k = 3 is reported as a bounded
-negative search (no pair below 48 — see EXPERIMENTS.md).
+Drives the ``E03`` engine task and its ``prim/pow2-pairs`` dependency:
+the witness table k ↦ minimal (p, q) with aᵖ ≡_k a^q by exact search,
+plus the non-semi-linearity evidence for {2ⁿ} that powers the paper's
+proof.  k = 3 is reported as a bounded negative search (no pair below
+48 — see EXPERIMENTS.md).
 """
 
 from benchmarks.reporting import print_banner, print_table
-from repro.core.pow2 import pow2_semilinearity_evidence
-from repro.ef.unary import minimal_equivalent_pair
+from repro.engine.experiments import run_e03
+from repro.engine.primitives import unary_minimal_pairs
 
 
-def _search():
-    return {k: minimal_equivalent_pair(k, max_exponent=20) for k in (0, 1, 2)}
+def _run():
+    return run_e03(unary_minimal_pairs())
 
 
 def test_e03_minimal_pairs(benchmark):
-    table = benchmark(_search)
+    record = benchmark(_run)
     print_banner(
         "E03 / Lemma 3.6",
         "for every k there exist p ≠ q with aᵖ ≡_k a^q "
         "(minimal pairs found by exact game search)",
     )
-    rows = [[k, pair] for k, pair in table.items()]
+    rows = [
+        [k, tuple(pair)] for k, pair in sorted(record["minimal_pairs"].items())
+    ]
     rows.append([3, "> (48, 48) — exhaustive search negative, see notes"])
     print_table(["k", "minimal (p, q)"], rows)
-    assert table == {0: (1, 2), 1: (3, 4), 2: (12, 14)}
-
-
-def test_e03_powers_not_semilinear(benchmark):
-    evidence = benchmark(pow2_semilinearity_evidence, 512)
-    print_banner(
-        "E03b / Lemma 3.6 engine",
-        "{2ⁿ} is not semi-linear: no eventually-periodic structure",
-    )
+    evidence = record["semilinearity"]
     print_table(
         ["probe bound", "members", "eventually periodic?", "gaps increasing?"],
         [
@@ -45,4 +40,6 @@ def test_e03_powers_not_semilinear(benchmark):
             ]
         ],
     )
+    assert record["passed"]
+    assert record["minimal_pairs"] == {"0": [1, 2], "1": [3, 4], "2": [12, 14]}
     assert evidence["eventually_periodic"] is None

@@ -1,42 +1,37 @@
 """E04 — Proposition 3.7: ≡_k is not a congruence.
 
-With (p, q) = (12, 14): aᵖ ≡₂ a^q and b·aᵖ ≡₂ b·aᵖ, yet the rank-5
-sentence φ_vbv separates aᵖ·b·aᵖ from a^q·b·aᵖ.  The benchmark times the
-whole quadruple check (two solver equivalences + two model checks).
+Drives the ``E04`` engine task: with (p, q) = (12, 14), aᵖ ≡₂ a^q and
+b·aᵖ ≡₂ b·aᵖ, yet the rank-5 sentence φ_vbv separates aᵖ·b·aᵖ from
+a^q·b·aᵖ.  The benchmark times the whole quadruple check (two solver
+equivalences + two model checks).
 """
 
 from benchmarks.reporting import print_banner, print_table
-from repro.core.pow2 import pow2_witness
-from repro.ef.equivalence import equiv_k
-from repro.fc.builders import phi_vbv
-from repro.fc.semantics import defines_language_member
-from repro.fc.syntax import quantifier_rank
+from repro.engine.experiments import run_e04
+from repro.engine.primitives import unary_minimal_pairs
 
 
-def _quadruple():
-    witness = pow2_witness(2)
-    u, v = witness.words()
-    tail = "b" + u
-    phi = phi_vbv()
-    return {
-        "u≡₂v": equiv_k(u, v, 2, "ab"),
-        "tail≡₂tail": equiv_k(tail, tail, 2, "ab"),
-        "u·tail ⊨ φ": defines_language_member(u + tail, phi, "ab"),
-        "v·tail ⊨ φ": defines_language_member(v + tail, phi, "ab"),
-        "qr(φ)": quantifier_rank(phi),
-    }
+def _run():
+    return run_e04(unary_minimal_pairs())
 
 
 def test_e04_not_a_congruence(benchmark):
-    result = benchmark(_quadruple)
+    record = benchmark(_run)
     print_banner(
         "E04 / Proposition 3.7",
         "u ≡_k v and u' ≡_k v' do NOT imply u·u' ≡_k v·v' (k ≥ 5)",
     )
     print_table(
-        list(result.keys()),
-        [list(result.values())],
+        ["u≡₂v", "tail≡₂tail", "u·tail ⊨ φ", "v·tail ⊨ φ", "qr(φ)"],
+        [
+            [
+                record["u_equiv_v"],
+                record["tail_equiv_tail"],
+                record["u_tail_models_phi"],
+                record["v_tail_models_phi"],
+                record["quantifier_rank"],
+            ]
+        ],
     )
-    assert result["u≡₂v"] and result["tail≡₂tail"]
-    assert result["u·tail ⊨ φ"] and not result["v·tail ⊨ φ"]
-    assert result["qr(φ)"] == 5
+    assert record["passed"]
+    assert (record["p"], record["q"]) == (12, 14)

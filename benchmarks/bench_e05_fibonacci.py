@@ -1,78 +1,40 @@
 """E05 — Proposition 4.1: L_fib ∈ L(FC).
 
-Exhaustive agreement of L(φ_fib) with the ground-truth L_fib oracle over
-{a,b,c}^{≤8}, member checks up to F₉, and the 4th-power-freeness fact
-(Karhumäki) behind the paper's no-pumping-lemma remark.
+Drives the ``E05`` engine task: exhaustive agreement of L(φ_fib) with
+the ground-truth L_fib oracle over {a,b,c}^{≤8}, member checks on long
+c·F₀·c···c·Fₙ·c words, and the 4th-power-freeness fact (Karhumäki)
+behind the paper's no-pumping-lemma remark.
 """
 
-from benchmarks.reporting import print_banner, print_table
-from repro.fc.builders import phi_fib
-from repro.fc.semantics import defines_language_member
-from repro.words.fibonacci import (
-    fibonacci_word,
-    is_fourth_power_free,
-    is_l_fib,
-    l_fib_word,
-)
-from repro.words.generators import words_up_to
-
-PHI = phi_fib()
-
-
-def _exhaustive(max_length: int = 8):
-    mismatches = []
-    total = 0
-    members = 0
-    for word in words_up_to("abc", max_length):
-        total += 1
-        predicted = defines_language_member(word, PHI, "abc")
-        actual = is_l_fib(word)
-        if actual:
-            members += 1
-        if predicted != actual:
-            mismatches.append(word)
-    return total, members, mismatches
-
-
-def _long_members(up_to: int = 8):
-    return [
-        (n, len(l_fib_word(n)), defines_language_member(l_fib_word(n), PHI, "abc"))
-        for n in range(up_to)
-    ]
+from benchmarks.reporting import print_banner, print_records, print_table
+from repro.engine.experiments import run_e05
 
 
 def test_e05_fib_agreement(benchmark):
-    total, members, mismatches = benchmark(_exhaustive)
+    record = benchmark(run_e05)
     print_banner(
         "E05 / Proposition 4.1", "L(φ_fib) = L_fib (exhaustive, Σ^{≤8})"
     )
     print_table(
         ["words checked", "L_fib members found", "mismatches"],
-        [[total, members, len(mismatches)]],
+        [
+            [
+                record["words_checked"],
+                record["members"],
+                len(record["mismatches"]),
+            ]
+        ],
     )
-    assert not mismatches
-    assert members >= 2
-
-
-def test_e05_long_members(benchmark):
-    rows = benchmark(_long_members)
     print_banner(
         "E05b / Proposition 4.1",
         "φ_fib accepts every c·F₀·c···c·Fₙ·c (model checking scales)",
     )
-    print_table(["n", "|word|", "⊨ φ_fib"], rows)
-    assert all(accepted for _, _, accepted in rows)
-
-
-def test_e05_fourth_power_freeness(benchmark):
-    results = benchmark(
-        lambda: [
-            (n, is_fourth_power_free(fibonacci_word(n))) for n in range(14)
-        ]
-    )
+    print_records(record["long_members"], ["n", "length", "accepted"])
     print_banner(
         "E05c / Karhumäki",
         "Fibonacci words contain no 4th powers ⇒ FC has no pumping lemma",
     )
-    print_table(["n", "F_n is 4th-power-free"], results)
-    assert all(free for _, free in results)
+    print_records(record["fourth_power_free"], ["n", "fourth_power_free"])
+    assert record["passed"]
+    assert not record["mismatches"]
+    assert record["members"] >= 2

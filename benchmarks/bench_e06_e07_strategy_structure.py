@@ -1,87 +1,33 @@
 """E06 / E07 — Lemmas 4.2 and 4.3: structural constraints on Duplicator.
 
-Lemma 4.2 (consistentStrats): in round r, if r + |a_r| − 1 < k then a
-winning Duplicator must answer the identical factor.
-Lemma 4.3 (prefixSuffix): for r ≤ k − 2, prefixes answer prefixes and
-suffixes answer suffixes.
-
-We extract optimal Duplicator responses from the solver on ≡_k pairs and
-check both structural laws over every qualifying Spoiler opening.
+Drives the ``E06`` and ``E07`` engine tasks: optimal Duplicator
+responses extracted from the solver on ≡_k pairs must answer short
+factors identically (Lemma 4.2, consistentStrats) and must map
+prefixes to prefixes and suffixes to suffixes (Lemma 4.3,
+prefixSuffix) over every qualifying Spoiler opening.
 """
 
-from benchmarks.reporting import print_banner, print_table
-from repro.ef.equivalence import solver_for
-from repro.ef.game import Move
-
-PAIRS = [
-    ("a" * 12, "a" * 14, "a", 2),
-    ("a" * 12 + "b", "a" * 14 + "b", "ab", 1),
-    ("abab", "abab", "ab", 3),
-    ("aabba", "aabba", "ab", 3),
-]
-
-
-def _lemma_4_2():
-    rows = []
-    for w, v, alphabet, k in PAIRS:
-        solver = solver_for(w, v, alphabet)
-        checked = forced = 0
-        for factor in sorted(solver.structure_a.universe_factors):
-            # round r = 1: condition 1 + |a_1| - 1 < k  ⟺  |a_1| < k.
-            if len(factor) >= k:
-                continue
-            response = solver.winning_response(k, frozenset(), Move("A", factor))
-            if response is None:
-                continue
-            checked += 1
-            if response == factor:
-                forced += 1
-        rows.append([f"{w[:6]}…({len(w)}) vs …({len(v)})", k, checked, forced])
-    return rows
-
-
-def _lemma_4_3():
-    rows = []
-    for w, v, alphabet, k in PAIRS:
-        if k < 3:
-            continue  # the lemma constrains rounds r ≤ k − 2 only
-        solver = solver_for(w, v, alphabet)
-        checked = mirrored = 0
-        for factor in sorted(solver.structure_a.universe_factors):
-            is_prefix = w.startswith(factor)
-            is_suffix = w.endswith(factor)
-            if not (is_prefix or is_suffix):
-                continue
-            response = solver.winning_response(k, frozenset(), Move("A", factor))
-            if response is None:
-                continue
-            checked += 1
-            ok = True
-            if is_prefix and not v.startswith(response):
-                ok = False
-            if is_suffix and not v.endswith(response):
-                ok = False
-            if ok:
-                mirrored += 1
-        rows.append([f"{w[:6]}…({len(w)}) vs …({len(v)})", k, checked, mirrored])
-    return rows
+from benchmarks.reporting import print_banner, print_records
+from repro.engine.experiments import run_e06, run_e07
 
 
 def test_e06_consistent_strategies(benchmark):
-    rows = benchmark(_lemma_4_2)
+    record = benchmark(run_e06)
     print_banner(
         "E06 / Lemma 4.2",
         "short factors (r + |a_r| − 1 < k) force identical responses",
     )
-    print_table(["pair", "k", "qualifying moves", "identical responses"], rows)
-    assert all(row[2] == row[3] for row in rows)
+    print_records(record["rows"], ["pair", "k", "checked", "forced"])
+    assert record["passed"]
+    assert all(row["checked"] == row["forced"] for row in record["rows"])
 
 
 def test_e07_prefix_suffix(benchmark):
-    rows = benchmark(_lemma_4_3)
+    record = benchmark(run_e07)
     print_banner(
         "E07 / Lemma 4.3",
         "for r ≤ k−2, prefixes map to prefixes and suffixes to suffixes",
     )
-    print_table(["pair", "k", "prefix/suffix moves", "mirrored"], rows)
-    assert all(row[2] == row[3] for row in rows)
+    print_records(record["rows"], ["pair", "k", "checked", "mirrored"])
+    assert record["passed"]
+    assert all(row["checked"] == row["mirrored"] for row in record["rows"])

@@ -1,6 +1,6 @@
 """E08 — Lemma 4.4 (Pseudo-Congruence), machine-checked.
 
-Three evidence layers per instance:
+Drives the ``E08`` engine task.  Three evidence layers per instance:
 
 1. the lemma's premises (look-up equivalences at k+r+2), where exactly
    certifiable;
@@ -9,60 +9,27 @@ Three evidence layers per instance:
 3. direct exact-solver verification of the conclusion w₁w₂ ≡_k v₁v₂.
 """
 
-from benchmarks.reporting import print_banner, print_table
-from repro.core.pseudo_congruence import PseudoCongruenceInstance
-
-INSTANCES = [
-    # (label, w1, w2, v1, v2, k, lookup_rounds or None for full slack)
-    ("full slack, k=0, r=0", "a" * 12, "bb", "a" * 14, "bb", 0, None),
-    ("identity, k=2", "ab", "ba", "ab", "ba", 2, None),
-    ("Example 4.5 shape, k=1", "a" * 12, "bbb", "a" * 14, "bbb", 1, 2),
-    ("Prop 4.6 shape, k=1", "a" * 14, "ba" * 14, "a" * 12, "ba" * 14, 1, 2),
-]
-
-
-def _run():
-    rows = []
-    for label, w1, w2, v1, v2, k, lookup in INSTANCES:
-        instance = PseudoCongruenceInstance(w1, w2, v1, v2, k, "ab")
-        premises = (
-            instance.premises_hold()
-            if lookup is None
-            else instance.premises_hold(lookup)
-        )
-        verification = instance.verify_strategy(lookup)
-        conclusion = instance.verify_conclusion()
-        rows.append(
-            [
-                label,
-                instance.r,
-                premises,
-                verification.survived,
-                verification.lines_checked,
-                conclusion,
-            ]
-        )
-    return rows
+from benchmarks.reporting import print_banner, print_records
+from repro.engine.experiments import run_e08
 
 
 def test_e08_pseudo_congruence(benchmark):
-    rows = benchmark(_run)
+    record = benchmark(run_e08)
     print_banner(
         "E08 / Lemma 4.4",
         "w₁ ≡_{k+r+2} v₁ ∧ w₂ ≡_{k+r+2} v₂ ⟹ w₁w₂ ≡_k v₁v₂ "
         "(strategy verified against every Spoiler line)",
     )
-    print_table(
+    print_records(
+        record["rows"],
         [
             "instance",
             "r",
             "premises",
-            "strategy survives",
-            "spoiler lines",
-            "conclusion ≡_k (exact)",
+            "strategy_survives",
+            "spoiler_lines",
+            "conclusion_exact",
         ],
-        rows,
     )
-    assert all(row[2] for row in rows)
-    assert all(row[3] for row in rows)
-    assert all(row[5] for row in rows)
+    assert record["passed"]
+    assert all(row["premises"] for row in record["rows"])

@@ -1,45 +1,62 @@
 """E09 / E10 / E15 — witness families for aⁿbⁿ, L₁, and all of L₁…L₆.
 
-For every language in Lemma 4.14 (plus Example 4.5), regenerate the
-paper's witness pair (member ∈ L, foil ∉ L), check memberships against
-the ground-truth oracle, verify ``member ≡_k foil`` with the exact solver
-(k ≤ 1), and confirm the boundedness side condition of Lemma 5.4.
+Drives the ``E15`` engine task through its real dependency fan-in: the
+seven ``prim/witness/*`` language reports plus the two heavyweight
+rank-2 exact equivalences (``prim/equiv/*``), exactly the DAG shape
+``python -m repro run`` schedules.  E09 (Example 4.5) and E10
+(Prop 4.6) are the aⁿbⁿ / L₁ rows of the same table.
 """
 
-from benchmarks.reporting import print_banner, print_table
-from repro.core.inexpressibility import language_report
-from repro.core.witnesses import WITNESS_FAMILIES
+from benchmarks.reporting import print_banner, print_records, print_table
+from repro.engine.experiments import run_e15
+from repro.engine.primitives import equivalence, witness_report
+
+FAMILY_NAMES = ["anbn", "L1", "L2", "L3", "L4", "L5", "L6"]
 
 
 def _run():
-    rows = []
-    for name in sorted(WITNESS_FAMILIES):
-        report = language_report(
-            name, ranks=(0, 1), verify_equivalence_up_to=1
-        )
-        pair = report.pairs[-1]
-        rows.append(
-            [
-                name,
-                report.paper_ref,
-                f"{pair.member[:14]}{'…' if len(pair.member) > 14 else ''}",
-                f"{pair.foil[:14]}{'…' if len(pair.foil) > 14 else ''}",
-                report.memberships_ok,
-                all(report.equivalences.values()),
-                report.bounded,
-                report.verdict,
-            ]
-        )
-    return rows
+    reports = {
+        name: witness_report(name, ranks=[0, 1], verify_equivalence_up_to=1)
+        for name in FAMILY_NAMES
+    }
+    heavy_anbn = equivalence("a" * 12 + "b" * 12, "a" * 14 + "b" * 12, 2, "ab")
+    heavy_ab = equivalence("ab" * 12, "ab" * 14, 2, "ab")
+    return run_e15(
+        reports["anbn"],
+        reports["L1"],
+        reports["L2"],
+        reports["L3"],
+        reports["L4"],
+        reports["L5"],
+        reports["L6"],
+        heavy_anbn,
+        heavy_ab,
+    )
 
 
 def test_e15_all_witness_families(benchmark):
-    rows = benchmark(_run)
+    record = benchmark.pedantic(_run, rounds=1, iterations=1)
     print_banner(
         "E09 + E10 + E15 / Example 4.5, Prop 4.6, Lemma 4.14",
         "for each language: member ∈ L, foil ∉ L, member ≡_k foil "
         "(exact, k ≤ 1), L bounded",
     )
+    rows = []
+    for name in FAMILY_NAMES:
+        report = record["families"][name]
+        pair = report["pairs"][-1]
+        rows.append(
+            [
+                name,
+                report["paper_ref"],
+                f"{pair['member'][:14]}{'…' if len(pair['member']) > 14 else ''}",
+                f"{pair['foil'][:14]}{'…' if len(pair['foil']) > 14 else ''}",
+                report["memberships_ok"],
+                all(report["equivalences"].values()),
+                report["bounded"],
+                report["verdict"],
+            ]
+        )
     print_table(
         [
             "language",
@@ -53,32 +70,14 @@ def test_e15_all_witness_families(benchmark):
         ],
         rows,
     )
-    assert all(row[-1] == "confirmed" for row in rows)
-
-
-def _k2_exact_conclusions():
-    """Direct exact ≡₂ checks of the heavyweight witness conclusions.
-
-    The paper's chain derives these from rank-4+ unary premises (beyond
-    exact certification); the direct game solve needs no premise at all.
-    """
-    from repro.ef.equivalence import equiv_k
-
-    pairs = [
-        ("a¹²b¹² vs a¹⁴b¹² (Example 4.5)", "a" * 12 + "b" * 12, "a" * 14 + "b" * 12),
-        ("(ab)¹² vs (ab)¹⁴ (Lemma 4.8)", "ab" * 12, "ab" * 14),
-    ]
-    return [
-        [label, equiv_k(w, v, 2, "ab")] for label, w, v in pairs
-    ]
-
-
-def test_e15_k2_exact_conclusions(benchmark):
-    rows = benchmark.pedantic(_k2_exact_conclusions, rounds=1, iterations=1)
     print_banner(
         "E15b / rank-2 exact conclusions",
         "the heavyweight witness equivalences, decided exactly at k = 2 "
         "(no premises needed — the solver checks the conclusions directly)",
     )
-    print_table(["pair", "≡₂ (exact)"], rows)
-    assert all(row[1] for row in rows)
+    print_records(record["heavy_conclusions"], ["pair", "equivalent"])
+    assert record["passed"]
+    assert all(
+        report["verdict"] == "confirmed"
+        for report in record["families"].values()
+    )

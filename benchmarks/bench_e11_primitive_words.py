@@ -1,57 +1,17 @@
-"""E11 — the primitive-word lemmas (4.7, A.1, D.3, D.4), sweep-checked.
+"""E11 — the primitive-word lemmas (4.7, A.1, D.4), sweep-checked.
 
-For every primitive word up to length 6 and powers up to 4: Lemma A.1
-(occurrences only at multiples), Lemma 4.7 (unique factorisation of every
-factor with exp ≥ 1), and Lemma D.4 (exponent additivity defect ∈ {0,1}).
+Drives the ``E11`` engine task: for every primitive word up to length 5
+and power 3, Lemma A.1 (occurrences only at multiples), Lemma 4.7
+(unique factorisation of every factor with exp ≥ 1), and Lemma D.4
+(exponent additivity defect ∈ {0,1}).
 """
 
 from benchmarks.reporting import print_banner, print_table
-from repro.words.factors import iter_factors
-from repro.words.generators import words_up_to
-from repro.words.primitivity import (
-    exponent,
-    exponent_additivity_defect,
-    is_primitive,
-    power_factorization,
-    primitive_occurrences_in_power,
-)
-
-
-def _sweep(max_base_length: int = 5, power: int = 3):
-    bases = [
-        w for w in words_up_to("ab", max_base_length) if is_primitive(w)
-    ]
-    occurrence_checks = factorization_checks = additivity_checks = 0
-    failures = []
-    for base in bases:
-        host = base * power
-        offsets = primitive_occurrences_in_power(base, power)
-        occurrence_checks += 1
-        if offsets != [i * len(base) for i in range(power)]:
-            failures.append(("A.1", base))
-        for factor in iter_factors(host):
-            if factor and exponent(base, factor) >= 1:
-                factorization_checks += 1
-                decomposition = power_factorization(base, factor)
-                if decomposition.rebuild() != factor:
-                    failures.append(("4.7", base, factor))
-        for cut in range(0, len(host) + 1, 2):
-            for end in range(cut, min(cut + 6, len(host)) + 1):
-                u, v = host[:cut], host[cut:end]
-                additivity_checks += 1
-                if exponent_additivity_defect(base, u, v) not in (0, 1):
-                    failures.append(("D.4", base, u, v))
-    return (
-        len(bases),
-        occurrence_checks,
-        factorization_checks,
-        additivity_checks,
-        failures,
-    )
+from repro.engine.experiments import run_e11
 
 
 def test_e11_primitive_word_lemmas(benchmark):
-    bases, occ, fact, add, failures = benchmark(_sweep)
+    record = benchmark(run_e11)
     print_banner(
         "E11 / Lemmas 4.7, A.1, D.4",
         "primitive-word structure lemmas, exhaustive over short bases",
@@ -64,6 +24,15 @@ def test_e11_primitive_word_lemmas(benchmark):
             "D.4 additivity checks",
             "failures",
         ],
-        [[bases, occ, fact, add, len(failures)]],
+        [
+            [
+                record["bases"],
+                record["occurrence_checks"],
+                record["factorization_checks"],
+                record["additivity_checks"],
+                len(record["failures"]),
+            ]
+        ],
     )
-    assert not failures
+    assert record["passed"]
+    assert not record["failures"]

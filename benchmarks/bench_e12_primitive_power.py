@@ -1,109 +1,47 @@
 """E12 — Lemma 4.8 (Primitive Power), machine-checked.
 
-Evidence layers:
+Drives the ``E12`` engine task (with its ``prim/pow2-pairs``
+dependency).  Evidence layers:
 
 1. identity instances (p = q): the exp_w/refactoring machinery survives
    every Spoiler line at k = 2;
 2. differing powers (12, 14) with the fringe-preserving look-up
    (the response pattern Claims D.1/D.2 force): survives every line of
-   the 1-round game for several primitive bases;
+   the 1-round game for several primitive bases, and the conclusion is
+   confirmed exactly;
 3. the *negative control*: an under-provisioned look-up (rank-2 winning
-   strategy, no fringe guarantee) breaks — the +3 slack is necessary;
-4. direct exact-solver checks of the conclusions.
+   strategy, no fringe guarantee) breaks — the +3 slack is necessary.
 """
 
-import pytest
-
-from benchmarks.reporting import print_banner, print_table
-from repro.core.primitive_power import PrimitivePowerInstance
-from repro.ef.composition import (
-    FringePreservingUnaryDuplicator,
-    PrimitivePowerDuplicator,
-)
-from repro.ef.equivalence import equiv_k, solver_for
-from repro.ef.game import GameArena
-from repro.ef.strategies import SolverDuplicator, exhaustively_verify_duplicator
-from repro.fc.structures import word_structure
-
-BASES = ["ab", "aab", "aba"]
-P, Q = 12, 14
+from benchmarks.reporting import print_banner, print_records, print_table
+from repro.engine.experiments import run_e12
+from repro.engine.primitives import unary_minimal_pairs
 
 
-def _identity_instances():
-    rows = []
-    for base in BASES:
-        instance = PrimitivePowerInstance(base, 3, 3, 2, "ab")
-        result = instance.verify_strategy(lookup_rounds=0)
-        rows.append([base, 3, 3, 2, result.survived, result.lines_checked])
-    return rows
+def _run():
+    return run_e12(unary_minimal_pairs())
 
 
-def _fringe_instances():
-    rows = []
-    for base in BASES:
-        def factory(base=base):
-            return PrimitivePowerDuplicator(
-                base, P, Q, FringePreservingUnaryDuplicator(P, Q)
-            )
-
-        arena = GameArena(
-            word_structure(base * P, "ab"),
-            word_structure(base * Q, "ab"),
-            1,
-        )
-        result = exhaustively_verify_duplicator(arena, factory)
-        conclusion = equiv_k(base * P, base * Q, 1, "ab")
-        rows.append(
-            [base, P, Q, 1, result.survived, result.lines_checked, conclusion]
-        )
-    return rows
-
-
-def _negative_control():
-    def factory():
-        lookup = SolverDuplicator(solver_for("a" * P, "a" * Q, "a"), 2)
-        return PrimitivePowerDuplicator("ab", P, Q, lookup)
-
-    arena = GameArena(
-        word_structure("ab" * P, "ab"), word_structure("ab" * Q, "ab"), 1
-    )
-    try:
-        result = exhaustively_verify_duplicator(arena, factory)
-        return result.survived
-    except ValueError:
-        return "broke (illegal response)"
-
-
-def test_e12_identity_mechanics(benchmark):
-    rows = benchmark(_identity_instances)
+def test_e12_primitive_power(benchmark):
+    record = benchmark.pedantic(_run, rounds=1, iterations=1)
     print_banner(
         "E12a / Lemma 4.8",
         "identity instances: exp_w look-up + Lemma 4.7 refactoring "
         "survive every Spoiler line (k = 2)",
     )
-    print_table(["base", "p", "q", "k", "survives", "lines"], rows)
-    assert all(row[4] for row in rows)
-
-
-def test_e12_differing_powers(benchmark):
-    rows = benchmark(_fringe_instances)
+    print_records(record["identity"], ["base", "survives", "lines"])
     print_banner(
         "E12b / Lemma 4.8",
-        "baseᵖ ≡₁ base^q for (p,q) = (12,14) via the composed strategy "
-        "with the fringe-preserving look-up",
+        f"baseᵖ ≡₁ base^q for (p,q) = ({record['p']},{record['q']}) via "
+        "the composed strategy with the fringe-preserving look-up",
     )
-    print_table(
-        ["base", "p", "q", "k", "survives", "lines", "conclusion (exact)"],
-        rows,
+    print_records(
+        record["fringe"], ["base", "survives", "lines", "conclusion_exact"]
     )
-    assert all(row[4] and row[6] for row in rows)
-
-
-def test_e12_negative_control(benchmark):
-    outcome = benchmark(_negative_control)
     print_banner(
         "E12c / Lemma 4.8",
         "negative control: under-provisioned look-up (no +3 slack) fails",
     )
-    print_table(["under-provisioned outcome"], [[outcome]])
-    assert outcome == "broke (illegal response)"
+    print_table(["under-provisioned outcome"], [[record["negative_control"]]])
+    assert record["passed"]
+    assert record["negative_control"] == "broke (illegal response)"

@@ -1,63 +1,17 @@
 """E13 — Lemma 4.10 + the periodicity lemma.
 
-Sweeps all primitive word pairs up to length 5 and checks the three-way
-equivalence: co-primitive ⟺ Facs(uⁿ) ∩ Facs(vᵐ) stabilises ⟺ a uniform
-bound r on common factor lengths exists — plus the periodicity-lemma
-implication on every pair.
+Drives the ``E13`` engine task: all primitive word pairs up to length 4,
+checking the three-way equivalence co-primitive ⟺ Facs(uⁿ) ∩ Facs(vᵐ)
+stabilises ⟺ a uniform bound r on common factor lengths exists — plus
+the periodicity-lemma implication on every pair.
 """
 
 from benchmarks.reporting import print_banner, print_table
-from repro.words.conjugacy import (
-    are_coprimitive,
-    factor_intersection_profile,
-    stable_intersection_bound,
-)
-from repro.words.generators import words_up_to
-from repro.words.periodicity import periodicity_lemma_predicts_conjugacy
-from repro.words.primitivity import is_primitive
-
-
-def _sweep(max_length: int = 4):
-    primitives = [
-        w for w in words_up_to("ab", max_length) if is_primitive(w)
-    ]
-    coprimitive_pairs = conjugate_pairs = 0
-    equivalence_failures = []
-    periodicity_failures = []
-    bound_stats = []
-    for i, u in enumerate(primitives):
-        for v in primitives[i:]:
-            profile = factor_intersection_profile(u, v)
-            coprim = are_coprimitive(u, v)
-            if coprim:
-                coprimitive_pairs += 1
-                bound = stable_intersection_bound(u, v)
-                bound_stats.append(bound - (len(u) + len(v) - 2))
-            else:
-                conjugate_pairs += 1
-            if coprim != profile.stabilised:
-                equivalence_failures.append((u, v))
-            if not periodicity_lemma_predicts_conjugacy(u, v):
-                periodicity_failures.append((u, v))
-    return (
-        len(primitives),
-        coprimitive_pairs,
-        conjugate_pairs,
-        equivalence_failures,
-        periodicity_failures,
-        max(bound_stats),
-    )
+from repro.engine.experiments import run_e13
 
 
 def test_e13_coprimitivity_equivalence(benchmark):
-    (
-        primitives,
-        coprim,
-        conj,
-        eq_failures,
-        period_failures,
-        max_slack,
-    ) = benchmark(_sweep)
+    record = benchmark(run_e13)
     print_banner(
         "E13 / Lemma 4.10 + periodicity lemma",
         "co-primitive ⟺ factor-intersection stabilises; common factors "
@@ -72,8 +26,16 @@ def test_e13_coprimitivity_equivalence(benchmark):
             "periodicity failures",
             "max bound − (|u|+|v|−2)",
         ],
-        [[primitives, coprim, conj, len(eq_failures), len(period_failures), max_slack]],
+        [
+            [
+                record["primitive_words"],
+                record["coprimitive_pairs"],
+                record["conjugate_pairs"],
+                len(record["equivalence_failures"]),
+                len(record["periodicity_failures"]),
+                record["max_bound_slack"],
+            ]
+        ],
     )
-    assert not eq_failures
-    assert not period_failures
-    assert max_slack <= 0
+    assert record["passed"]
+    assert record["max_bound_slack"] <= 0

@@ -1,63 +1,34 @@
 """E14 — the Fooling Lemma (4.12) and Proposition 4.13.
 
-Generates fooling pairs for several (w₁, u, w₂, v, w₃, f) configurations
-— including L₅'s blocks and non-identity injective f — reporting the full
-round-budget bookkeeping, the membership facts, and exact ≡₀ checks.
+Drives the ``E14`` engine task: fooling pairs for several
+(w₁, u, w₂, v, w₃, f) configurations — including L₅'s blocks and a
+non-identity injective f — with the full round-budget bookkeeping, the
+membership facts, and exact ≡₀ checks.
 """
 
-from benchmarks.reporting import print_banner, print_table
-from repro.core.fooling import fooling_pair
-
-CONFIGS = [
-    ("L5 blocks, f=id", "", "abaabb", "", "bbaaba", "", lambda p: p),
-    ("aba/bba, f=id", "", "aba", "", "bba", "", lambda p: p),
-    ("aba/bba, f=2p+1", "", "aba", "", "bba", "", lambda p: 2 * p + 1),
-    ("with contexts", "bb", "aba", "b", "bba", "aa", lambda p: p),
-]
-
-
-def _run():
-    rows = []
-    for label, w1, u, w2, v, w3, f in CONFIGS:
-        pair = fooling_pair(0, w1, u, w2, v, w3, f=f)
-        language = {
-            w1 + u * p + w2 + v * f(p) + w3
-            for p in range(pair.q + 2)
-        }
-        member_in = pair.member in language
-        foil_out = pair.foil not in language
-        equiv0 = pair.verify_equivalence(0, "ab")
-        rows.append(
-            [
-                label,
-                (pair.p, pair.q),
-                pair.budget.unary_rank,
-                pair.budget.certified_rank,
-                member_in,
-                foil_out,
-                equiv0,
-            ]
-        )
-    return rows
+from benchmarks.reporting import print_banner, print_records
+from repro.engine.experiments import run_e14
 
 
 def test_e14_fooling_pairs(benchmark):
-    rows = benchmark(_run)
+    record = benchmark(run_e14)
     print_banner(
         "E14 / Lemma 4.12 + Prop 4.13",
         "fooling pairs w₁uᵖw₂v^{f(p)}w₃ vs w₁u^q w₂v^{f(p)}w₃: member in, "
         "foil out, ≡₀ exact; budgets show the required vs certified unary rank",
     )
-    print_table(
+    print_records(
+        record["rows"],
         [
             "configuration",
-            "(p, q)",
-            "required unary rank",
-            "certified rank",
-            "member ∈ L",
-            "foil ∉ L",
-            "≡₀ (exact)",
+            "p",
+            "q",
+            "required_unary_rank",
+            "certified_rank",
+            "member_in",
+            "foil_out",
+            "equiv0_exact",
         ],
-        rows,
     )
-    assert all(row[4] and row[5] and row[6] for row in rows)
+    assert record["passed"]
+    assert all(row["equiv0_exact"] for row in record["rows"])

@@ -1,74 +1,29 @@
 """E16 — Lemma 5.4: bounded regular constraints compile into pure FC.
 
-For each constraint pattern the paper's Section 5 relies on: decide
-boundedness, decompose over Ginsburg's generators, rewrite into FC, and
-verify ⟦constraint⟧ = ⟦rewritten⟧ on every document in Σ^{≤6}.
+Drives the ``E16`` engine task: for each constraint pattern Section 5
+relies on — decide boundedness, rewrite into FC, and verify
+⟦constraint⟧ = ⟦rewritten⟧ on every document in Σ^{≤6}; non-bounded
+patterns must be rejected.
 """
 
-from benchmarks.reporting import print_banner, print_table
-from repro.fc.semantics import satisfying_assignments
-from repro.fc.syntax import Var
-from repro.fcreg.automata import compile_regex
-from repro.fcreg.bounded import bounded_decomposition, is_bounded_regular
-from repro.fcreg.constraints import in_regex
-from repro.fcreg.regex import parse_regex
-from repro.fcreg.rewriting import constraint_to_fc
-from repro.words.generators import words_up_to
-
-PATTERNS = ["a*", "(ba)*", "a*b*", "(abaabb)*", "(bbaaba)*", "a+", "(ab)*", "b+"]
-UNBOUNDED = ["(a|b)*", "(ab|ba)*"]
-X = Var("x")
-
-
-def _verify_pattern(pattern: str):
-    constraint = in_regex(X, pattern)
-    rewritten = constraint_to_fc(constraint)
-    mismatches = 0
-    checked = 0
-    for document in words_up_to("ab", 6):
-        left = {
-            s[X] for s in satisfying_assignments(document, constraint, "ab")
-        }
-        right = {
-            s[X] for s in satisfying_assignments(document, rewritten, "ab")
-        }
-        checked += 1
-        if left != right:
-            mismatches += 1
-    return checked, mismatches
-
-
-def _run():
-    rows = []
-    for pattern in PATTERNS:
-        dfa = compile_regex(parse_regex(pattern))
-        bounded = is_bounded_regular(dfa)
-        checked, mismatches = _verify_pattern(pattern)
-        rows.append([pattern, bounded, checked, mismatches])
-    return rows
+from benchmarks.reporting import print_banner, print_records
+from repro.engine.experiments import run_e16
 
 
 def test_e16_rewriting(benchmark):
-    rows = benchmark(_run)
+    record = benchmark(run_e16)
     print_banner(
         "E16 / Lemma 5.4",
         "every bounded regular constraint rewrites into pure FC with "
         "identical satisfying assignments (Σ^{≤6}, all documents)",
     )
-    print_table(["pattern", "bounded", "documents", "mismatches"], rows)
-    assert all(row[1] and row[3] == 0 for row in rows)
-
-
-def test_e16_unbounded_detected(benchmark):
-    verdicts = benchmark(
-        lambda: [
-            (pattern, is_bounded_regular(compile_regex(parse_regex(pattern))))
-            for pattern in UNBOUNDED
-        ]
+    print_records(
+        record["rows"], ["pattern", "bounded", "documents", "mismatches"]
     )
     print_banner(
         "E16b / Ginsburg–Spanier",
         "non-bounded regular languages are correctly rejected",
     )
-    print_table(["pattern", "bounded"], verdicts)
-    assert all(not bounded for _, bounded in verdicts)
+    print_records(record["unbounded"], ["pattern", "bounded"])
+    assert record["passed"]
+    assert all(not row["bounded"] for row in record["unbounded"])

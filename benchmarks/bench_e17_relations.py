@@ -1,34 +1,24 @@
 """E17 — Theorem 5.8: the ψ-reductions for all eight relations.
 
-For each relation R (Num_a, Add, Mult, Scatt, Perm, Rev, Shuff, Morph_h):
-build ψ_R with R's oracle atom and check L(ψ_R) ∩ Σ^{≤7} = L_target ∩ Σ^{≤7}.
-Together with E15 (targets not in FC) and E16 (Lemma 5.4), this is the
-full Theorem 5.8 chain.
+Drives the ``E17`` engine task through its real dependency fan-in: one
+``prim/relation/*`` agreement check per relation R (Num_a, Add, Mult,
+Scatt, Perm, Rev, Shuff, Morph_h), each verifying L(ψ_R) ∩ Σ^{≤7} =
+L_target ∩ Σ^{≤7}.  Together with E15 (targets not in FC) and E16
+(Lemma 5.4), this is the full Theorem 5.8 chain.
 """
 
 from benchmarks.reporting import print_banner, print_table
-from repro.core.inexpressibility import relation_report
-from repro.core.relations import PSI_REDUCTIONS
+from repro.engine.experiments import RELATION_NAMES, run_e17
+from repro.engine.primitives import relation_agreement
 
 
-def _run(max_length: int = 7):
-    rows = []
-    for name in sorted(PSI_REDUCTIONS):
-        report = relation_report(name, max_length=max_length)
-        rows.append(
-            [
-                name,
-                report.target_language,
-                report.reduction_agrees,
-                report.first_disagreement or "—",
-                report.note or "—",
-            ]
-        )
-    return rows
+def _run():
+    agreements = [relation_agreement(name) for name in RELATION_NAMES]
+    return run_e17(*agreements)
 
 
 def test_e17_relation_reductions(benchmark):
-    rows = benchmark(_run)
+    record = benchmark(_run)
     print_banner(
         "E17 / Theorem 5.8",
         "ψ_R defines the target language exactly (so a definable R would "
@@ -36,6 +26,16 @@ def test_e17_relation_reductions(benchmark):
     )
     print_table(
         ["relation", "target", "L(ψ) = L (Σ^{≤7})", "first mismatch", "note"],
-        rows,
+        [
+            [
+                row["relation"],
+                row["target_language"],
+                row["reduction_agrees"],
+                row["first_disagreement"] or "—",
+                row["note"] or "—",
+            ]
+            for row in record["rows"]
+        ],
     )
-    assert all(row[2] for row in rows)
+    assert record["passed"]
+    assert all(row["reduction_agrees"] for row in record["rows"])

@@ -1,102 +1,46 @@
 """E18 — the spanner side: algebra evaluation, selectability gap, and the
 conclusion section's regular-intersection trick.
 
-* evaluates a generalized-core-spanner pipeline (extract → join → ζ= →
-  difference) on synthetic documents of growing length;
-* shows ζ^{Num_a} wired into a regular base recognises exactly L₁ (the
+Drives the ``E18`` engine task:
+
+* a generalized-core-spanner pipeline (extract → join → ζ= → difference)
+  on synthetic documents of growing length;
+* ζ^{Num_a} wired into a regular base recognises exactly L₁ (the
   "unselectable relation ⇒ unrecognisable language" gap);
-* reproduces {|w|_a = |w|_b} ∩ a*b* = {aⁿbⁿ}.
+* {|w|_a = |w|_b} ∩ a*b* = {aⁿbⁿ}.
 """
 
-from benchmarks.reporting import print_banner, print_table
-from repro.core.relations import num_a
-from repro.spanners.selectable import (
-    regular_intersection_trick,
-    selection_gap_language,
-)
-from repro.spanners.spanner import extract
-from repro.words.generators import PAPER_LANGUAGES, words_up_to
+from benchmarks.reporting import print_banner, print_records, print_table
+from repro.engine.experiments import run_e18
 
 
-def _algebra_pipeline():
-    rows = []
-    for n in (4, 8, 12, 16):
-        document = ("aab" * n)[: n + 6]
-        blocks = extract(".*x{a+}.*")
-        pairs = blocks.join(extract(".*y{a+}.*"))
-        equal = pairs.eq("x", "y")
-        unequal = pairs - equal
-        rows.append(
-            [
-                len(document),
-                len(blocks.evaluate(document)),
-                len(pairs.evaluate(document)),
-                len(equal.evaluate(document)),
-                len(unequal.evaluate(document)),
-            ]
-        )
-    return rows
-
-
-def _gap_language(max_length: int = 7):
-    base = extract("x{a*}y{(ba)*}")
-    gap = selection_gap_language(base, ("x", "y"), num_a, "ab", max_length)
-    oracle = PAPER_LANGUAGES["L1"]
-    expected = frozenset(
-        w for w in words_up_to("ab", max_length) if w in oracle
-    )
-    return gap, expected
-
-
-def _intersection_trick(max_length: int = 8):
-    balanced = frozenset(
-        w for w in words_up_to("ab", max_length)
-        if w.count("a") == w.count("b")
-    )
-    intersection = regular_intersection_trick(
-        balanced, lambda w: "ba" not in w
-    )
-    anbn = PAPER_LANGUAGES["anbn"]
-    expected = frozenset(
-        w for w in words_up_to("ab", max_length) if w in anbn
-    )
-    return intersection, expected
-
-
-def test_e18_algebra_pipeline(benchmark):
-    rows = benchmark(_algebra_pipeline)
+def test_e18_spanner_side(benchmark):
+    record = benchmark(run_e18)
     print_banner(
         "E18a / spanner algebra",
         "extract → ⋈ → ζ= → \\ pipeline on growing documents",
     )
-    print_table(
-        ["|document|", "a-blocks", "joined pairs", "ζ= kept", "difference"],
-        rows,
+    print_records(
+        record["pipeline"],
+        ["doc_length", "blocks", "joined", "kept", "difference"],
     )
-    assert all(row[3] + row[4] == row[2] for row in rows)
-
-
-def test_e18_selection_gap(benchmark):
-    gap, expected = benchmark(_gap_language)
     print_banner(
         "E18b / Theorem 5.8 on spanners",
         "π_∅ ζ^{Num_a}(a*-block × (ba)*-block) recognises exactly L₁",
     )
+    gap = record["gap"]
     print_table(
         ["recognised words ≤ 7", "expected (L₁)", "equal"],
-        [[len(gap), len(expected), gap == expected]],
+        [[gap["recognised"], gap["expected"], gap["equal"]]],
     )
-    assert gap == expected
-
-
-def test_e18_intersection_trick(benchmark):
-    intersection, expected = benchmark(_intersection_trick)
     print_banner(
         "E18c / Conclusions",
         "{w : |w|_a = |w|_b} ∩ a*b* = {aⁿbⁿ} (closure argument)",
     )
+    trick = record["intersection_trick"]
     print_table(
         ["intersection size ≤ 8", "aⁿbⁿ slice", "equal"],
-        [[len(intersection), len(expected), intersection == expected]],
+        [[trick["intersection"], trick["expected"], trick["equal"]]],
     )
-    assert intersection == expected
+    assert record["passed"]
+    assert gap["equal"] and trick["equal"]

@@ -1,51 +1,26 @@
 """E19 — unary FC = semi-linear (the Section 3 background, measured).
 
-The ≡_k equivalence classes of unary words are eventually periodic —
-exactly the semi-linear shape the cited results predict.  Regenerates the
-class structure for k = 1, 2 and the threshold/period per rank, and shows
-the {2ⁿ} length set admits no such structure.
+Drives the ``E19`` engine task: the ≡_k equivalence classes of unary
+words are eventually periodic — exactly the semi-linear shape the cited
+results predict — while the {2ⁿ} length set admits no window-stable
+(threshold, period) structure.
 """
 
-from benchmarks.reporting import print_banner, print_table
-from repro.ef.unary import unary_equivalence_classes
-from repro.semilinear.unary import detect_robust_periodicity
-
-
-def _classes():
-    rows = []
-    for k, bound in ((0, 8), (1, 10), (2, 18)):
-        classes = unary_equivalence_classes(k, bound)
-        infinite_class = max(classes, key=len)
-        threshold = min(infinite_class)
-        gaps = {
-            b - a for a, b in zip(infinite_class, infinite_class[1:])
-        }
-        period = min(gaps) if gaps else 0
-        rows.append([k, len(classes), threshold, period])
-    return rows
+from benchmarks.reporting import print_banner, print_records, print_table
+from repro.engine.experiments import run_e19
 
 
 def test_e19_unary_class_structure(benchmark):
-    rows = benchmark(_classes)
+    record = benchmark(run_e19)
     print_banner(
         "E19 / Section 3 background",
         "unary ≡_k classes are threshold + periodic (semi-linear shape)",
     )
-    print_table(
-        ["k", "#classes on probe window", "threshold", "period"],
-        rows,
-    )
-    by_rank = {row[0]: row for row in rows}
-    assert by_rank[1][2] == 3 and by_rank[1][3] == 1
-    assert by_rank[2][2] == 12 and by_rank[2][3] == 2
-
-
-def test_e19_powers_not_periodic(benchmark):
-    is_power = lambda n: n >= 1 and (n & (n - 1)) == 0  # noqa: E731
-    result = benchmark(lambda: detect_robust_periodicity(is_power, 384))
+    print_records(record["rows"], ["k", "classes", "threshold", "period"])
     print_banner(
         "E19b / Lemma 3.6 engine",
         "{2ⁿ} admits no window-stable (threshold, period) at bound 384",
     )
-    print_table(["detected (threshold, period)"], [[result]])
-    assert result is None
+    print_table(["detected (threshold, period)"], [[record["pow2_periodicity"]]])
+    assert record["passed"]
+    assert record["pow2_periodicity"] is None

@@ -1,115 +1,55 @@
 """E20 — FC vs FO[EQ]: the two proof routes, compared executably.
 
-The paper's motivation: the prior aⁿbⁿ proof runs through FO[EQ] and the
-Feferman–Vaught theorem and "does not generalize"; the paper's EF games
-for FC replace it.  This experiment puts both logics side by side:
-
-* expressive agreement — φ_square (FO[EQ], via the built-in EQ) and φ_ww
-  (FC) define the same language slice;
-* the witness pair of Example 4.5 is ≡₂ in BOTH games (a^{12}b^{12} vs
-  a^{14}b^{12});
-* rank-for-rank the games differ: FC's concatenation relation separates
-  unary powers one round earlier than the position signature.
+Drives the ``E20`` engine task.  The paper's motivation: the prior aⁿbⁿ
+proof runs through FO[EQ] and the Feferman–Vaught theorem and "does not
+generalize"; the paper's EF games for FC replace it.  The record puts
+both logics side by side: expressive agreement (φ_square vs φ_ww), the
+shared Example 4.5 witness, rank-for-rank separation speed, and why the
+EQ relation is essential.
 """
 
-from benchmarks.reporting import print_banner, print_table
-from repro.ef.equivalence import distinguishing_rank, equiv_k
-from repro.fc.builders import phi_ww
-from repro.fc.semantics import models
-from repro.foeq.builders import phi_square
-from repro.foeq.games import (
-    foeq_distinguishing_rank,
-    foeq_equiv_k,
-    folt_equiv_k,
-)
-from repro.foeq.semantics import p_models
-from repro.words.generators import words_up_to
+from benchmarks.reporting import print_banner, print_records, print_table
+from repro.engine.experiments import run_e20
 
 
-def _agreement(max_length: int = 6):
-    mismatches = 0
-    checked = 0
-    for w in words_up_to("ab", max_length):
-        if not w:
-            continue  # FC counts ε as a square; FO[EQ]'s ε has no positions
-        checked += 1
-        if p_models(w, phi_square()) != models(w, phi_ww(), "ab"):
-            mismatches += 1
-    return checked, mismatches
-
-
-def _witness_pair():
-    w = "a" * 12 + "b" * 12
-    v = "a" * 14 + "b" * 12
-    return [
-        ["FO[EQ] game (positions)", foeq_equiv_k(w, v, 2)],
-        ["FC game (factors)", equiv_k(w, v, 2, "ab")],
-    ]
-
-
-def _rank_comparison():
-    rows = []
-    for w, v in (("aaaa", "aaa"), ("ab", "ba"), ("abab", "abba")):
-        rows.append(
-            [
-                f"{w} vs {v}",
-                distinguishing_rank(w, v, 4, "ab"),
-                foeq_distinguishing_rank(w, v, 4),
-            ]
-        )
-    return rows
-
-
-def test_e20_expressive_agreement(benchmark):
-    checked, mismatches = benchmark(_agreement)
+def test_e20_fc_vs_foeq(benchmark):
+    record = benchmark.pedantic(run_e20, rounds=1, iterations=1)
     print_banner(
         "E20a / FC ≡ FO[EQ]",
         "φ_square (FO[EQ], built-in EQ) = φ_ww (FC) extensionally",
     )
-    print_table(["non-empty words ≤ 6", "mismatches"], [[checked, mismatches]])
-    assert mismatches == 0
-
-
-def test_e20_shared_witness(benchmark):
-    rows = benchmark(_witness_pair)
+    agreement = record["agreement"]
+    print_table(
+        ["non-empty words ≤ 6", "mismatches"],
+        [[agreement["checked"], agreement["mismatches"]]],
+    )
     print_banner(
         "E20b / Example 4.5 in both logics",
         "a¹²b¹² ≡₂ a¹⁴b¹² holds in the FC game AND the FO[EQ] game — "
         "the two inexpressibility routes share their witnesses",
     )
-    print_table(["game", "≡₂"], rows)
-    assert all(row[1] for row in rows)
-
-
-def _eq_essential():
-    # (ab)^4 (square) vs (ab)^5 (not): FO[<] blind at rank 2, FO[EQ] sees.
-    w, v = "ab" * 4, "ab" * 5
-    return [
-        ["FO[<] (no EQ), rank 2", folt_equiv_k(w, v, 2)],
-        ["FO[EQ], rank 3", foeq_equiv_k(w, v, 3)],
-    ]
-
-
-def test_e20_eq_is_essential(benchmark):
-    rows = benchmark(_eq_essential)
-    print_banner(
-        "E20d / why EQ",
-        "(ab)⁴ vs (ab)⁵: plain FO[<] cannot separate a square from a "
-        "non-square at rank 2; the EQ relation separates at rank 3",
+    shared = record["shared_witness"]
+    print_table(
+        ["game", "≡₂"],
+        [["FO[EQ] game (positions)", shared["foeq"]],
+         ["FC game (factors)", shared["fc"]]],
     )
-    print_table(["game", "equivalent"], rows)
-    assert rows[0][1] is True
-    assert rows[1][1] is False
-
-
-def test_e20_rank_for_rank(benchmark):
-    rows = benchmark(_rank_comparison)
     print_banner(
         "E20c / rank-for-rank comparison",
         "equal expressive power ≠ equal game rank: FC's concatenation "
         "relation separates faster than the position signature",
     )
-    print_table(["pair", "FC distinguishing rank", "FO[EQ] rank"], rows)
-    fc_ranks = [row[1] for row in rows]
-    foeq_ranks = [row[2] for row in rows]
-    assert all(f <= g for f, g in zip(fc_ranks, foeq_ranks))
+    print_records(record["rank_comparison"], ["pair", "fc_rank", "foeq_rank"])
+    print_banner(
+        "E20d / why EQ",
+        "(ab)⁴ vs (ab)⁵: plain FO[<] cannot separate a square from a "
+        "non-square at rank 2; the EQ relation separates at rank 3",
+    )
+    eq = record["eq_essential"]
+    print_table(
+        ["game", "equivalent"],
+        [["FO[<] (no EQ), rank 2", eq["folt_rank2_equivalent"]],
+         ["FO[EQ], rank 3", eq["foeq_rank3_equivalent"]]],
+    )
+    assert record["passed"]
+    assert agreement["mismatches"] == 0

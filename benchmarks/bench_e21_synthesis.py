@@ -1,61 +1,56 @@
 """E21 — distinguishing-formula synthesis (constructive Theorem 3.4).
 
-For every ≢_k pair in a sweep, synthesise the separating FC(k) sentence
-from Spoiler's winning strategy and verify the certificate with the
+Drives the ``E21`` engine task with its ``prim/synth`` dependency: for
+every ≢₂ pair in a sweep, synthesise the separating FC(2) sentence from
+Spoiler's winning strategy and verify the certificate with the
 (independent) model checker — the constructive half of the Ehrenfeucht
 correspondence, run wholesale.
 """
 
 from benchmarks.reporting import print_banner, print_table
-from repro.ef.equivalence import equiv_k
-from repro.ef.synthesis import SynthesisFailure, synthesize_distinguishing_sentence
-from repro.fc.semantics import defines_language_member
-from repro.fc.syntax import quantifier_rank, subformulas
-from repro.words.generators import words_up_to
-
-K = 2
+from repro.engine.experiments import run_e21
+from repro.engine.primitives import synthesize
 
 
-def _sweep(max_length: int = 3):
-    words = [w for w in words_up_to("ab", max_length)]
-    separable = synthesized = verified = 0
-    max_size = 0
-    for i, w in enumerate(words):
-        for v in words[i + 1 :]:
-            if equiv_k(w, v, K, alphabet="ab"):
-                continue
-            separable += 1
-            try:
-                phi = synthesize_distinguishing_sentence(w, v, K, "ab")
-            except SynthesisFailure:
-                continue
-            synthesized += 1
-            size = sum(1 for _ in subformulas(phi))
-            max_size = max(max_size, size)
-            if (
-                quantifier_rank(phi) <= K
-                and defines_language_member(w, phi, "ab")
-                and not defines_language_member(v, phi, "ab")
-            ):
-                verified += 1
-    return separable, synthesized, verified, max_size
+def _run():
+    return run_e21(synthesize("aaaa", "aaa", 2, "ab"))
 
 
 def test_e21_synthesis_sweep(benchmark):
-    separable, synthesized, verified, max_size = benchmark(_sweep)
+    record = benchmark(_run)
+    k = record["k"]
     print_banner(
         "E21 / Theorem 3.4, constructive direction",
-        f"every ≢_{K} pair yields a model-checker-verified FC({K}) "
+        f"every ≢_{k} pair yields a model-checker-verified FC({k}) "
         "separating sentence",
     )
     print_table(
         [
-            f"≢_{K} pairs (Σ^{{≤3}})",
+            f"≢_{k} pairs (Σ^{{≤3}})",
             "certificates synthesised",
             "certificates verified",
             "largest certificate (nodes)",
         ],
-        [[separable, synthesized, verified, max_size]],
+        [
+            [
+                record["separable"],
+                record["synthesized"],
+                record["verified"],
+                record["max_certificate_nodes"],
+            ]
+        ],
     )
-    assert separable == synthesized == verified
-    assert separable > 0
+    spot = record["spot_certificate"]
+    print_table(
+        ["spot pair", "synthesised", "rank", "verified"],
+        [
+            [
+                f"{spot['w']} vs {spot['v']}",
+                spot["synthesized"],
+                spot["quantifier_rank"],
+                spot["verified"],
+            ]
+        ],
+    )
+    assert record["passed"]
+    assert record["separable"] == record["synthesized"] == record["verified"]

@@ -1,5 +1,7 @@
 """E22 — the conclusion's game variants: existential and pebble games.
 
+Drives the ``E22`` engine task:
+
 * existential games (Spoiler restricted to 𝔄): the ∃⁺-preservation
   preorder, with its characteristic asymmetry on unary powers;
 * pebble games: re-placing pebbles trades rank for variables — the pair
@@ -8,59 +10,25 @@
 """
 
 from benchmarks.reporting import print_banner, print_table
-from repro.ef.equivalence import equiv_k
-from repro.ef.existential import existential_preorder
-from repro.ef.pebble import pebble_distinguishing_rounds, pebble_equiv
+from repro.engine.experiments import run_e22
 
 
-def _existential_matrix():
-    exponents = (1, 2, 3, 5)
-    rows = []
-    for p in exponents:
-        row = [f"a^{p}"]
-        for q in exponents:
-            row.append(
-                "⪯" if existential_preorder("a" * p, "a" * q, 2) else "·"
-            )
-        rows.append(row)
-    return rows
-
-
-def _pebble_rows():
-    rows = []
-    for w, v, pebbles in (
-        ("a" * 12, "a" * 14, 2),
-        ("a" * 12, "a" * 14, 3),
-        ("aaaa", "aaa", 2),
-    ):
-        plain_2 = equiv_k(w, v, 2, alphabet="a")
-        separated_at = pebble_distinguishing_rounds(w, v, pebbles, 4, "a")
-        rows.append(
-            [
-                f"a^{len(w)} vs a^{len(v)}",
-                pebbles,
-                plain_2,
-                separated_at if separated_at is not None else "> 4",
-            ]
-        )
-    return rows
-
-
-def test_e22_existential_preorder(benchmark):
-    rows = benchmark(_existential_matrix)
+def test_e22_game_variants(benchmark):
+    record = benchmark(run_e22)
     print_banner(
         "E22a / existential games",
         "the ∃⁺FC(2)-preservation preorder on unary powers "
         "(row ⪯ column): higher powers absorb lower ones, not conversely",
     )
-    print_table(["", "a^1", "a^2", "a^3", "a^5"], rows)
-    # a^1 ⪯ everything larger; nothing larger ⪯ a^1 (at rank 2).
-    assert rows[0][1:] == ["⪯", "⪯", "⪯", "⪯"]
-    assert [row[1] for row in rows[1:]] == ["·", "·", "·"]
-
-
-def test_e22_pebble_tradeoff(benchmark):
-    rows = benchmark(_pebble_rows)
+    exponents = [row["power"] for row in record["existential"]]
+    print_table(
+        [""] + [f"a^{q}" for q in exponents],
+        [
+            [f"a^{row['power']}"]
+            + ["⪯" if row["absorbs"][str(q)] else "·" for q in exponents]
+            for row in record["existential"]
+        ],
+    )
     print_banner(
         "E22b / pebble games",
         "pebble reuse beats quantifier rank: plain-≡₂-equivalent words "
@@ -68,8 +36,16 @@ def test_e22_pebble_tradeoff(benchmark):
     )
     print_table(
         ["pair", "pebbles", "plain ≡₂", "separated at round"],
-        rows,
+        [
+            [
+                row["pair"],
+                row["pebbles"],
+                row["plain_equiv_2"],
+                row["separated_at"] if row["separated_at"] is not None else "> 4",
+            ]
+            for row in record["pebble"]
+        ],
     )
-    by_key = {(row[0], row[1]): row for row in rows}
-    assert by_key[("a^12 vs a^14", 2)][2] is True
-    assert by_key[("a^12 vs a^14", 2)][3] == 3
+    assert record["passed"]
+
+

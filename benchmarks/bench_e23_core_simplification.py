@@ -1,86 +1,41 @@
 """E23 — the core-simplification direction (related work, Fagin et al.).
 
-The paper's related-work section leans on two structural facts about
-spanner representations; both are regenerated here:
+Drives the ``E23`` engine task.  Two structural facts about spanner
+representations, regenerated:
 
 * regular spanners are closed under ∪, π, ⋈ — a whole algebra tree
   compiles into ONE VSet-automaton with identical output;
 * core spanners simplify to ``ζ=⋯ζ=(single automaton)`` — selections
   hoist to the top.
-
-Rows compare tree evaluation vs the compiled single automaton on growing
-documents.
 """
 
-from benchmarks.reporting import print_banner, print_table
-from repro.spanners.normal_form import compile_spanner, core_simplify
-from repro.spanners.spanner import (
-    EqualitySelect,
-    Join,
-    Project,
-    SpannerUnion,
-    extract,
-)
-
-REGULAR_TREE = Project(
-    Join(
-        SpannerUnion(extract(".*x{aa}.*"), extract(".*x{ab}.*")),
-        extract(".*y{b+}.*"),
-    ),
-    ("x",),
-)
-
-CORE_TREE = EqualitySelect(
-    Join(extract(".*x{a+}.*"), extract(".*y{a+}.*")), "x", "y"
-)
-
-
-def _rows(document_lengths=(8, 16, 24)):
-    automaton = compile_spanner(REGULAR_TREE)
-    simplified = core_simplify(CORE_TREE)
-    rows = []
-    for n in document_lengths:
-        document = ("aab" * n)[:n]
-        tree_out = {
-            frozenset(r.items()) for r in REGULAR_TREE.evaluate(document)
-        }
-        automaton_out = {
-            frozenset(r.items()) for r in automaton.evaluate(document)
-        }
-        core_out = {
-            frozenset(r.items()) for r in CORE_TREE.evaluate(document)
-        }
-        simplified_out = {
-            frozenset(r.items()) for r in simplified.evaluate(document)
-        }
-        rows.append(
-            [
-                n,
-                len(tree_out),
-                tree_out == automaton_out,
-                len(core_out),
-                core_out == simplified_out,
-            ]
-        )
-    return rows, automaton.state_count(), len(simplified.selections)
+from benchmarks.reporting import print_banner, print_records
+from repro.engine.experiments import run_e23
 
 
 def test_e23_core_simplification(benchmark):
-    rows, states, selections = benchmark(_rows)
+    record = benchmark(run_e23)
     print_banner(
         "E23 / core-simplification (Fagin et al., related work)",
         "algebra tree = ONE automaton (regular); core spanner = "
         "ζ= selections over one automaton",
     )
-    print_table(
+    print_records(
+        record["rows"],
         [
-            "|document|",
-            "regular rows",
-            "tree = automaton",
-            "core rows",
-            "tree = ζ=(automaton)",
+            "doc_length",
+            "regular_rows",
+            "tree_equals_automaton",
+            "core_rows",
+            "core_equals_simplified",
         ],
-        rows,
     )
-    print(f"compiled automaton: {states} states; hoisted ζ= count: {selections}")
-    assert all(row[2] and row[4] for row in rows)
+    print(
+        f"compiled automaton: {record['automaton_states']} states; "
+        f"hoisted ζ= count: {record['hoisted_selections']}"
+    )
+    assert record["passed"]
+    assert all(
+        row["tree_equals_automaton"] and row["core_equals_simplified"]
+        for row in record["rows"]
+    )

@@ -1,0 +1,62 @@
+"""Engine meta-benchmark: scheduling + caching overhead, measured.
+
+Runs a small experiment subset through :func:`repro.engine.run_tasks`
+twice against a fresh cache — a cold pass (everything executes) and a
+warm pass (everything should hit the content-addressed cache) — and
+writes the machine-readable ``BENCH_engine.json`` artifact with
+per-task wall times and cache statistics.
+"""
+
+import tempfile
+from pathlib import Path
+
+from benchmarks.reporting import (
+    bench_artifact_path,
+    print_banner,
+    print_records,
+    write_engine_report,
+)
+from repro.engine import ResultCache, run_tasks
+from repro.engine.experiments import build_default_registry
+
+SUBSET = ["E01", "E13", "E19", "E22"]
+
+
+def _cold_and_warm(cache_dir: str):
+    registry = build_default_registry()
+    cache = ResultCache(root=Path(cache_dir))
+    cold = run_tasks(registry, jobs=1, cache=cache, only=SUBSET)
+    warm_cache = ResultCache(root=Path(cache_dir))
+    warm = run_tasks(registry, jobs=1, cache=warm_cache, only=SUBSET)
+    return cold, warm
+
+
+def test_engine_cold_warm(benchmark):
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold, warm = benchmark.pedantic(
+            _cold_and_warm, args=(cache_dir,), rounds=1, iterations=1
+        )
+    print_banner(
+        "ENGINE / cold vs warm",
+        f"subset {','.join(SUBSET)}: cold run executes, warm run replays "
+        "from the content-addressed cache with identical payloads",
+    )
+    print_records(
+        [
+            {
+                "task": record["task"],
+                "cold": f"{record['wall_time_s']:.3f}s",
+                "warm": f"{warm.record_for(record['task'])['wall_time_s']:.3f}s",
+                "warm_cache": warm.record_for(record["task"])["cache"],
+            }
+            for record in cold.records
+        ],
+        ["task", "cold", "warm", "warm_cache"],
+    )
+    assert cold.ok and warm.ok
+    assert all(record["cache"] == "hit" for record in warm.records)
+    assert [r["result"] for r in cold.records] == [
+        r["result"] for r in warm.records
+    ]
+    write_engine_report(cold, bench_artifact_path())
+    assert bench_artifact_path().exists()

@@ -1,13 +1,30 @@
-"""Shared report-table helpers for the experiment benchmarks.
+"""Shared report helpers for the experiment benchmarks.
 
-Each benchmark regenerates one experiment row-set from EXPERIMENTS.md;
-``print_table`` renders it in the same layout so ``pytest benchmarks/
---benchmark-only -s`` reproduces the document's tables verbatim.
+Each benchmark drives one experiment task from ``repro.engine`` and
+renders its record in the EXPERIMENTS.md table layout, so ``pytest
+benchmarks/ --benchmark-only -s`` reproduces the document's tables
+verbatim.  :func:`write_engine_report` persists a machine-readable
+``BENCH_engine.json`` artifact (per-task wall time, cache hit/miss
+statistics, worker count) so the perf trajectory is trackable across
+PRs; ``bench_engine.py`` and ``python -m repro run`` both emit it.
 """
 
 from __future__ import annotations
 
-__all__ = ["print_table", "print_banner"]
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.engine.cli import DEFAULT_REPORT_PATH, write_engine_report
+
+__all__ = [
+    "DEFAULT_REPORT_PATH",
+    "bench_artifact_path",
+    "dict_table",
+    "print_banner",
+    "print_records",
+    "print_table",
+    "write_engine_report",
+]
 
 
 def print_banner(experiment: str, claim: str) -> None:
@@ -31,3 +48,26 @@ def print_table(headers: list[str], rows: list[list[object]]) -> None:
     print("  ".join("-" * w for w in widths))
     for row in rendered:
         print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def dict_table(
+    rows: Iterable[Mapping[str, Any]], columns: list[str] | None = None
+) -> tuple[list[str], list[list[object]]]:
+    """Project engine-record row dicts onto ``print_table`` inputs."""
+    rows = list(rows)
+    if columns is None:
+        columns = list(rows[0]) if rows else []
+    return columns, [[row.get(column) for column in columns] for row in rows]
+
+
+def print_records(
+    rows: Iterable[Mapping[str, Any]], columns: list[str] | None = None
+) -> None:
+    """Convenience: ``print_table`` straight from record dicts."""
+    headers, body = dict_table(rows, columns)
+    print_table(headers, body)
+
+
+def bench_artifact_path() -> Path:
+    """Where the benchmark session writes its engine artifact."""
+    return Path(DEFAULT_REPORT_PATH)

@@ -13,6 +13,11 @@ Commands:
                                repro.fc.parser) and model-check it on WORD
 * ``certify [PATH]``         — emit (or, given a path, re-verify) the
                                JSON certificate bundle
+* ``run [--jobs N] [--only E12,E14] [--no-cache] [--json PATH]``
+                             — execute the E01–E23 experiment DAG through
+                               the parallel engine with the
+                               content-addressed result cache
+                               (see repro.engine)
 """
 
 from __future__ import annotations
@@ -164,6 +169,12 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.engine.cli import cmd_run
+
+    return cmd_run(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -205,6 +216,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     certify.add_argument("path", nargs="?", default=None)
 
+    from repro.engine.cli import add_run_parser
+
+    add_run_parser(commands)
+
     args = parser.parse_args(argv)
     handlers = {
         "report": _cmd_report,
@@ -215,6 +230,7 @@ def main(argv: list[str] | None = None) -> int:
         "pow2": _cmd_pow2,
         "eval": _cmd_eval,
         "certify": _cmd_certify,
+        "run": _cmd_run,
     }
     return handlers[args.command](args)
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.ef.solver import GameSolver
+from repro.engine import cachestats
 from repro.fc.structures import word_structure
 
 __all__ = [
@@ -40,6 +41,9 @@ def solver_for(w: str, v: str, alphabet: str) -> GameSolver:
     return GameSolver(
         word_structure(w, alphabet), word_structure(v, alphabet)
     )
+
+
+cachestats.register("ef.equivalence.solver_for", solver_for)
 
 
 def equiv_k(w: str, v: str, k: int, alphabet: str | None = None) -> bool:

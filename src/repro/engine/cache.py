@@ -1,0 +1,170 @@
+"""Content-addressed on-disk result cache.
+
+Records live under ``.repro-cache/`` (or any directory handed to
+:class:`ResultCache`), one JSON file per key, sharded by the first two
+hex digits.  The key of a task is
+
+    SHA-256(engine salt ‖ task name ‖ task version ‖ canonical args ‖
+            sorted (param, dependency-key) pairs)
+
+so it changes whenever the task's inputs change, whenever the code
+version salt is bumped, and — Merkle-style — whenever any transitive
+dependency's key changes.  There is no TTL: invalidation is purely by
+salt/version, and ``--no-cache`` bypasses the cache wholesale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.engine.spec import TaskSpec
+
+__all__ = ["ENGINE_SALT", "CacheStats", "ResultCache", "DEFAULT_CACHE_DIR"]
+
+#: Global code-version salt.  Bumping it invalidates every cached record
+#: at once (e.g. after a solver-semantics change).
+ENGINE_SALT = "repro-engine-v1"
+
+#: Default cache location, overridable via ``$REPRO_CACHE_DIR``.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss bookkeeping for one engine run."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    bypassed: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict[str, int | float]:
+        probes = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "bypassed": self.bypassed,
+            "errors": self.errors,
+            "hit_rate": round(self.hits / probes, 4) if probes else 0.0,
+        }
+
+
+@dataclass
+class ResultCache:
+    """The content-addressed store.
+
+    ``enabled=False`` turns every probe into a bypass (the ``--no-cache``
+    escape hatch) while still tracking statistics, so reports always
+    carry a cache section.
+    """
+
+    root: Path = field(default_factory=default_cache_dir)
+    salt: str = ENGINE_SALT
+    enabled: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # -- keys ----------------------------------------------------------
+
+    def key_for(
+        self, spec: TaskSpec, dep_keys: Mapping[str, str] | None = None
+    ) -> str:
+        hasher = hashlib.sha256()
+        for part in (self.salt, spec.name, spec.version, spec.canonical_args()):
+            hasher.update(part.encode("utf-8"))
+            hasher.update(b"\x00")
+        for param, dep_key in sorted((dep_keys or {}).items()):
+            hasher.update(f"{param}={dep_key}".encode("utf-8"))
+            hasher.update(b"\x00")
+        return hasher.hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- record IO -----------------------------------------------------
+
+    def load(self, key: str) -> dict[str, Any] | None:
+        """Return the cached record for ``key``, counting hit/miss."""
+        if not self.enabled:
+            self.stats.bypassed += 1
+            return None
+        path = self.path_for(key)
+        try:
+            with path.open(encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A torn or corrupted record is a miss; it will be rewritten.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return None
+        if not isinstance(record, dict) or record.get("key") != key:
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def store(self, key: str, record: Mapping[str, Any]) -> None:
+        """Atomically persist ``record`` under ``key``."""
+        if not self.enabled:
+            return
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = dict(record)
+        payload["key"] = key
+        encoded = json.dumps(payload, sort_keys=True, ensure_ascii=False)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(encoded)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every cached record; return how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                entry.unlink()
+                removed += 1
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+        return removed
+
+    def describe(self) -> dict[str, Any]:
+        info = self.stats.as_dict()
+        info["dir"] = str(self.root)
+        info["enabled"] = self.enabled
+        info["salt"] = self.salt
+        return info

@@ -1,0 +1,74 @@
+"""Dependency-DAG validation and deterministic topological ordering."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.engine.spec import TaskSpec
+
+__all__ = [
+    "DependencyCycleError",
+    "MissingDependencyError",
+    "dependents_of",
+    "topological_order",
+    "validate_dag",
+]
+
+
+class MissingDependencyError(KeyError):
+    """A task depends on a name that is not in the selected task set."""
+
+
+class DependencyCycleError(ValueError):
+    """The dependency graph contains a cycle."""
+
+
+def validate_dag(specs: Mapping[str, TaskSpec]) -> None:
+    """Check that every dependency resolves and the graph is acyclic."""
+    for name, spec in specs.items():
+        for dep in spec.dep_tasks:
+            if dep not in specs:
+                raise MissingDependencyError(
+                    f"task {name!r} depends on unknown task {dep!r}"
+                )
+            if dep == name:
+                raise DependencyCycleError(f"task {name!r} depends on itself")
+    topological_order(specs)
+
+
+def topological_order(specs: Mapping[str, TaskSpec]) -> list[str]:
+    """Kahn's algorithm with a sorted ready set.
+
+    Sorting the ready set makes the order a pure function of the task
+    set, so scheduling (and therefore report layout) is deterministic
+    regardless of dict insertion order or worker timing.
+    """
+    remaining_deps = {
+        name: {d for d in spec.dep_tasks if d in specs}
+        for name, spec in specs.items()
+    }
+    dependents = dependents_of(specs)
+    ready = sorted(name for name, deps in remaining_deps.items() if not deps)
+    order: list[str] = []
+    while ready:
+        name = ready.pop(0)
+        order.append(name)
+        for child in sorted(dependents.get(name, ())):
+            remaining_deps[child].discard(name)
+            if not remaining_deps[child]:
+                ready.append(child)
+        ready.sort()
+    if len(order) != len(specs):
+        stuck = sorted(set(specs) - set(order))
+        raise DependencyCycleError(f"dependency cycle involving {stuck}")
+    return order
+
+
+def dependents_of(specs: Mapping[str, TaskSpec]) -> dict[str, set[str]]:
+    """Reverse edges: task name → the tasks that consume its result."""
+    reverse: dict[str, set[str]] = {name: set() for name in specs}
+    for name, spec in specs.items():
+        for dep in spec.dep_tasks:
+            if dep in reverse:
+                reverse[dep].add(name)
+    return reverse

@@ -1,0 +1,279 @@
+"""The engine scheduler: topological fan-out over a worker pool.
+
+``run_tasks`` takes a registry (or a plain spec mapping), resolves the
+dependency closure of the requested tasks, and executes them:
+
+* in-process, in topological order, when ``jobs == 1`` (deterministic
+  and debugger-friendly);
+* on a ``multiprocessing`` pool otherwise — every task whose
+  dependencies are satisfied is in flight simultaneously, up to
+  ``jobs`` workers.
+
+Single-task failure isolation: a task that raises produces an ``error``
+record (type, message, traceback) instead of aborting the run, and its
+transitive dependents complete as ``skipped`` records.  Results are
+JSON-roundtripped before caching so cold and warm runs return
+bit-identical payloads, and the final record list is sorted by task
+name regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.engine import cachestats
+from repro.engine.cache import ResultCache
+from repro.engine.dag import dependents_of, topological_order, validate_dag
+from repro.engine.spec import (
+    TaskRegistry,
+    TaskSpec,
+    canonical_json,
+    resolve_function,
+)
+
+__all__ = ["EngineReport", "run_tasks"]
+
+#: Seconds between completion polls of the worker pool.
+_POLL_INTERVAL = 0.005
+
+
+@dataclass
+class EngineReport:
+    """The outcome of one engine run."""
+
+    jobs: int
+    elapsed_s: float
+    records: list[dict[str, Any]]
+    cache: dict[str, Any]
+    lru_caches: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(record["status"] == "ok" for record in self.records)
+
+    def record_for(self, name: str) -> dict[str, Any]:
+        for record in self.records:
+            if record["task"] == name:
+                return record
+        raise KeyError(f"no record for task {name!r}")
+
+    def counts(self) -> dict[str, int]:
+        counts = {"ok": 0, "error": 0, "skipped": 0}
+        for record in self.records:
+            counts[record["status"]] = counts.get(record["status"], 0) + 1
+        return counts
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "engine": {
+                "jobs": self.jobs,
+                "elapsed_s": round(self.elapsed_s, 6),
+                "tasks_total": len(self.records),
+                "tasks": self.counts(),
+            },
+            "cache": self.cache,
+            "lru_caches": self.lru_caches,
+            "tasks": self.records,
+        }
+
+
+def _json_roundtrip(value: Any) -> Any:
+    """Normalise a task result to its JSON image.
+
+    Guarantees warm-cache payloads (read back from disk) are identical
+    to cold-run payloads, and rejects non-serialisable results early.
+    """
+    import json
+
+    return json.loads(canonical_json(value))
+
+
+def _execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Run one task; always returns a record, never raises.
+
+    Top-level so it is picklable for the worker pool.  ``payload``
+    carries only plain data: the function is re-resolved from its dotted
+    path inside the worker.
+    """
+    name = payload["task"]
+    before = cachestats.snapshot()
+    start = time.perf_counter()
+    try:
+        fn = resolve_function(payload["fn"])
+        result = fn(**payload["args"], **payload["dep_results"])
+        result = _json_roundtrip(result)
+        status, error = "ok", None
+    except Exception as exc:  # noqa: BLE001 — isolation is the point
+        status, result = "error", None
+        error = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        }
+    wall = time.perf_counter() - start
+    record = {
+        "task": name,
+        "status": status,
+        "result": result,
+        "error": error,
+        "wall_time_s": round(wall, 6),
+        "args_bytes": len(canonical_json(payload["args"])),
+        "result_bytes": len(canonical_json(result)) if result is not None else 0,
+        "lru_delta": cachestats.diff(before, cachestats.snapshot()),
+    }
+    return record
+
+
+def _skipped_record(name: str, failed_deps: list[str]) -> dict[str, Any]:
+    return {
+        "task": name,
+        "status": "skipped",
+        "result": None,
+        "error": {
+            "type": "SkippedDependency",
+            "message": f"dependency failed or was skipped: {failed_deps}",
+            "traceback": None,
+        },
+        "wall_time_s": 0.0,
+        "args_bytes": 0,
+        "result_bytes": 0,
+        "cache": "none",
+        "lru_delta": {},
+    }
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, inherits the imported solver stack)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover — non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+def run_tasks(
+    registry: TaskRegistry | Mapping[str, TaskSpec],
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    only: Iterable[str] | None = None,
+    on_record: Callable[[dict[str, Any]], None] | None = None,
+) -> EngineReport:
+    """Execute a task set and return the :class:`EngineReport`.
+
+    ``only`` restricts the run to the named tasks plus their transitive
+    dependencies.  ``cache`` defaults to a fresh :class:`ResultCache`
+    over ``.repro-cache/``; pass ``ResultCache(enabled=False)`` for
+    ``--no-cache`` semantics.  ``on_record`` is invoked once per
+    finished task, in completion order (progress reporting).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if isinstance(registry, TaskRegistry):
+        specs = (
+            registry.closure(list(only)) if only is not None else registry.specs()
+        )
+    else:
+        specs = dict(registry)
+        if only is not None:
+            specs = TaskRegistry(iter(specs.values())).closure(list(only))
+    validate_dag(specs)
+    order = topological_order(specs)
+    cache = cache if cache is not None else ResultCache()
+
+    records: dict[str, dict[str, Any]] = {}
+    keys: dict[str, str] = {}
+    started = time.perf_counter()
+
+    def finish(name: str, record: dict[str, Any]) -> None:
+        records[name] = record
+        if on_record is not None:
+            on_record(record)
+
+    def prepare(name: str) -> dict[str, Any] | None:
+        """Cache-probe a ready task; return a payload if it must run."""
+        spec = specs[name]
+        failed = [
+            dep
+            for dep in spec.dep_tasks
+            if records[dep]["status"] != "ok"
+        ]
+        if failed:
+            finish(name, _skipped_record(name, failed))
+            return None
+        dep_keys = {
+            param: keys[dep] for param, dep in sorted(spec.deps.items())
+        }
+        key = cache.key_for(spec, dep_keys)
+        keys[name] = key
+        cached = cache.load(key)
+        if cached is not None and cached.get("status") == "ok":
+            record = dict(cached)
+            record["cache"] = "hit"
+            record["lru_delta"] = {}
+            finish(name, record)
+            return None
+        return {
+            "task": name,
+            "fn": spec.fn,
+            "args": dict(spec.args),
+            "dep_results": {
+                param: records[dep]["result"]
+                for param, dep in spec.deps.items()
+            },
+        }
+
+    def seal(name: str, record: dict[str, Any]) -> None:
+        record["cache"] = "miss" if cache.enabled else "bypass"
+        record["key"] = keys[name]
+        if record["status"] == "ok":
+            cache.store(keys[name], record)
+        finish(name, record)
+
+    if jobs == 1:
+        for name in order:
+            payload = prepare(name)
+            if payload is not None:
+                seal(name, _execute_payload(payload))
+    else:
+        ctx = _pool_context()
+        with ctx.Pool(processes=jobs) as pool:
+            in_flight: dict[str, Any] = {}
+            submitted: set[str] = set()
+            while len(records) < len(specs):
+                for name in order:
+                    if name in records or name in submitted:
+                        continue
+                    if any(dep not in records for dep in specs[name].dep_tasks):
+                        continue
+                    payload = prepare(name)
+                    if payload is None:
+                        continue
+                    submitted.add(name)
+                    in_flight[name] = pool.apply_async(
+                        _execute_payload, (payload,)
+                    )
+                done_now = [n for n, a in in_flight.items() if a.ready()]
+                if not done_now:
+                    if in_flight:
+                        time.sleep(_POLL_INTERVAL)
+                    continue
+                for name in sorted(done_now):
+                    seal(name, in_flight.pop(name).get())
+
+    elapsed = time.perf_counter() - started
+    ordered = [records[name] for name in sorted(records)]
+    return EngineReport(
+        jobs=jobs,
+        elapsed_s=elapsed,
+        records=ordered,
+        cache=cache.describe(),
+        lru_caches={
+            "registered": cachestats.registered_names(),
+            "main_process": cachestats.snapshot(),
+            "totals": cachestats.aggregate(),
+        },
+    )

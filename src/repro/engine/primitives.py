@@ -1,0 +1,172 @@
+"""Pure, picklable entry points around the solver stack.
+
+Every function here takes JSON-representable arguments, returns a
+JSON-representable value, and touches no global state — the contract
+that lets the engine hash their inputs into cache keys and run them in
+worker processes.  They wrap the four solver-adjacent module families
+named in DESIGN.md: ``ef.solver``, ``ef.equivalence``, ``ef.synthesis``
+and ``core.witnesses`` (plus the ``core.pow2`` unary search the witness
+chain builds on).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "equivalence",
+    "distinguishing_rank",
+    "solver_openings",
+    "synthesize",
+    "unary_minimal_pairs",
+    "witness_report",
+    "relation_agreement",
+    "serialize_language_report",
+]
+
+
+def unary_minimal_pairs(
+    max_rank: int = 2, max_exponent: int = 20
+) -> dict[str, Any]:
+    """Lemma 3.6 minimal pairs: rank → least (p, q) with aᵖ ≡_k a^q.
+
+    JSON object keys are strings, so ranks are stringified.
+    """
+    from repro.ef.unary import minimal_equivalent_pair
+
+    pairs = {
+        str(k): list(minimal_equivalent_pair(k, max_exponent=max_exponent))
+        for k in range(max_rank + 1)
+    }
+    return {"max_exponent": max_exponent, "pairs": pairs}
+
+
+def equivalence(
+    w: str, v: str, k: int, alphabet: str | None = None
+) -> dict[str, Any]:
+    """Exact ``w ≡_k v`` decision (``ef.equivalence`` as a task)."""
+    from repro.ef.equivalence import equiv_k
+
+    return {
+        "w": w,
+        "v": v,
+        "k": k,
+        "equivalent": equiv_k(w, v, k, alphabet),
+    }
+
+
+def distinguishing_rank(
+    w: str, v: str, max_k: int = 3, alphabet: str | None = None
+) -> dict[str, Any]:
+    """Least separating rank up to ``max_k`` (None if equivalent)."""
+    from repro.ef.equivalence import distinguishing_rank as _rank
+
+    return {
+        "w": w,
+        "v": v,
+        "max_k": max_k,
+        "rank": _rank(w, v, max_k, alphabet),
+    }
+
+
+def solver_openings(
+    w: str, v: str, alphabet: str, k: int, side: str = "A"
+) -> dict[str, Any]:
+    """``ef.solver`` as a task: Duplicator's winning responses to every
+    opening Spoiler move on the given side (None = the move wins for
+    Spoiler)."""
+    from repro.ef.equivalence import solver_for
+    from repro.ef.game import Move
+
+    solver = solver_for(w, v, alphabet)
+    structure = solver.structure_a if side == "A" else solver.structure_b
+    responses = {}
+    for factor in sorted(structure.universe_factors):
+        response = solver.winning_response(k, frozenset(), Move(side, factor))
+        responses[factor] = response
+    return {"w": w, "v": v, "k": k, "side": side, "responses": responses}
+
+
+def synthesize(w: str, v: str, k: int, alphabet: str) -> dict[str, Any]:
+    """``ef.synthesis`` as a task: a verified separating FC(k) sentence."""
+    from repro.ef.synthesis import (
+        SynthesisFailure,
+        synthesize_distinguishing_sentence,
+    )
+    from repro.fc.display import to_text
+    from repro.fc.semantics import defines_language_member
+    from repro.fc.syntax import quantifier_rank
+
+    try:
+        phi = synthesize_distinguishing_sentence(w, v, k, alphabet)
+    except SynthesisFailure as failure:
+        return {"w": w, "v": v, "k": k, "synthesized": False,
+                "reason": str(failure)}
+    return {
+        "w": w,
+        "v": v,
+        "k": k,
+        "synthesized": True,
+        "formula": to_text(phi),
+        "quantifier_rank": quantifier_rank(phi),
+        "verified": (
+            defines_language_member(w, phi, alphabet)
+            and not defines_language_member(v, phi, alphabet)
+        ),
+    }
+
+
+def serialize_language_report(report: Any) -> dict[str, Any]:
+    """JSON image of a :class:`repro.core.inexpressibility.LanguageReport`."""
+    return {
+        "language": report.language,
+        "paper_ref": report.paper_ref,
+        "memberships_ok": report.memberships_ok,
+        "bounded": report.bounded,
+        "verdict": report.verdict,
+        "equivalences": {str(k): v for k, v in report.equivalences.items()},
+        "pairs": [
+            {
+                "k": pair.k,
+                "member": pair.member,
+                "foil": pair.foil,
+                "p": pair.p,
+                "q": pair.q,
+                "required_unary_rank": pair.required_unary_rank,
+                "certified_unary_rank": pair.certified_unary_rank,
+            }
+            for pair in report.pairs
+        ],
+    }
+
+
+def witness_report(
+    name: str,
+    ranks: list[int] | None = None,
+    verify_equivalence_up_to: int = 1,
+) -> dict[str, Any]:
+    """``core.witnesses`` as a task: the full Lemma 4.14 evidence chain
+    for one language family."""
+    from repro.core.inexpressibility import language_report
+
+    report = language_report(
+        name,
+        ranks=tuple(ranks) if ranks is not None else (0, 1),
+        verify_equivalence_up_to=verify_equivalence_up_to,
+    )
+    return serialize_language_report(report)
+
+
+def relation_agreement(name: str, max_length: int = 7) -> dict[str, Any]:
+    """Theorem 5.8 reduction check for one relation."""
+    from repro.core.inexpressibility import relation_report
+
+    report = relation_report(name, max_length=max_length)
+    return {
+        "relation": report.relation,
+        "target_language": report.target_language,
+        "reduction_agrees": report.reduction_agrees,
+        "first_disagreement": report.first_disagreement,
+        "note": report.note,
+        "max_length": max_length,
+    }

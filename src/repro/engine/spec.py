@@ -1,0 +1,165 @@
+"""Declarative task specifications and the task registry.
+
+A :class:`TaskSpec` describes one pure computation: a dotted path to a
+module-level function, a JSON-canonicalisable argument mapping, and a
+``deps`` mapping that wires the *results* of other tasks into named
+parameters of the function.  Specs never hold live objects, so they can
+cross process boundaries and hash stably into cache keys.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+__all__ = [
+    "TaskRegistry",
+    "TaskSpec",
+    "canonical_json",
+    "resolve_function",
+]
+
+
+def canonical_json(value: Any) -> str:
+    """Serialise ``value`` to a canonical JSON string.
+
+    Sorted keys and tight separators make the encoding unique per value,
+    which is what the cache keys hash.  Raises ``TypeError`` for values
+    that are not JSON-representable — task arguments must be.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
+
+
+def resolve_function(path: str) -> Callable[..., Any]:
+    """Import the module-level callable named by ``path``.
+
+    Accepts ``pkg.mod:func`` or ``pkg.mod.func``; the latter splits on
+    the last dot.
+    """
+    if ":" in path:
+        module_name, _, attr = path.partition(":")
+    else:
+        module_name, _, attr = path.rpartition(".")
+    if not module_name or not attr:
+        raise ValueError(f"not a dotted function path: {path!r}")
+    module = importlib.import_module(module_name)
+    try:
+        fn = getattr(module, attr)
+    except AttributeError as exc:
+        raise ValueError(f"{module_name!r} has no attribute {attr!r}") from exc
+    if not callable(fn):
+        raise ValueError(f"{path!r} resolves to a non-callable")
+    return fn
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One declarative task of the experiment DAG.
+
+    ``fn`` is a dotted path so the spec itself stays picklable and
+    hashable; ``args`` are keyword arguments passed verbatim; ``deps``
+    maps *parameter names* to the task names whose results are injected
+    under those parameters.  ``version`` is the per-task code-version
+    salt — bump it when the wrapped computation changes meaning, and
+    every cached record for the task (and its dependents) is invalidated
+    without touching the cache directory.
+    """
+
+    name: str
+    fn: str
+    args: Mapping[str, Any] = field(default_factory=dict)
+    deps: Mapping[str, str] = field(default_factory=dict)
+    version: str = "1"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        object.__setattr__(self, "args", dict(self.args))
+        object.__setattr__(self, "deps", dict(self.deps))
+        canonical_json(self.args)  # fail fast on unhashable arguments
+        overlap = set(self.args) & set(self.deps)
+        if overlap:
+            raise ValueError(
+                f"task {self.name!r}: parameters {sorted(overlap)} are both "
+                "literal args and dependency injections"
+            )
+
+    @property
+    def dep_tasks(self) -> tuple[str, ...]:
+        """The names of the tasks this one depends on (sorted, unique)."""
+        return tuple(sorted(set(self.deps.values())))
+
+    def canonical_args(self) -> str:
+        return canonical_json(self.args)
+
+    def resolve(self) -> Callable[..., Any]:
+        return resolve_function(self.fn)
+
+
+class TaskRegistry:
+    """A name-keyed collection of :class:`TaskSpec` objects."""
+
+    def __init__(self, specs: Iterator[TaskSpec] | None = None) -> None:
+        self._specs: dict[str, TaskSpec] = {}
+        for spec in specs or ():
+            self.register(spec)
+
+    def register(self, spec: TaskSpec) -> TaskSpec:
+        if spec.name in self._specs:
+            raise ValueError(f"duplicate task name: {spec.name!r}")
+        self._specs[spec.name] = spec
+        return spec
+
+    def add(
+        self,
+        name: str,
+        fn: str,
+        *,
+        args: Mapping[str, Any] | None = None,
+        deps: Mapping[str, str] | None = None,
+        version: str = "1",
+        description: str = "",
+    ) -> TaskSpec:
+        return self.register(
+            TaskSpec(name, fn, args or {}, deps or {}, version, description)
+        )
+
+    def get(self, name: str) -> TaskSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(f"unknown task: {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._specs)
+
+    def specs(self) -> dict[str, TaskSpec]:
+        return dict(self._specs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[TaskSpec]:
+        for name in self.names():
+            yield self._specs[name]
+
+    def closure(self, names: Iterator[str]) -> dict[str, TaskSpec]:
+        """The requested tasks plus every transitive dependency."""
+        selected: dict[str, TaskSpec] = {}
+        stack = list(names)
+        while stack:
+            name = stack.pop()
+            if name in selected:
+                continue
+            spec = self.get(name)
+            selected[name] = spec
+            stack.extend(spec.dep_tasks)
+        return selected

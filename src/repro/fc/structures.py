@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterable
 
+from repro.engine import cachestats
 from repro.words.factors import factors
 
 __all__ = ["BOTTOM", "Bottom", "WordStructure", "word_structure"]
@@ -238,3 +239,6 @@ def word_structure(word: str, alphabet: str) -> WordStructure:
     over and over; caching keeps the factor sets shared.
     """
     return WordStructure(word, alphabet)
+
+
+cachestats.register("fc.structures.word_structure", word_structure)

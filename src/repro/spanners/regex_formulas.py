@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro.engine import cachestats
 from repro.spanners.spans import Span
 
 __all__ = [
@@ -344,3 +345,8 @@ def parse_regex_formula(pattern: str) -> RegexFormula:
     everything else follows ordinary regex syntax.
     """
     return _FormulaParser(pattern).parse()
+
+
+cachestats.register(
+    "spanners.regex_formulas.parse_regex_formula", parse_regex_formula
+)

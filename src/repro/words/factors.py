@@ -15,6 +15,8 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Iterable, Iterator
 
+from repro.engine import cachestats
+
 __all__ = [
     "factors",
     "iter_factors",
@@ -60,6 +62,9 @@ def factors(word: str) -> frozenset[str]:
     factor sets of the same handful of words.
     """
     return frozenset(iter_factors(word))
+
+
+cachestats.register("words.factors.factors", factors)
 
 
 def prefixes(word: str) -> list[str]:

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from repro.engine import cachestats
+
 __all__ = [
     "fibonacci_word",
     "fibonacci_words",
@@ -38,6 +40,9 @@ def fibonacci_word(n: int) -> str:
     if n == 1:
         return "ab"
     return fibonacci_word(n - 1) + fibonacci_word(n - 2)
+
+
+cachestats.register("words.fibonacci.fibonacci_word", fibonacci_word)
 
 
 def fibonacci_words(count: int) -> list[str]:

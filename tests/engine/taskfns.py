@@ -1,0 +1,39 @@
+"""Tiny module-level task functions for the engine tests.
+
+They live in an importable module (not a test file) because the engine
+resolves tasks from dotted paths — including inside worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def const(value: Any) -> Any:
+    return value
+
+
+def double(n: int) -> int:
+    return 2 * n
+
+
+def add(x: int, y: int) -> int:
+    return x + y
+
+
+def combine(left: Any, right: Any) -> dict[str, Any]:
+    return {"left": left, "right": right}
+
+
+def tupled() -> Any:
+    # Tuples and int dict keys only exist pre-roundtrip; the engine must
+    # normalise them to their JSON image (lists / string keys).
+    return {"pair": (1, 2), "table": {3: "c"}}
+
+
+def boom() -> None:
+    raise RuntimeError("intentional failure")
+
+
+def not_json() -> Any:
+    return {1, 2, 3}

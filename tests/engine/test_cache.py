@@ -1,0 +1,120 @@
+"""Cache round-trip, key sensitivity, and invalidation semantics."""
+
+import json
+
+import pytest
+
+from repro.engine import ENGINE_SALT, ResultCache, TaskSpec
+
+FN = "tests.engine.taskfns:const"
+
+
+def _spec(**overrides):
+    defaults = {"name": "t", "fn": FN, "args": {"value": 1}}
+    defaults.update(overrides)
+    return TaskSpec(**defaults)
+
+
+def test_key_is_stable():
+    cache = ResultCache(root="unused")
+    assert cache.key_for(_spec()) == cache.key_for(_spec())
+
+
+@pytest.mark.parametrize(
+    "changed",
+    [
+        {"args": {"value": 2}},
+        {"name": "other"},
+        {"version": "2"},
+    ],
+)
+def test_key_changes_with_inputs(changed):
+    cache = ResultCache(root="unused")
+    assert cache.key_for(_spec()) != cache.key_for(_spec(**changed))
+
+
+def test_key_changes_with_salt_and_dep_keys():
+    base = ResultCache(root="unused")
+    salted = ResultCache(root="unused", salt=ENGINE_SALT + "-bumped")
+    spec = _spec()
+    assert base.key_for(spec) != salted.key_for(spec)
+    assert base.key_for(spec) != base.key_for(spec, {"param": "abc123"})
+    assert base.key_for(spec, {"param": "abc123"}) != base.key_for(
+        spec, {"param": "def456"}
+    )
+
+
+def test_description_does_not_affect_key():
+    cache = ResultCache(root="unused")
+    assert cache.key_for(_spec()) == cache.key_for(
+        _spec(description="cosmetic")
+    )
+
+
+def test_store_load_round_trip(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    spec = _spec()
+    key = cache.key_for(spec)
+    record = {"task": "t", "status": "ok", "result": {"value": 1}}
+
+    assert cache.load(key) is None  # cold
+    cache.store(key, record)
+    loaded = cache.load(key)
+
+    assert loaded is not None
+    assert loaded["result"] == {"value": 1}
+    assert loaded["key"] == key
+    assert cache.stats.as_dict() == {
+        "hits": 1,
+        "misses": 1,
+        "stores": 1,
+        "bypassed": 0,
+        "errors": 0,
+        "hit_rate": 0.5,
+    }
+
+
+def test_version_bump_invalidates(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    cache.store(cache.key_for(_spec()), {"status": "ok", "result": 1})
+    assert cache.load(cache.key_for(_spec(version="2"))) is None
+    assert cache.load(cache.key_for(_spec())) is not None
+
+
+def test_corrupt_record_is_a_counted_miss(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    key = cache.key_for(_spec())
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True)
+    path.write_text("{not json", encoding="utf-8")
+    assert cache.load(key) is None
+    # A record whose embedded key mismatches is rejected too.
+    path.write_text(json.dumps({"key": "wrong", "status": "ok"}))
+    assert cache.load(key) is None
+    assert cache.stats.errors == 2
+    assert cache.stats.misses == 2
+
+
+def test_disabled_cache_bypasses(tmp_path):
+    cache = ResultCache(root=tmp_path, enabled=False)
+    key = cache.key_for(_spec())
+    cache.store(key, {"status": "ok", "result": 1})
+    assert cache.load(key) is None
+    assert not any(tmp_path.rglob("*.json"))
+    assert cache.stats.bypassed == 1
+    assert cache.stats.stores == 0
+
+
+def test_clear_removes_all_records(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    for value in range(3):
+        spec = _spec(args={"value": value})
+        cache.store(cache.key_for(spec), {"status": "ok", "result": value})
+    assert cache.clear() == 3
+    assert cache.load(cache.key_for(_spec(args={"value": 0}))) is None
+
+
+def test_paths_are_sharded(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    key = cache.key_for(_spec())
+    assert cache.path_for(key) == tmp_path / key[:2] / f"{key}.json"

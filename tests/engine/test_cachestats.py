@@ -1,0 +1,83 @@
+"""The shared lru_cache instrumentation registry."""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.engine import cachestats
+
+
+@pytest.fixture
+def scoped_cache():
+    """A registered lru_cache that is unregistered again afterwards."""
+
+    @lru_cache(maxsize=8)
+    def square(n: int) -> int:
+        return n * n
+
+    name = "tests.square"
+    cachestats.register(name, square)
+    yield name, square
+    cachestats._REGISTRY.pop(name, None)
+
+
+def test_snapshot_and_diff(scoped_cache):
+    name, square = scoped_cache
+    square.cache_clear()
+    before = cachestats.snapshot()
+    square(2)
+    square(2)
+    square(3)
+    delta = cachestats.diff(before, cachestats.snapshot())
+    assert delta[name] == {"hits": 1, "misses": 2, "currsize": 2}
+
+
+def test_diff_omits_inactive_caches(scoped_cache):
+    name, square = scoped_cache
+    before = cachestats.snapshot()
+    assert name not in cachestats.diff(before, cachestats.snapshot())
+
+
+def test_register_is_idempotent_for_same_fn(scoped_cache):
+    name, square = scoped_cache
+    cachestats.register(name, square)  # same function: fine
+
+    @lru_cache(maxsize=2)
+    def other(n: int) -> int:
+        return n
+
+    with pytest.raises(ValueError, match="already registered"):
+        cachestats.register(name, other)
+
+
+def test_register_requires_cache_info():
+    with pytest.raises(TypeError):
+        cachestats.register("tests.plain", lambda n: n)
+
+
+def test_aggregate_totals(scoped_cache):
+    name, square = scoped_cache
+    square.cache_clear()
+    square(5)
+    square(5)
+    totals = cachestats.aggregate()
+    assert totals["hits"] >= 1
+    assert totals["misses"] >= 1
+
+
+def test_real_sites_are_registered():
+    # Importing the instrumented modules registers their caches.
+    import repro.ef.equivalence  # noqa: F401
+    import repro.fc.structures  # noqa: F401
+    import repro.spanners.regex_formulas  # noqa: F401
+    import repro.words.factors  # noqa: F401
+    import repro.words.fibonacci  # noqa: F401
+
+    names = set(cachestats.registered_names())
+    assert {
+        "ef.equivalence.solver_for",
+        "fc.structures.word_structure",
+        "words.factors.factors",
+        "words.fibonacci.fibonacci_word",
+        "spanners.regex_formulas.parse_regex_formula",
+    } <= names

@@ -1,0 +1,82 @@
+"""DAG validation, deterministic topological order, and closures."""
+
+import pytest
+
+from repro.engine import (
+    DependencyCycleError,
+    MissingDependencyError,
+    TaskRegistry,
+    TaskSpec,
+    topological_order,
+    validate_dag,
+)
+from repro.engine.dag import dependents_of
+
+FN = "tests.engine.taskfns:const"
+
+
+def _diamond():
+    return {
+        "root": TaskSpec("root", FN, {"value": 0}),
+        "left": TaskSpec("left", FN, deps={"value": "root"}),
+        "right": TaskSpec("right", FN, deps={"value": "root"}),
+        "sink": TaskSpec(
+            "sink", "tests.engine.taskfns:combine",
+            deps={"left": "left", "right": "right"},
+        ),
+    }
+
+
+def test_topological_order_respects_dependencies():
+    order = topological_order(_diamond())
+    position = {name: i for i, name in enumerate(order)}
+    assert position["root"] < position["left"]
+    assert position["root"] < position["right"]
+    assert position["left"] < position["sink"]
+    assert position["right"] < position["sink"]
+
+
+def test_topological_order_is_deterministic():
+    specs = _diamond()
+    shuffled = dict(reversed(list(specs.items())))
+    assert topological_order(specs) == topological_order(shuffled)
+    # Ready tasks come out sorted, so the diamond has exactly one order.
+    assert topological_order(specs) == ["root", "left", "right", "sink"]
+
+
+def test_missing_dependency_is_rejected():
+    specs = {"a": TaskSpec("a", FN, deps={"value": "ghost"})}
+    with pytest.raises(MissingDependencyError):
+        validate_dag(specs)
+
+
+def test_cycle_is_rejected():
+    specs = {
+        "a": TaskSpec("a", FN, deps={"value": "b"}),
+        "b": TaskSpec("b", FN, deps={"value": "a"}),
+    }
+    with pytest.raises(DependencyCycleError):
+        topological_order(specs)
+    with pytest.raises(DependencyCycleError):
+        validate_dag({"a": TaskSpec("a", FN, deps={"value": "a"})})
+
+
+def test_dependents_reverse_edges():
+    reverse = dependents_of(_diamond())
+    assert reverse["root"] == {"left", "right"}
+    assert reverse["sink"] == set()
+
+
+def test_registry_closure_pulls_transitive_deps():
+    registry = TaskRegistry(iter(_diamond().values()))
+    assert set(registry.closure(["sink"])) == {"root", "left", "right", "sink"}
+    assert set(registry.closure(["left"])) == {"root", "left"}
+
+
+def test_registry_rejects_duplicates_and_arg_dep_overlap():
+    registry = TaskRegistry()
+    registry.add("a", FN, args={"value": 1})
+    with pytest.raises(ValueError, match="duplicate"):
+        registry.add("a", FN)
+    with pytest.raises(ValueError, match="both"):
+        TaskSpec("bad", FN, args={"value": 1}, deps={"value": "a"})

@@ -1,0 +1,159 @@
+"""Scheduler semantics: dep injection, isolation, caching, parallelism."""
+
+import pytest
+
+from repro.engine import ResultCache, TaskRegistry, run_tasks
+
+TASKFNS = "tests.engine.taskfns"
+
+
+def _registry() -> TaskRegistry:
+    registry = TaskRegistry()
+    registry.add("base", f"{TASKFNS}:const", args={"value": 21})
+    registry.add("doubled", f"{TASKFNS}:double", deps={"n": "base"})
+    registry.add(
+        "summed", f"{TASKFNS}:add", args={"y": 8}, deps={"x": "doubled"}
+    )
+    registry.add("loner", f"{TASKFNS}:const", args={"value": "solo"})
+    return registry
+
+
+def _stable(report):
+    """The deterministic projection of a report's records."""
+    return [
+        (r["task"], r["status"], r["result"]) for r in report.records
+    ]
+
+
+def test_jobs1_runs_in_order_and_injects_deps(tmp_path):
+    seen = []
+    report = run_tasks(
+        _registry(),
+        jobs=1,
+        cache=ResultCache(root=tmp_path),
+        on_record=lambda record: seen.append(record["task"]),
+    )
+    assert report.ok
+    assert report.record_for("doubled")["result"] == 42
+    assert report.record_for("summed")["result"] == 50
+    # Records come back sorted by name; completion order is topological.
+    assert [r["task"] for r in report.records] == sorted(seen)
+    assert seen.index("base") < seen.index("doubled") < seen.index("summed")
+    assert all(r["cache"] == "miss" for r in report.records)
+    assert report.record_for("summed")["wall_time_s"] >= 0
+
+
+def test_failure_isolation_and_dependent_skipping(tmp_path):
+    registry = TaskRegistry()
+    registry.add("fails", f"{TASKFNS}:boom")
+    registry.add("downstream", f"{TASKFNS}:double", deps={"n": "fails"})
+    registry.add("unrelated", f"{TASKFNS}:const", args={"value": 7})
+    report = run_tasks(registry, jobs=1, cache=ResultCache(root=tmp_path))
+
+    assert not report.ok
+    assert report.counts() == {"ok": 1, "error": 1, "skipped": 1}
+    failed = report.record_for("fails")
+    assert failed["error"]["type"] == "RuntimeError"
+    assert "intentional failure" in failed["error"]["message"]
+    skipped = report.record_for("downstream")
+    assert skipped["status"] == "skipped"
+    assert "fails" in skipped["error"]["message"]
+    assert report.record_for("unrelated")["result"] == 7
+
+
+def test_error_records_are_not_cached(tmp_path):
+    registry = TaskRegistry()
+    registry.add("fails", f"{TASKFNS}:boom")
+    run_tasks(registry, jobs=1, cache=ResultCache(root=tmp_path))
+    rerun = run_tasks(registry, jobs=1, cache=ResultCache(root=tmp_path))
+    assert rerun.record_for("fails")["cache"] == "miss"
+
+
+def test_non_json_result_is_an_error_not_a_crash(tmp_path):
+    registry = TaskRegistry()
+    registry.add("bad", f"{TASKFNS}:not_json")
+    report = run_tasks(registry, jobs=1, cache=ResultCache(root=tmp_path))
+    assert report.record_for("bad")["status"] == "error"
+    assert report.record_for("bad")["error"]["type"] == "TypeError"
+
+
+def test_results_are_json_normalised(tmp_path):
+    registry = TaskRegistry()
+    registry.add("tupled", f"{TASKFNS}:tupled")
+    report = run_tasks(registry, jobs=1, cache=ResultCache(root=tmp_path))
+    assert report.record_for("tupled")["result"] == {
+        "pair": [1, 2],
+        "table": {"3": "c"},
+    }
+
+
+def test_warm_run_hits_with_identical_payloads(tmp_path):
+    cold = run_tasks(_registry(), jobs=1, cache=ResultCache(root=tmp_path))
+    warm = run_tasks(_registry(), jobs=1, cache=ResultCache(root=tmp_path))
+    assert warm.ok
+    assert all(r["cache"] == "hit" for r in warm.records)
+    assert warm.cache["hits"] == len(warm.records)
+    assert warm.cache["hit_rate"] == 1.0
+    assert _stable(cold) == _stable(warm)
+
+
+def test_version_bump_reruns_task_and_dependents(tmp_path):
+    run_tasks(_registry(), jobs=1, cache=ResultCache(root=tmp_path))
+    bumped = TaskRegistry()
+    bumped.add("base", f"{TASKFNS}:const", args={"value": 21}, version="2")
+    bumped.add("doubled", f"{TASKFNS}:double", deps={"n": "base"})
+    bumped.add(
+        "summed", f"{TASKFNS}:add", args={"y": 8}, deps={"x": "doubled"}
+    )
+    bumped.add("loner", f"{TASKFNS}:const", args={"value": "solo"})
+    report = run_tasks(bumped, jobs=1, cache=ResultCache(root=tmp_path))
+    # The bumped task misses, and the new dependency keys cascade
+    # Merkle-style through its consumers; the unrelated task still hits.
+    assert report.record_for("base")["cache"] == "miss"
+    assert report.record_for("doubled")["cache"] == "miss"
+    assert report.record_for("summed")["cache"] == "miss"
+    assert report.record_for("loner")["cache"] == "hit"
+
+
+def test_no_cache_bypasses(tmp_path):
+    cache = ResultCache(root=tmp_path, enabled=False)
+    report = run_tasks(_registry(), jobs=1, cache=cache)
+    assert report.ok
+    assert all(r["cache"] == "bypass" for r in report.records)
+    assert report.cache["bypassed"] == len(report.records)
+    assert not any(tmp_path.rglob("*.json"))
+
+
+def test_only_restricts_to_dependency_closure(tmp_path):
+    report = run_tasks(
+        _registry(),
+        jobs=1,
+        cache=ResultCache(root=tmp_path),
+        only=["doubled"],
+    )
+    assert {r["task"] for r in report.records} == {"base", "doubled"}
+
+
+def test_parallel_run_matches_serial(tmp_path):
+    serial = run_tasks(
+        _registry(), jobs=1, cache=ResultCache(root=tmp_path / "serial")
+    )
+    parallel = run_tasks(
+        _registry(), jobs=2, cache=ResultCache(root=tmp_path / "parallel")
+    )
+    assert parallel.jobs == 2
+    assert _stable(serial) == _stable(parallel)
+
+
+def test_parallel_failure_isolation(tmp_path):
+    registry = TaskRegistry()
+    registry.add("fails", f"{TASKFNS}:boom")
+    registry.add("downstream", f"{TASKFNS}:double", deps={"n": "fails"})
+    registry.add("unrelated", f"{TASKFNS}:const", args={"value": 7})
+    report = run_tasks(registry, jobs=2, cache=ResultCache(root=tmp_path))
+    assert report.counts() == {"ok": 1, "error": 1, "skipped": 1}
+
+
+def test_jobs_must_be_positive(tmp_path):
+    with pytest.raises(ValueError):
+        run_tasks(_registry(), jobs=0, cache=ResultCache(root=tmp_path))
