@@ -18,6 +18,12 @@ Commands:
                                the parallel engine with the
                                content-addressed result cache
                                (see repro.engine)
+* ``lint [--rule NAME] [--json PATH] [--baseline [PATH]]``
+                             — run the invariant lint suite (dispatch
+                               exhaustiveness, cache soundness,
+                               determinism, lru_cache purity, import
+                               layering, frozen-AST discipline; see
+                               repro.analysis)
 """
 
 from __future__ import annotations
@@ -175,6 +181,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return cmd_run(args)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import cmd_lint
+
+    return cmd_lint(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -216,9 +228,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     certify.add_argument("path", nargs="?", default=None)
 
+    from repro.analysis.cli import add_lint_parser
     from repro.engine.cli import add_run_parser
 
     add_run_parser(commands)
+    add_lint_parser(commands)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -231,6 +245,7 @@ def main(argv: list[str] | None = None) -> int:
         "eval": _cmd_eval,
         "certify": _cmd_certify,
         "run": _cmd_run,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,51 @@
+"""repro.analysis — the invariant lint suite.
+
+The reproduction's correctness rests on conventions that ordinary
+linters cannot see: frozen AST nodes dispatched by ``isinstance``
+chains, a content-addressed result cache whose soundness depends on
+per-task ``version`` salts tracking function source, bit-deterministic
+solver output, and a strict import-layering DAG.  This package turns
+those implicit proof-lab invariants into machine-checked ones:
+
+* :mod:`repro.analysis.framework`   — source loader, class graph,
+  :class:`Finding` records, inline suppressions, baselines, the runner;
+* :mod:`repro.analysis.dispatch`    — dispatch-exhaustiveness over the
+  FC / FO[EQ] / spanner / regex-formula node hierarchies;
+* :mod:`repro.analysis.cachesound`  — every registered engine task's
+  dotted path must resolve and its ``version`` must match the recorded
+  source hash in ``versions.lock``;
+* :mod:`repro.analysis.determinism` — no wall-clock, unseeded
+  randomness, environment reads, ``id()`` logic or raw set iteration in
+  solver/engine modules;
+* :mod:`repro.analysis.purity`      — ``lru_cache`` sites must be pure
+  (no mutable defaults, no ``global``/``nonlocal``, no closures);
+* :mod:`repro.analysis.layering`    — the package import DAG
+  ``words → {fc, fcreg} → {ef, foeq} → {spanners, semilinear} → core →
+  engine`` with no upward imports;
+* :mod:`repro.analysis.frozen`      — AST node discipline: syntax-module
+  dataclasses are ``frozen=True`` with hashable field types;
+* :mod:`repro.analysis.cli`         — the ``python -m repro lint``
+  command and the CI gate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.framework import (
+    Checker,
+    Codebase,
+    Finding,
+    LintConfig,
+    all_checkers,
+    default_config,
+    run_checkers,
+)
+
+__all__ = [
+    "Checker",
+    "Codebase",
+    "Finding",
+    "LintConfig",
+    "all_checkers",
+    "default_config",
+    "run_checkers",
+]

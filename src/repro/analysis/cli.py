@@ -1,0 +1,171 @@
+"""The ``python -m repro lint`` command.
+
+Runs the invariant checkers over the source tree and reports findings
+with file:line anchors.  Exit status: 0 when every finding is baselined
+or suppressed inline, 1 when new findings exist (this is the CI gate),
+2 on usage errors.
+
+Maintenance verbs:
+
+* ``--update-lock``     regenerate ``versions.lock`` after intentionally
+                        changing an engine task (refuses to paper over a
+                        source change without a version bump);
+* ``--write-baseline``  accept the current findings as the baseline;
+* ``--list-rules``      show every rule with its one-line contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.framework import (
+    all_checkers,
+    apply_baseline,
+    default_config,
+    load_baseline,
+    run_checkers,
+    write_baseline,
+)
+
+__all__ = ["add_lint_parser", "cmd_lint"]
+
+
+def add_lint_parser(commands: argparse._SubParsersAction) -> None:
+    lint = commands.add_parser(
+        "lint",
+        help="run the invariant lint suite",
+        description=(
+            "Machine-check the repo's structural invariants: dispatch "
+            "exhaustiveness, cache-version soundness, determinism, "
+            "lru_cache purity, import layering, and frozen-AST "
+            "discipline."
+        ),
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this rule (repeatable; see --list-rules)",
+    )
+    lint.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="also write a machine-readable report to PATH",
+    )
+    lint.add_argument(
+        "--baseline",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help=(
+            "tolerate findings recorded in the baseline file (default "
+            "path: src/repro/analysis/baseline.json)"
+        ),
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the accepted baseline",
+    )
+    lint.add_argument(
+        "--update-lock",
+        action="store_true",
+        help="regenerate the cache-soundness versions.lock",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+
+
+def _default_baseline_path(config) -> Path:
+    return config.src_root / config.package / "analysis" / "baseline.json"
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    config = default_config()
+
+    if args.list_rules:
+        for checker in all_checkers():
+            print(f"{checker.name:<24s} {checker.description}")
+        return 0
+
+    if args.update_lock:
+        from repro.analysis.cachesound import update_lock
+
+        outcome = update_lock(config)
+        if not outcome["written"]:
+            print(
+                "refusing to update versions.lock: these tasks changed "
+                "source without a version bump:",
+                file=sys.stderr,
+            )
+            for name in outcome["needs_bump"]:
+                print(f"  {name}", file=sys.stderr)
+            print(
+                "bump each task's version in the registry first.",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"versions.lock updated at {config.resolved_lock_path()}")
+        return 0
+
+    try:
+        active, suppressed = run_checkers(config, rules=args.rule)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    baseline_path = _default_baseline_path(config)
+    if args.baseline:  # explicit path given
+        baseline_path = Path(args.baseline)
+
+    if args.write_baseline:
+        write_baseline(baseline_path, active)
+        print(f"baseline with {len(active)} finding(s) → {baseline_path}")
+        return 0
+
+    fingerprints = (
+        load_baseline(baseline_path)
+        if args.baseline is not None or baseline_path.exists()
+        else set()
+    )
+    new, baselined = apply_baseline(active, fingerprints)
+
+    for finding in new:
+        print(finding.render())
+    ran = args.rule or [checker.name for checker in all_checkers()]
+    summary = (
+        f"{len(new)} finding(s), {len(baselined)} baselined, "
+        f"{len(suppressed)} suppressed inline "
+        f"({len(ran)} rule(s) over {config.src_root / config.package})"
+    )
+    print(("FAIL: " if new else "ok: ") + summary)
+
+    if args.json_path:
+        payload = {
+            "findings": [f.to_json_dict() for f in new],
+            "baselined": [f.to_json_dict() for f in baselined],
+            "suppressed": [f.to_json_dict() for f in suppressed],
+            "summary": {
+                "findings": len(new),
+                "baselined": len(baselined),
+                "suppressed": len(suppressed),
+                "rules": sorted(ran),
+            },
+        }
+        Path(args.json_path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"lint report written to {args.json_path}")
+
+    return 1 if new else 0

@@ -1,0 +1,208 @@
+"""Determinism: solver and engine modules must be bit-reproducible.
+
+The exact EF-game solver is the paper's core tool; witness search,
+synthesis certificates and the engine's content-addressed cache are only
+trustworthy if the same inputs always produce byte-identical payloads.
+Inside the configured packages (``ef`` and ``engine`` by default) this
+rule flags the classic nondeterminism sources:
+
+* wall-clock reads — ``time.time``/``time.time_ns``/``time.ctime``,
+  ``datetime.now``/``utcnow``/``today`` (``perf_counter``/``monotonic``
+  are allowed: they only feed timing *metadata*, never cache keys);
+* unseeded randomness — bare ``random.<fn>()`` module calls and
+  ``random.Random()`` without a seed (``random.Random(0)`` is fine);
+* environment reads — ``os.environ`` / ``os.getenv`` (configuration
+  belongs at the CLI boundary; suppress with a reason where a read is
+  genuinely config-only);
+* ``id()``-dependent logic — CPython address ordering leaks into output;
+* iteration over freshly built ``set(...)``/``frozenset(...)`` values or
+  set literals — hash randomisation makes the order vary across
+  processes unless the iteration is wrapped in ``sorted``/an
+  order-insensitive reducer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Checker, Codebase, Finding, LintConfig
+
+__all__ = ["DeterminismChecker"]
+
+_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "ctime"),
+    ("time", "localtime"),
+    ("time", "gmtime"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+    ("uuid", "uuid1"),
+    ("uuid", "uuid4"),
+}
+
+_RANDOM_FUNCTIONS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "getrandbits", "randbytes", "betavariate",
+}
+
+# Wrapping one of these around a set makes iteration order irrelevant.
+_ORDER_INSENSITIVE = {
+    "sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset",
+    "bool",
+}
+
+
+def _attr_call(node: ast.Call) -> tuple[str, str] | None:
+    """(object name, attribute) for ``name.attr(...)`` calls."""
+    if isinstance(node.func, ast.Attribute) and isinstance(
+        node.func.value, ast.Name
+    ):
+        return node.func.value.id, node.func.attr
+    return None
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    """Syntactically a freshly built set/frozenset value."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    )
+
+
+class DeterminismChecker(Checker):
+    name = "determinism"
+    description = (
+        "no wall-clock, unseeded randomness, environment reads, id() "
+        "logic, or unsorted set iteration in solver/engine modules"
+    )
+
+    def check(
+        self, codebase: Codebase, config: LintConfig
+    ) -> Iterator[Finding]:
+        for module in codebase.iter_modules(config.determinism_prefixes):
+            ordered_parents = self._order_insensitive_parents(module.tree)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    yield from self._check_call(codebase, module, node)
+                yield from self._check_set_iteration(
+                    codebase, module, node, ordered_parents
+                )
+                if isinstance(node, ast.Attribute) and (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id == "os"
+                    and node.attr == "environ"
+                ):
+                    yield self.finding(
+                        codebase,
+                        module,
+                        node.lineno,
+                        "os.environ read in a deterministic module",
+                        hint=(
+                            "thread configuration through function "
+                            "arguments from the CLI boundary, or suppress "
+                            "with a reason if the value cannot reach any "
+                            "returned payload"
+                        ),
+                    )
+
+    def _check_call(
+        self, codebase: Codebase, module, node: ast.Call
+    ) -> Iterator[Finding]:
+        pair = _attr_call(node)
+        if pair in _CLOCK_CALLS:
+            yield self.finding(
+                codebase,
+                module,
+                node.lineno,
+                f"wall-clock read {pair[0]}.{pair[1]}() in a deterministic "
+                "module",
+                hint="timestamps belong in CLI-layer reports, not payloads",
+            )
+        elif pair is not None and pair[0] == "random":
+            if pair[1] in _RANDOM_FUNCTIONS:
+                yield self.finding(
+                    codebase,
+                    module,
+                    node.lineno,
+                    f"unseeded module-level random.{pair[1]}() call",
+                    hint="use an explicitly seeded random.Random(seed)",
+                )
+            elif pair[1] == "Random" and not node.args:
+                yield self.finding(
+                    codebase,
+                    module,
+                    node.lineno,
+                    "random.Random() constructed without a seed",
+                    hint="pass an explicit constant seed",
+                )
+        elif pair is not None and pair[0] == "os" and pair[1] == "getenv":
+            yield self.finding(
+                codebase,
+                module,
+                node.lineno,
+                "os.getenv read in a deterministic module",
+                hint="thread configuration through function arguments",
+            )
+        elif (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+            and len(node.args) == 1
+        ):
+            yield self.finding(
+                codebase,
+                module,
+                node.lineno,
+                "id()-dependent logic in a deterministic module",
+                hint="compare/order by value, not by object identity",
+            )
+
+    def _order_insensitive_parents(self, tree: ast.Module) -> set[int]:
+        """ids of set-expressions consumed by order-insensitive callers."""
+        safe: set[int] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_INSENSITIVE
+            ):
+                for argument in node.args:
+                    safe.add(id(argument))
+            elif isinstance(node, ast.Compare):
+                # membership/equality tests do not observe order
+                safe.update(id(c) for c in node.comparators)
+                safe.add(id(node.left))
+        return safe
+
+    def _check_set_iteration(
+        self, codebase: Codebase, module, node: ast.AST, safe: set[int]
+    ) -> Iterator[Finding]:
+        iterables: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iterables.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            if id(node) in safe:  # whole comprehension feeds sorted()/any()/…
+                return
+            iterables.extend(gen.iter for gen in node.generators)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in {"list", "tuple", "enumerate", "iter", "next"}
+        ):
+            iterables.extend(node.args[:1])
+        for candidate in iterables:
+            if _is_set_expression(candidate) and id(candidate) not in safe:
+                yield self.finding(
+                    codebase,
+                    module,
+                    candidate.lineno,
+                    "iteration over a freshly built set: order depends on "
+                    "hash randomisation",
+                    hint="wrap the set in sorted(...) before iterating",
+                )

@@ -1,0 +1,92 @@
+"""Frozen-AST discipline for the syntax modules.
+
+Formula and spanner nodes are used as dict keys, memo-table entries and
+members of frozensets throughout the solver stack, and the engine's
+cache keys hash their reprs.  That only works if every node class is an
+immutable value: a ``@dataclass(frozen=True)`` whose fields are
+hashable.  This rule checks, for every dataclass in the configured
+syntax modules:
+
+* the decorator says ``frozen=True``;
+* no field is annotated with an unhashable container
+  (``list``/``dict``/``set``/``bytearray`` — use ``tuple`` /
+  ``frozenset`` / ``Mapping``-free value types instead).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Checker, Codebase, Finding, LintConfig
+
+__all__ = ["FrozenAstChecker"]
+
+_UNHASHABLE = {"list", "dict", "set", "bytearray", "List", "Dict", "Set"}
+
+
+def _annotation_unhashable(annotation: str) -> bool:
+    """True when the field annotation names an unhashable container."""
+    try:
+        tree = ast.parse(annotation, mode="eval").body
+    except SyntaxError:
+        return False
+    # Unwrap Optional[...] / unions: any unhashable member poisons the type.
+    candidates = [tree]
+    while candidates:
+        node = candidates.pop()
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            candidates.extend([node.left, node.right])
+        elif isinstance(node, ast.Subscript):
+            value = node.value
+            if isinstance(value, ast.Name) and value.id in {
+                "Optional",
+                "Union",
+            }:
+                candidates.append(node.slice)
+            elif isinstance(value, ast.Name) and value.id in _UNHASHABLE:
+                return True
+        elif isinstance(node, ast.Tuple):
+            candidates.extend(node.elts)
+        elif isinstance(node, ast.Name) and node.id in _UNHASHABLE:
+            return True
+    return False
+
+
+class FrozenAstChecker(Checker):
+    name = "frozen-ast"
+    description = (
+        "syntax-module dataclasses must be frozen=True with hashable "
+        "field types"
+    )
+
+    def check(
+        self, codebase: Codebase, config: LintConfig
+    ) -> Iterator[Finding]:
+        syntax_modules = set(config.syntax_modules)
+        for qualname in sorted(codebase.classes()):
+            info = codebase.classes()[qualname]
+            if info.module not in syntax_modules or not info.is_dataclass:
+                continue
+            module = codebase.modules[info.module]
+            if not info.frozen:
+                yield self.finding(
+                    codebase,
+                    module,
+                    info.line,
+                    f"AST node {info.name} is a dataclass without "
+                    "frozen=True",
+                    hint="@dataclass(frozen=True) keeps nodes hashable "
+                    "value objects",
+                )
+            for field_name, annotation, line in info.fields:
+                if _annotation_unhashable(annotation):
+                    yield self.finding(
+                        codebase,
+                        module,
+                        line,
+                        f"AST node {info.name}.{field_name} is annotated "
+                        f"with unhashable type {annotation!r}",
+                        hint="use tuple/frozenset so the node stays "
+                        "hashable",
+                    )

@@ -17,7 +17,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.ef.solver import GameSolver
-from repro.engine import cachestats
+from repro import cachestats
 from repro.fc.structures import word_structure
 
 __all__ = [

@@ -17,9 +17,9 @@ collection efficiently:
   ``jobs=1``, a multiprocessing worker pool otherwise, with per-task
   wall-time metrics, single-task failure isolation and deterministic
   result ordering;
-* :mod:`repro.engine.cachestats` — the registry that routes the
-  in-process ``lru_cache`` statistics of the solver-adjacent modules
-  into engine reports;
+* :mod:`repro.engine.cachestats` — facade over :mod:`repro.cachestats`,
+  the registry that routes the in-process ``lru_cache`` statistics of
+  the solver-adjacent modules into engine reports;
 * :mod:`repro.engine.primitives` — pure, picklable entry points around
   ``ef.solver`` / ``ef.equivalence`` / ``ef.synthesis`` /
   ``core.witnesses``;
@@ -28,9 +28,9 @@ collection efficiently:
 * :mod:`repro.engine.cli`        — the ``python -m repro run`` command.
 
 ``experiments``, ``primitives`` and ``cli`` import the whole solver
-stack, so they are *not* imported here — this module must stay light
-because the instrumented solver modules import
-:mod:`repro.engine.cachestats` at import time.
+stack, so they are *not* imported here — this module must stay light.
+The instrumented solver modules import the layer-free
+:mod:`repro.cachestats` leaf directly at import time.
 """
 
 from __future__ import annotations

@@ -36,6 +36,9 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def default_cache_dir() -> Path:
+    # The value only picks where records live on disk; it never flows into
+    # cache keys or task payloads, so it cannot make results irreproducible.
+    # repro-lint: allow[determinism] config-only env read at the cache boundary
     return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
 
 

@@ -1,18 +1,28 @@
-"""Central registry for in-process ``lru_cache`` statistics.
+"""Backward-compatible facade for :mod:`repro.cachestats`.
 
-The solver stack memoises a handful of hot constructors with
-``functools.lru_cache``.  Those caches are transient (per process) but
-their hit rates explain a large part of the engine's in-process
-performance, so each site registers itself here and the executor samples
-:func:`snapshot` around every task execution to report per-task deltas.
+The lru_cache statistics registry used to live inside the engine
+package, which forced the instrumented low-layer modules (``words``,
+``fc``, ``ef``, ``spanners``) to import *upward* into ``engine`` — an
+inversion of the import layering that ``python -m repro lint`` now
+enforces.  The registry proper moved to the layer-free leaf module
+:mod:`repro.cachestats`; this facade keeps the historical import path
+working for the engine and external callers.
 
-This module must not import anything from :mod:`repro` outside the
-engine package: the instrumented modules import *it* at import time.
+``_REGISTRY`` is re-exported too (same shared dict, not a copy): tests
+reach into it to unregister scoped fixtures.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping
+from repro.cachestats import (  # noqa: F401 — re-exports
+    _REGISTRY,
+    aggregate,
+    clear_all,
+    diff,
+    register,
+    registered_names,
+    snapshot,
+)
 
 __all__ = [
     "aggregate",
@@ -22,80 +32,3 @@ __all__ = [
     "registered_names",
     "snapshot",
 ]
-
-_REGISTRY: dict[str, Callable[..., Any]] = {}
-
-_COUNTER_FIELDS = ("hits", "misses", "currsize")
-
-
-def register(name: str, func: Callable[..., Any]) -> Callable[..., Any]:
-    """Register an ``lru_cache``-wrapped function under ``name``.
-
-    Returns the function unchanged so the call can wrap a definition.
-    Re-registering the same name with the same function is a no-op
-    (modules may be reloaded); a different function is an error.
-    """
-    if not hasattr(func, "cache_info"):
-        raise TypeError(f"{name!r}: object has no cache_info(); not an lru_cache")
-    existing = _REGISTRY.get(name)
-    if existing is not None and existing is not func:
-        raise ValueError(f"cache name already registered: {name!r}")
-    _REGISTRY[name] = func
-    return func
-
-
-def registered_names() -> list[str]:
-    return sorted(_REGISTRY)
-
-
-def snapshot() -> dict[str, dict[str, int | None]]:
-    """Current counters of every registered cache."""
-    result = {}
-    for name in sorted(_REGISTRY):
-        info = _REGISTRY[name].cache_info()
-        result[name] = {
-            "hits": info.hits,
-            "misses": info.misses,
-            "maxsize": info.maxsize,
-            "currsize": info.currsize,
-        }
-    return result
-
-
-def diff(
-    before: Mapping[str, Mapping[str, int | None]],
-    after: Mapping[str, Mapping[str, int | None]],
-) -> dict[str, dict[str, int]]:
-    """Per-cache counter deltas between two snapshots.
-
-    Caches absent from ``before`` count from zero; caches with no
-    activity are omitted so per-task records stay small.
-    """
-    deltas: dict[str, dict[str, int]] = {}
-    for name, now in after.items():
-        was = before.get(name, {})
-        entry = {
-            fieldname: (now.get(fieldname) or 0) - (was.get(fieldname) or 0)
-            for fieldname in _COUNTER_FIELDS
-        }
-        if any(entry[fieldname] for fieldname in ("hits", "misses")):
-            deltas[name] = entry
-    return deltas
-
-
-def aggregate(
-    snap: Mapping[str, Mapping[str, int | None]] | None = None,
-) -> dict[str, int]:
-    """Total hits/misses/residency across all (or the given) caches."""
-    snap = snapshot() if snap is None else snap
-    totals = {fieldname: 0 for fieldname in _COUNTER_FIELDS}
-    for counters in snap.values():
-        for fieldname in _COUNTER_FIELDS:
-            totals[fieldname] += counters.get(fieldname) or 0
-    return totals
-
-
-def clear_all() -> None:
-    """Reset every registered cache (mainly for tests)."""
-    for func in _REGISTRY.values():
-        func.cache_clear()

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import importlib
 import json
+import types
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping
 
@@ -34,25 +35,40 @@ def canonical_json(value: Any) -> str:
     )
 
 
-def resolve_function(path: str) -> Callable[..., Any]:
+def resolve_function(path: str, *, task: str | None = None) -> Callable[..., Any]:
     """Import the module-level callable named by ``path``.
 
     Accepts ``pkg.mod:func`` or ``pkg.mod.func``; the latter splits on
-    the last dot.
+    the last dot.  Raises ``ValueError`` — naming ``task`` when given —
+    if the path is malformed, missing, resolves to a non-callable, or
+    resolves to a bound method (bound methods drag live ``self`` state
+    across the spec boundary, which breaks the pure-task contract).
     """
+    label = f"task {task!r}: " if task else ""
     if ":" in path:
         module_name, _, attr = path.partition(":")
     else:
         module_name, _, attr = path.rpartition(".")
     if not module_name or not attr:
-        raise ValueError(f"not a dotted function path: {path!r}")
+        raise ValueError(f"{label}not a dotted function path: {path!r}")
     module = importlib.import_module(module_name)
     try:
         fn = getattr(module, attr)
     except AttributeError as exc:
-        raise ValueError(f"{module_name!r} has no attribute {attr!r}") from exc
+        raise ValueError(
+            f"{label}{module_name!r} has no attribute {attr!r}"
+        ) from exc
+    if isinstance(fn, types.MethodType):
+        raise ValueError(
+            f"{label}{path!r} resolves to a bound method of "
+            f"{type(fn.__self__).__name__}; specs require module-level "
+            "functions"
+        )
     if not callable(fn):
-        raise ValueError(f"{path!r} resolves to a non-callable")
+        raise ValueError(
+            f"{label}{path!r} resolves to a non-callable "
+            f"{type(fn).__name__}"
+        )
     return fn
 
 
@@ -98,7 +114,7 @@ class TaskSpec:
         return canonical_json(self.args)
 
     def resolve(self) -> Callable[..., Any]:
-        return resolve_function(self.fn)
+        return resolve_function(self.fn, task=self.name)
 
 
 class TaskRegistry:

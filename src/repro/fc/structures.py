@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterable
 
-from repro.engine import cachestats
+from repro import cachestats
 from repro.words.factors import factors
 
 __all__ = ["BOTTOM", "Bottom", "WordStructure", "word_structure"]

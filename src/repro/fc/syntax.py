@@ -375,6 +375,8 @@ def forall_many(variables: list[Var], inner: Formula) -> Formula:
 def subformulas(formula: Formula) -> Iterator[Formula]:
     """Yield ``formula`` and all its subformulas (preorder)."""
     yield formula
+    if isinstance(formula, (Concat, ConcatChain)):
+        return  # atoms (incl. extension atoms below) have no proper subformulas
     if isinstance(formula, Not):
         yield from subformulas(formula.inner)
     elif isinstance(formula, (And, Or, Implies)):

@@ -109,6 +109,8 @@ def regular_constraints_of(formula: Formula) -> list[RegularConstraint]:
             walk(node.right)
         elif isinstance(node, (Exists, Forall)):
             walk(node.inner)
+        else:
+            pass  # plain FC atoms (Concat, ConcatChain) hold no constraints
 
     walk(formula)
     return found

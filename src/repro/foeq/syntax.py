@@ -185,6 +185,8 @@ def _atom_vars(formula: PFormula) -> Iterator[PVar]:
         yield formula.y1
         yield formula.x2
         yield formula.y2
+    else:
+        raise TypeError(f"not an FO[EQ] atom: {formula!r}")
 
 
 def p_free_variables(formula: PFormula) -> frozenset[PVar]:

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro.engine import cachestats
+from repro import cachestats
 from repro.spanners.spans import Span
 
 __all__ = [

@@ -15,7 +15,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Iterable, Iterator
 
-from repro.engine import cachestats
+from repro import cachestats
 
 __all__ = [
     "factors",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from repro.engine import cachestats
+from repro import cachestats
 
 __all__ = [
     "fibonacci_word",

@@ -1,0 +1,30 @@
+"""An importable two-task registry for the cache-soundness tests.
+
+Lives in a real module (not a tmp file) because the checker resolves
+builder and task functions from dotted paths with ``importlib``.
+"""
+
+from __future__ import annotations
+
+from repro.engine.spec import TaskRegistry
+
+
+def successor(value: int) -> int:
+    return value + 1
+
+
+def twice(value: int) -> int:
+    return value * 2
+
+
+def build_registry() -> TaskRegistry:
+    registry = TaskRegistry()
+    registry.add(
+        "T1", "tests.analysis.fixreg:successor", args={"value": 1},
+        version="1",
+    )
+    registry.add(
+        "T2", "tests.analysis.fixreg:twice", deps={"value": "T1"},
+        version="3",
+    )
+    return registry

@@ -1,0 +1,131 @@
+"""Cache soundness: versions.lock must track task function sources."""
+
+import json
+
+from repro.analysis.cachesound import (
+    CacheSoundnessChecker,
+    function_source_hash,
+    load_lock,
+    update_lock,
+    write_lock,
+)
+
+from tests.analysis import fixreg
+from tests.analysis.util import build
+
+
+def make(tmp_path):
+    codebase, config = build(
+        tmp_path,
+        {"fixpkg/low/base.py": "VALUE = 1\n"},
+        registry_builder="tests.analysis.fixreg:build_registry",
+        lock_path=tmp_path / "versions.lock",
+    )
+    return codebase, config
+
+
+def run(codebase, config):
+    return list(CacheSoundnessChecker().check(codebase, config))
+
+
+def test_function_source_hash_is_stable_hex(tmp_path):
+    first = function_source_hash(fixreg.successor)
+    assert first == function_source_hash(fixreg.successor)
+    assert len(first) == 64
+    assert first != function_source_hash(fixreg.twice)
+
+
+def test_missing_lock_entries_are_flagged_at_the_function(tmp_path):
+    codebase, config = make(tmp_path)
+    findings = run(codebase, config)
+    assert sorted(f.message for f in findings) == [
+        "task 'T1' has no versions.lock entry",
+        "task 'T2' has no versions.lock entry",
+    ]
+    t1 = next(f for f in findings if "'T1'" in f.message)
+    assert t1.path.endswith("tests/analysis/fixreg.py")
+    assert t1.line == fixreg.successor.__code__.co_firstlineno
+
+
+def test_update_lock_then_clean(tmp_path):
+    codebase, config = make(tmp_path)
+    outcome = update_lock(config)
+    assert outcome == {"written": True, "needs_bump": []}
+    assert run(codebase, config) == []
+    lock = load_lock(config.resolved_lock_path())
+    assert set(lock) == {"T1", "T2"}
+    assert lock["T1"]["version"] == "1"
+    assert lock["T1"]["source_sha256"] == function_source_hash(
+        fixreg.successor
+    )
+
+
+def test_source_change_without_version_bump_is_flagged(tmp_path):
+    # Simulate "the function changed but the version salt did not":
+    # keep the locked version equal to the registry's, with a stale hash.
+    codebase, config = make(tmp_path)
+    update_lock(config)
+    lock = load_lock(config.resolved_lock_path())
+    lock["T1"]["source_sha256"] = "0" * 64
+    write_lock(config.resolved_lock_path(), lock)
+    findings = run(codebase, config)
+    assert len(findings) == 1
+    finding = findings[0]
+    assert "function source changed but version is still '1'" in (
+        finding.message
+    )
+    assert finding.line == fixreg.successor.__code__.co_firstlineno
+
+
+def test_version_bump_with_stale_lock_asks_for_regeneration(tmp_path):
+    codebase, config = make(tmp_path)
+    update_lock(config)
+    lock = load_lock(config.resolved_lock_path())
+    lock["T2"]["version"] = "2"  # registry says "3": lock is stale
+    write_lock(config.resolved_lock_path(), lock)
+    findings = run(codebase, config)
+    assert len(findings) == 1
+    assert "versions.lock is stale" in findings[0].message
+    assert "--update-lock" in findings[0].hint
+
+
+def test_ghost_lock_entries_are_flagged(tmp_path):
+    codebase, config = make(tmp_path)
+    update_lock(config)
+    lock = load_lock(config.resolved_lock_path())
+    lock["T9"] = {"fn": "x:y", "version": "1", "source_sha256": "0" * 64}
+    write_lock(config.resolved_lock_path(), lock)
+    findings = run(codebase, config)
+    assert [f.message for f in findings] == [
+        "versions.lock records unknown task 'T9'"
+    ]
+
+
+def test_update_lock_refuses_source_change_without_bump(tmp_path):
+    _, config = make(tmp_path)
+    update_lock(config)
+    path = config.resolved_lock_path()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["tasks"]["T1"]["source_sha256"] = "0" * 64
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    outcome = update_lock(config)
+    assert outcome == {"written": False, "needs_bump": ["T1"]}
+    # force=True writes anyway (deliberate-regeneration escape hatch).
+    assert update_lock(config, force=True)["written"] is True
+
+
+def test_unresolvable_fn_path_is_flagged(tmp_path, monkeypatch):
+    codebase, config = make(tmp_path)
+    update_lock(config)
+
+    original = fixreg.build_registry
+
+    def broken_registry():
+        registry = original()
+        registry.add("T3", "tests.analysis.fixreg:missing", version="1")
+        return registry
+
+    monkeypatch.setattr(fixreg, "build_registry", broken_registry)
+    findings = run(codebase, config)
+    assert len(findings) == 1
+    assert "task 'T3': fn path does not resolve" in findings[0].message

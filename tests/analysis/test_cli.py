@@ -1,0 +1,124 @@
+"""Exit codes and report output of ``python -m repro lint``."""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro.analysis.cli as cli_module
+from repro.analysis.cli import cmd_lint
+
+from tests.analysis.util import build
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SEEDED = {
+    "fixpkg/high/solver.py": """\
+        import time
+
+
+        def stamp():
+            return time.time()
+        """,
+}
+
+CLEAN = {"fixpkg/low/base.py": "VALUE = 1\n"}
+
+
+def namespace(**overrides) -> argparse.Namespace:
+    settings = dict(
+        rule=None,
+        json_path=None,
+        baseline=None,
+        write_baseline=False,
+        update_lock=False,
+        list_rules=False,
+    )
+    settings.update(overrides)
+    return argparse.Namespace(**settings)
+
+
+def point_at(monkeypatch, config):
+    monkeypatch.setattr(cli_module, "default_config", lambda: config)
+
+
+def test_seeded_fixture_exits_nonzero(tmp_path, monkeypatch, capsys):
+    _, config = build(tmp_path, SEEDED)
+    point_at(monkeypatch, config)
+    assert cmd_lint(namespace()) == 1
+    out = capsys.readouterr().out
+    assert "wall-clock read time.time()" in out
+    assert out.startswith("fixpkg/high/solver.py:")
+
+
+def test_clean_fixture_exits_zero(tmp_path, monkeypatch, capsys):
+    _, config = build(tmp_path, CLEAN)
+    point_at(monkeypatch, config)
+    assert cmd_lint(namespace()) == 0
+    assert "ok: 0 finding(s)" in capsys.readouterr().out
+
+
+def test_unknown_rule_exits_two(tmp_path, monkeypatch, capsys):
+    _, config = build(tmp_path, CLEAN)
+    point_at(monkeypatch, config)
+    assert cmd_lint(namespace(rule=["no-such-rule"])) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_json_report_is_written(tmp_path, monkeypatch):
+    _, config = build(tmp_path, SEEDED)
+    point_at(monkeypatch, config)
+    report = tmp_path / "lint-report.json"
+    assert cmd_lint(namespace(json_path=str(report))) == 1
+    payload = json.loads(report.read_text(encoding="utf-8"))
+    assert payload["summary"]["findings"] == 1
+    [finding] = payload["findings"]
+    assert finding["rule"] == "determinism"
+    assert finding["path"] == "fixpkg/high/solver.py"
+    assert finding["fingerprint"].startswith("determinism::")
+
+
+def test_baseline_roundtrip(tmp_path, monkeypatch, capsys):
+    _, config = build(tmp_path, SEEDED)
+    point_at(monkeypatch, config)
+    baseline = tmp_path / "baseline.json"
+    assert cmd_lint(
+        namespace(write_baseline=True, baseline=str(baseline))
+    ) == 0
+    capsys.readouterr()
+    assert cmd_lint(namespace(baseline=str(baseline))) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_list_rules(tmp_path, monkeypatch, capsys):
+    _, config = build(tmp_path, CLEAN)
+    point_at(monkeypatch, config)
+    assert cmd_lint(namespace(list_rules=True)) == 0
+    out = capsys.readouterr().out
+    for rule in (
+        "cache-soundness",
+        "determinism",
+        "dispatch-exhaustiveness",
+        "frozen-ast",
+        "import-layering",
+        "lru-cache-purity",
+    ):
+        assert rule in out
+
+
+def test_repo_head_is_lint_clean():
+    """The committed tree itself must pass `python -m repro lint`."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "ok: 0 finding(s)" in result.stdout

@@ -1,0 +1,144 @@
+"""Seeded violations for the determinism rule."""
+
+from repro.analysis.determinism import DeterminismChecker
+from repro.analysis.framework import run_checkers
+
+from tests.analysis.util import build, line_of
+
+
+def run(tmp_path, source, **overrides):
+    codebase, config = build(
+        tmp_path, {"fixpkg/high/solver.py": source}, **overrides
+    )
+    return codebase, config, list(
+        DeterminismChecker().check(codebase, config)
+    )
+
+
+def test_wall_clock_read_is_flagged(tmp_path):
+    codebase, _, findings = run(
+        tmp_path,
+        """\
+        import time
+
+
+        def stamp():
+            return time.time()
+        """,
+    )
+    assert [f.message for f in findings] == [
+        "wall-clock read time.time() in a deterministic module"
+    ]
+    assert findings[0].line == line_of(
+        codebase, "fixpkg/high/solver.py", "return time.time()"
+    )
+
+
+def test_environment_reads_are_flagged(tmp_path):
+    _, _, findings = run(
+        tmp_path,
+        """\
+        import os
+
+
+        def config():
+            return os.environ.get("X", os.getenv("Y"))
+        """,
+    )
+    assert sorted(f.message for f in findings) == [
+        "os.environ read in a deterministic module",
+        "os.getenv read in a deterministic module",
+    ]
+
+
+def test_unseeded_random_is_flagged_seeded_is_not(tmp_path):
+    _, _, findings = run(
+        tmp_path,
+        """\
+        import random
+
+
+        def bad():
+            return random.random(), random.Random()
+
+
+        def good():
+            return random.Random(42).random()
+        """,
+    )
+    assert sorted(f.message for f in findings) == [
+        "random.Random() constructed without a seed",
+        "unseeded module-level random.random() call",
+    ]
+
+
+def test_fresh_set_iteration_is_flagged_sorted_is_not(tmp_path):
+    codebase, _, findings = run(
+        tmp_path,
+        """\
+        def bad(values):
+            return [v for v in {x * 2 for x in values}]
+
+
+        def good(values):
+            return sorted({x * 2 for x in values})
+
+
+        def also_good(values):
+            return any(v for v in {x * 2 for x in values})
+        """,
+    )
+    assert len(findings) == 1
+    assert "hash randomisation" in findings[0].message
+    assert findings[0].line == line_of(
+        codebase, "fixpkg/high/solver.py", "[v for v in {x * 2 for x in values}]"
+    )
+
+
+def test_id_call_is_flagged(tmp_path):
+    _, _, findings = run(
+        tmp_path,
+        """\
+        def order(items):
+            return [id(item) for item in items]
+        """,
+    )
+    assert [f.message for f in findings] == [
+        "id()-dependent logic in a deterministic module"
+    ]
+
+
+def test_modules_outside_the_prefix_are_not_checked(tmp_path):
+    codebase, config = build(
+        tmp_path,
+        {
+            "fixpkg/low/cli.py": """\
+                import time
+
+
+                def stamp():
+                    return time.time()
+                """,
+        },
+    )
+    assert list(DeterminismChecker().check(codebase, config)) == []
+
+
+def test_inline_suppression_moves_finding_to_suppressed(tmp_path):
+    _, config, _ = run(
+        tmp_path,
+        """\
+        import time
+
+
+        def stamp():
+            # repro-lint: allow[determinism] report metadata only
+            return time.time()
+        """,
+    )
+    active, suppressed = run_checkers(
+        config, checkers=[DeterminismChecker()]
+    )
+    assert active == []
+    assert len(suppressed) == 1
+    assert suppressed[0].rule == "determinism"

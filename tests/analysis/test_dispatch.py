@@ -1,0 +1,156 @@
+"""Seeded violations for the dispatch-exhaustiveness rule."""
+
+from repro.analysis.dispatch import DispatchExhaustivenessChecker
+
+from tests.analysis.util import build, line_of
+
+SYNTAX = """\
+    class Node:
+        pass
+
+    class Leaf(Node):
+        pass
+
+    class Pair(Node):
+        pass
+
+    class Wrap(Node):
+        pass
+    """
+
+
+def run(tmp_path, walker_source):
+    codebase, config = build(
+        tmp_path,
+        {
+            "fixpkg/mid/syntax.py": SYNTAX,
+            "fixpkg/mid/walker.py": walker_source,
+        },
+    )
+    findings = list(DispatchExhaustivenessChecker().check(codebase, config))
+    return codebase, findings
+
+
+def test_missing_arm_is_flagged_at_chain_start(tmp_path):
+    codebase, findings = run(
+        tmp_path,
+        """\
+        from fixpkg.mid.syntax import Leaf, Node, Pair
+
+
+        def bad(node: Node) -> int:
+            if isinstance(node, Leaf):
+                return 1
+            elif isinstance(node, Pair):
+                return 2
+        """,
+    )
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule == "dispatch-exhaustiveness"
+    assert finding.path == "fixpkg/mid/walker.py"
+    assert finding.line == line_of(
+        codebase, "fixpkg/mid/walker.py", "if isinstance(node, Leaf)"
+    )
+    assert "bad()" in finding.message
+    assert "Wrap" in finding.message
+
+
+def test_else_catchall_is_exhaustive(tmp_path):
+    _, findings = run(
+        tmp_path,
+        """\
+        from fixpkg.mid.syntax import Leaf, Node, Pair
+
+
+        def good(node: Node) -> int:
+            if isinstance(node, Leaf):
+                return 1
+            elif isinstance(node, Pair):
+                return 2
+            else:
+                raise TypeError(node)
+        """,
+    )
+    assert findings == []
+
+
+def test_trailing_statement_is_a_catchall(tmp_path):
+    _, findings = run(
+        tmp_path,
+        """\
+        from fixpkg.mid.syntax import Leaf, Node, Pair
+
+
+        def good(node: Node) -> int:
+            if isinstance(node, Leaf):
+                return 1
+            elif isinstance(node, Pair):
+                return 2
+            return 0
+        """,
+    )
+    assert findings == []
+
+
+def test_tuple_arms_cover_the_hierarchy(tmp_path):
+    _, findings = run(
+        tmp_path,
+        """\
+        from fixpkg.mid.syntax import Leaf, Node, Pair, Wrap
+
+
+        def good(node: Node) -> int:
+            if isinstance(node, Leaf):
+                return 1
+            elif isinstance(node, (Pair, Wrap)):
+                return 2
+        """,
+    )
+    assert findings == []
+
+
+def test_single_membership_test_is_not_a_dispatch(tmp_path):
+    # One isinstance arm is a guard, not a dispatch chain.
+    _, findings = run(
+        tmp_path,
+        """\
+        from fixpkg.mid.syntax import Leaf, Node
+
+
+        def guard(node: Node) -> bool:
+            if isinstance(node, Leaf):
+                return True
+        """,
+    )
+    assert findings == []
+
+
+def test_extension_subclass_elsewhere_is_not_required(tmp_path):
+    # A subclass declared outside the home module is a protocol-based
+    # extension point, not a required dispatch arm.
+    codebase, config = build(
+        tmp_path,
+        {
+            "fixpkg/mid/syntax.py": SYNTAX,
+            "fixpkg/high/ext.py": """\
+                from fixpkg.mid.syntax import Node
+
+
+                class Extension(Node):
+                    pass
+                """,
+            "fixpkg/mid/walker.py": """\
+                from fixpkg.mid.syntax import Leaf, Node, Pair, Wrap
+
+
+                def good(node: Node) -> int:
+                    if isinstance(node, Leaf):
+                        return 1
+                    elif isinstance(node, (Pair, Wrap)):
+                        return 2
+                """,
+        },
+    )
+    findings = list(DispatchExhaustivenessChecker().check(codebase, config))
+    assert findings == []

@@ -1,0 +1,84 @@
+"""Seeded violations for the frozen-AST rule."""
+
+from repro.analysis.frozen import FrozenAstChecker
+
+from tests.analysis.util import build, line_of
+
+
+def run(tmp_path, source):
+    codebase, config = build(tmp_path, {"fixpkg/mid/syntax.py": source})
+    return codebase, list(FrozenAstChecker().check(codebase, config))
+
+
+def test_unfrozen_dataclass_and_unhashable_field_are_flagged(tmp_path):
+    codebase, findings = run(
+        tmp_path,
+        """\
+        from dataclasses import dataclass
+
+
+        class Node:
+            pass
+
+
+        @dataclass
+        class Bad(Node):
+            items: list[int]
+
+
+        @dataclass(frozen=True)
+        class Good(Node):
+            items: tuple[int, ...]
+        """,
+    )
+    assert len(findings) == 2
+    by_message = {f.message: f for f in findings}
+    unfrozen = by_message[
+        "AST node Bad is a dataclass without frozen=True"
+    ]
+    assert unfrozen.line == line_of(
+        codebase, "fixpkg/mid/syntax.py", "class Bad(Node)"
+    )
+    unhashable = by_message[
+        "AST node Bad.items is annotated with unhashable type 'list[int]'"
+    ]
+    assert unhashable.line == line_of(
+        codebase, "fixpkg/mid/syntax.py", "items: list[int]"
+    )
+
+
+def test_unhashable_union_member_poisons_the_field(tmp_path):
+    _, findings = run(
+        tmp_path,
+        """\
+        from dataclasses import dataclass
+
+
+        @dataclass(frozen=True)
+        class Holder:
+            payload: dict[str, int] | None
+        """,
+    )
+    assert len(findings) == 1
+    assert "unhashable type" in findings[0].message
+
+
+def test_plain_classes_and_outside_modules_are_ignored(tmp_path):
+    codebase, config = build(
+        tmp_path,
+        {
+            "fixpkg/mid/syntax.py": """\
+                class Node:
+                    mutable = []
+                """,
+            "fixpkg/low/records.py": """\
+                from dataclasses import dataclass
+
+
+                @dataclass
+                class Row:
+                    cells: list[str]
+                """,
+        },
+    )
+    assert list(FrozenAstChecker().check(codebase, config)) == []

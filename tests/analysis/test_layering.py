@@ -1,0 +1,98 @@
+"""Seeded violations for the import-layering rule."""
+
+from repro.analysis.layering import ImportLayeringChecker
+
+from tests.analysis.util import build, line_of
+
+
+def test_upward_import_is_flagged(tmp_path):
+    codebase, config = build(
+        tmp_path,
+        {
+            "fixpkg/low/base.py": """\
+                from fixpkg.high import top
+
+
+                def value():
+                    return top.VALUE
+                """,
+            "fixpkg/high/top.py": "VALUE = 1\n",
+        },
+    )
+    findings = list(ImportLayeringChecker().check(codebase, config))
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule == "import-layering"
+    assert finding.path == "fixpkg/low/base.py"
+    assert finding.line == line_of(
+        codebase, "fixpkg/low/base.py", "from fixpkg.high import top"
+    )
+    assert "imports upward" in finding.message
+
+
+def test_downward_import_is_fine(tmp_path):
+    codebase, config = build(
+        tmp_path,
+        {
+            "fixpkg/low/base.py": "VALUE = 1\n",
+            "fixpkg/high/top.py": """\
+                from fixpkg.low import base
+
+
+                def value():
+                    return base.VALUE
+                """,
+        },
+    )
+    assert list(ImportLayeringChecker().check(codebase, config)) == []
+
+
+def test_same_layer_import_is_fine(tmp_path):
+    codebase, config = build(
+        tmp_path,
+        {
+            "fixpkg/mid/syntax.py": "VALUE = 1\n",
+            "fixpkg/mid/walker.py": "from fixpkg.mid import syntax  # ok\n",
+        },
+        layers=(("low",), ("mid", "other"), ("high",)),
+    )
+    assert list(ImportLayeringChecker().check(codebase, config)) == []
+
+
+def test_leaf_module_must_not_import_package_code(tmp_path):
+    codebase, config = build(
+        tmp_path,
+        {
+            "fixpkg/leaf.py": "from fixpkg.low import base\n",
+            "fixpkg/low/base.py": "VALUE = 1\n",
+        },
+    )
+    findings = list(ImportLayeringChecker().check(codebase, config))
+    assert len(findings) == 1
+    assert findings[0].path == "fixpkg/leaf.py"
+    assert "leaf module" in findings[0].message
+
+
+def test_importing_the_leaf_from_anywhere_is_fine(tmp_path):
+    codebase, config = build(
+        tmp_path,
+        {
+            "fixpkg/leaf.py": "VALUE = 1\n",
+            "fixpkg/low/base.py": "from fixpkg import leaf  # ok\n",
+            "fixpkg/high/top.py": "from fixpkg import leaf  # ok\n",
+        },
+    )
+    assert list(ImportLayeringChecker().check(codebase, config)) == []
+
+
+def test_relative_imports_resolve_before_layer_check(tmp_path):
+    codebase, config = build(
+        tmp_path,
+        {
+            "fixpkg/low/base.py": "from ..high import top\n",
+            "fixpkg/high/top.py": "VALUE = 1\n",
+        },
+    )
+    findings = list(ImportLayeringChecker().check(codebase, config))
+    assert len(findings) == 1
+    assert "imports upward" in findings[0].message

@@ -1,0 +1,104 @@
+"""Seeded violations for the lru-cache-purity rule."""
+
+from repro.analysis.purity import LruCachePurityChecker
+
+from tests.analysis.util import build, line_of
+
+
+def run(tmp_path, source):
+    codebase, config = build(tmp_path, {"fixpkg/low/caches.py": source})
+    return codebase, list(LruCachePurityChecker().check(codebase, config))
+
+
+def test_mutable_default_is_flagged(tmp_path):
+    codebase, findings = run(
+        tmp_path,
+        """\
+        from functools import lru_cache
+
+
+        @lru_cache(maxsize=8)
+        def impure(x, acc=[]):
+            acc.append(x)
+            return tuple(acc)
+        """,
+    )
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule == "lru-cache-purity"
+    assert "impure() has a mutable default argument" in finding.message
+    assert finding.line == line_of(
+        codebase, "fixpkg/low/caches.py", "def impure(x, acc=[])"
+    )
+
+
+def test_global_statement_is_flagged(tmp_path):
+    codebase, findings = run(
+        tmp_path,
+        """\
+        from functools import lru_cache
+
+        _COUNT = 0
+
+
+        @lru_cache(maxsize=8)
+        def counting(x):
+            global _COUNT
+            _COUNT += 1
+            return x
+        """,
+    )
+    assert len(findings) == 1
+    assert "declares global _COUNT" in findings[0].message
+    assert findings[0].line == line_of(
+        codebase, "fixpkg/low/caches.py", "global _COUNT"
+    )
+
+
+def test_nested_definition_is_flagged(tmp_path):
+    codebase, findings = run(
+        tmp_path,
+        """\
+        from functools import lru_cache
+
+
+        def outer(bias):
+            @lru_cache(maxsize=8)
+            def inner(y):
+                return y + bias
+
+            return inner
+        """,
+    )
+    assert len(findings) == 1
+    assert "inner() is defined inside another function" in findings[0].message
+    assert findings[0].line == line_of(
+        codebase, "fixpkg/low/caches.py", "def inner(y)"
+    )
+
+
+def test_pure_site_is_clean(tmp_path):
+    _, findings = run(
+        tmp_path,
+        """\
+        from functools import lru_cache
+
+
+        @lru_cache(maxsize=8)
+        def pure(x, suffix=()):
+            return (x, *suffix)
+        """,
+    )
+    assert findings == []
+
+
+def test_uncached_functions_are_ignored(tmp_path):
+    _, findings = run(
+        tmp_path,
+        """\
+        def plain(x, acc=[]):
+            acc.append(x)
+            return acc
+        """,
+    )
+    assert findings == []

@@ -1,0 +1,60 @@
+"""Shared helpers for the lint-suite tests.
+
+Fixture packages are written to ``tmp_path`` at test time (never
+collected by pytest or ruff), so each test seeds exactly the violations
+it asserts on and nothing else.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.framework import Codebase, LintConfig
+
+
+def write_package(root: Path, files: dict[str, str]) -> Path:
+    """Write dedented sources under ``root``, auto-creating __init__.py."""
+    for relpath, text in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+    for directory in {path.parent for path in root.rglob("*.py")}:
+        init = directory / "__init__.py"
+        if directory != root and not init.exists():
+            init.write_text("", encoding="utf-8")
+    return root
+
+
+def fixture_config(root: Path, **overrides) -> LintConfig:
+    """A LintConfig describing the ``fixpkg`` fixture layout."""
+    settings = dict(
+        src_root=root,
+        package="fixpkg",
+        layers=(("low",), ("mid",), ("high",)),
+        leaf_modules=("fixpkg.leaf",),
+        unconstrained_modules=("fixpkg", "fixpkg.__main__"),
+        hierarchies={"fixpkg.mid.syntax.Node": "fixpkg.mid.syntax"},
+        dispatch_prefixes=("fixpkg.mid", "fixpkg.high"),
+        syntax_modules=("fixpkg.mid.syntax",),
+        determinism_prefixes=("fixpkg.high",),
+        registry_builder=None,
+    )
+    settings.update(overrides)
+    return LintConfig(**settings)
+
+
+def build(tmp_path: Path, files: dict[str, str], **overrides):
+    """(codebase, config) for a fixture package seeded with ``files``."""
+    root = write_package(tmp_path / "src", files)
+    return Codebase(root, "fixpkg"), fixture_config(root, **overrides)
+
+
+def line_of(codebase: Codebase, relpath: str, needle: str) -> int:
+    """1-based line of the first source line containing ``needle``."""
+    module = codebase.module_for_path(relpath)
+    assert module is not None, f"no module at {relpath}"
+    for number, text in enumerate(module.lines, start=1):
+        if needle in text:
+            return number
+    raise AssertionError(f"{needle!r} not found in {relpath}")

@@ -37,3 +37,17 @@ def boom() -> None:
 
 def not_json() -> Any:
     return {1, 2, 3}
+
+
+#: Resolution-failure targets for the spec tests: resolve_function must
+#: reject non-callables and bound methods by name.
+NOT_CALLABLE = 42
+
+
+class _Holder:
+    def method(self) -> None:  # pragma: no cover - never called
+        return None
+
+
+HOLDER = _Holder()
+bound_method = HOLDER.method

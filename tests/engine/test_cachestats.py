@@ -1,5 +1,6 @@
 """The shared lru_cache instrumentation registry."""
 
+import importlib
 from functools import lru_cache
 
 import pytest
@@ -65,13 +66,19 @@ def test_aggregate_totals(scoped_cache):
     assert totals["misses"] >= 1
 
 
+INSTRUMENTED_MODULES = (
+    "repro.ef.equivalence",
+    "repro.fc.structures",
+    "repro.spanners.regex_formulas",
+    "repro.words.factors",
+    "repro.words.fibonacci",
+)
+
+
 def test_real_sites_are_registered():
     # Importing the instrumented modules registers their caches.
-    import repro.ef.equivalence  # noqa: F401
-    import repro.fc.structures  # noqa: F401
-    import repro.spanners.regex_formulas  # noqa: F401
-    import repro.words.factors  # noqa: F401
-    import repro.words.fibonacci  # noqa: F401
+    for module in INSTRUMENTED_MODULES:
+        importlib.import_module(module)
 
     names = set(cachestats.registered_names())
     assert {

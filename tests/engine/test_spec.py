@@ -1,0 +1,38 @@
+"""resolve_function hardening: clear errors that name the failing task."""
+
+import pytest
+
+from repro.engine.spec import TaskSpec, resolve_function
+
+
+def test_resolves_colon_and_dot_paths():
+    assert resolve_function("tests.engine.taskfns:double")(3) == 6
+    assert resolve_function("tests.engine.taskfns.double")(3) == 6
+
+
+def test_malformed_path_is_value_error():
+    with pytest.raises(ValueError, match="not a dotted function path"):
+        resolve_function("justaname")
+    with pytest.raises(ValueError, match="not a dotted function path"):
+        resolve_function("tests.engine.taskfns:")
+
+
+def test_missing_attribute_is_value_error():
+    with pytest.raises(ValueError, match="no attribute 'nope'"):
+        resolve_function("tests.engine.taskfns:nope")
+
+
+def test_non_callable_is_value_error():
+    with pytest.raises(ValueError, match="non-callable int"):
+        resolve_function("tests.engine.taskfns:NOT_CALLABLE")
+
+
+def test_bound_method_is_value_error():
+    with pytest.raises(ValueError, match="bound method of _Holder"):
+        resolve_function("tests.engine.taskfns:bound_method")
+
+
+def test_error_names_the_task():
+    spec = TaskSpec("E99", "tests.engine.taskfns:NOT_CALLABLE")
+    with pytest.raises(ValueError, match="task 'E99':"):
+        spec.resolve()
