@@ -1,0 +1,149 @@
+"""CI bench-smoke: guard solver search effort against silent regressions.
+
+Runs a small, fast subset of the experiment DAG (``SMOKE_TASKS`` plus
+their dependency closure) with ``jobs=1`` and the result cache disabled,
+then compares each record's ``positions_explored`` solver delta against
+the committed ``benchmarks/baselines.json``.  The run fails if
+
+* any task errors, or
+* any task explores more than ``TOLERANCE`` (20%) *more* positions than
+  its baseline, or explores positions where the baseline has none.
+
+``positions_explored`` counts transposition-table misses in the interned
+EF kernel — it is a machine-independent proxy for solver work, and with
+a single job and a cold cache it is bit-deterministic, so an exact
+baseline with a small headroom band is meaningful where wall-clock time
+would flake.  Big *improvements* are reported but do not fail; refresh
+the baseline to lock them in:
+
+    PYTHONPATH=src python benchmarks/bench_smoke.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baselines.json"
+
+#: Solver-heavy but CI-fast entry points; deps (prim/*) ride along.
+#: E01/E02 drive full-structure games, E08 the restricted
+#: (symmetry-reduced) pseudo-congruence games.
+SMOKE_TASKS = ("E01", "E02", "E08")
+
+TOLERANCE = 0.20
+
+
+def run_smoke():
+    """Execute the smoke subset deterministically; return the report."""
+    from repro.engine import ResultCache, run_tasks
+    from repro.engine.experiments import build_default_registry
+
+    registry = build_default_registry()
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as scratch:
+        cache = ResultCache(root=Path(scratch), enabled=False)
+        return run_tasks(
+            registry, jobs=1, cache=cache, only=list(SMOKE_TASKS)
+        )
+
+
+def positions_by_task(report) -> dict[str, int]:
+    return {
+        record["task"]: record.get("solver_delta", {}).get(
+            "positions_explored", 0
+        )
+        for record in report.records
+    }
+
+
+def check(report, baseline: dict, tolerance: float) -> list[str]:
+    """Return a list of failure messages (empty = pass)."""
+    failures = []
+    errored = [r["task"] for r in report.records if r["status"] != "ok"]
+    if errored:
+        failures.append(f"tasks did not finish ok: {', '.join(errored)}")
+
+    current = positions_by_task(report)
+    baseline_tasks = baseline.get("positions_explored", {})
+    for task, explored in sorted(current.items()):
+        expected = baseline_tasks.get(task)
+        if expected is None:
+            failures.append(
+                f"{task}: no baseline entry — run with --update and commit"
+            )
+        elif expected == 0:
+            if explored > 0:
+                failures.append(
+                    f"{task}: baseline explores no positions but this run "
+                    f"explored {explored}"
+                )
+        elif explored > expected * (1 + tolerance):
+            failures.append(
+                f"{task}: positions_explored regressed "
+                f"{expected} -> {explored} "
+                f"(+{100 * (explored / expected - 1):.0f}%, "
+                f"tolerance {100 * tolerance:.0f}%)"
+            )
+        elif explored < expected * (1 - tolerance):
+            print(
+                f"note: {task} improved {expected} -> {explored}; "
+                "consider --update to tighten the baseline"
+            )
+    return failures
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite benchmarks/baselines.json from this run",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=TOLERANCE,
+        help="allowed relative increase in positions_explored",
+    )
+    options = parser.parse_args(argv)
+
+    report = run_smoke()
+
+    if options.update:
+        payload = {
+            "comment": (
+                "Deterministic solver-effort baselines for "
+                "benchmarks/bench_smoke.py (jobs=1, cache disabled). "
+                "Regenerate with: PYTHONPATH=src python "
+                "benchmarks/bench_smoke.py --update"
+            ),
+            "smoke_tasks": list(SMOKE_TASKS),
+            "positions_explored": positions_by_task(report),
+        }
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"baselines written to {BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"missing {BASELINE_PATH}; run with --update first")
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = check(report, baseline, options.tolerance)
+    totals = report.solver.get("totals", {})
+    print(
+        f"bench-smoke: {len(report.records)} tasks, "
+        f"{totals.get('positions_explored', 0)} positions explored"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("bench-smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

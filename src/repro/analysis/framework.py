@@ -333,6 +333,7 @@ class LintConfig:
     # import each other freely.
     layers: tuple[tuple[str, ...], ...] = (
         ("words",),
+        ("kernel",),
         ("fc", "fcreg"),
         ("ef", "foeq"),
         ("spanners", "semilinear"),
@@ -376,7 +377,11 @@ class LintConfig:
         "repro.spanners.regex_formulas",
     )
     # Packages that must be bit-deterministic (witness search + caching).
-    determinism_prefixes: tuple[str, ...] = ("repro.ef", "repro.engine")
+    determinism_prefixes: tuple[str, ...] = (
+        "repro.ef",
+        "repro.engine",
+        "repro.kernel",
+    )
     # Dotted path of the engine registry builder, and the version lock.
     registry_builder: str | None = "repro.engine.experiments:build_default_registry"
     lock_path: Path | None = None

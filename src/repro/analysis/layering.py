@@ -2,7 +2,7 @@
 
 The reproduction is layered bottom-up as
 
-    words → {fc, fcreg} → {ef, foeq} → {spanners, semilinear}
+    words → kernel → {fc, fcreg} → {ef, foeq} → {spanners, semilinear}
           → core → engine → analysis
 
 where a package may import from its own layer or any layer below, never
@@ -34,8 +34,8 @@ class ImportLayeringChecker(Checker):
     name = "import-layering"
     description = (
         "packages may import their own layer or below; never upward "
-        "along words → {fc,fcreg} → {ef,foeq} → {spanners,semilinear} → "
-        "core → engine"
+        "along words → kernel → {fc,fcreg} → {ef,foeq} → "
+        "{spanners,semilinear} → core → engine"
     )
 
     def check(

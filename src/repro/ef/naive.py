@@ -1,0 +1,186 @@
+"""The original string-based EF-game solver, kept as a differential oracle.
+
+This is the pre-kernel implementation of ``repro.ef.solver`` verbatim:
+positions are frozensets of ``(element_a, element_b)`` string/⊥ pairs
+and every consistency query rebuilds the full tuple and re-runs the
+O(n³) :func:`~repro.ef.partial_iso.find_violation` check.  It is slow —
+exponentially often so in the round count — but its correctness argument
+is a direct transcription of Definition 3.1 and the game semantics, so
+it serves as the ground truth that ``tests/kernel/`` differentially
+checks the interned :class:`~repro.kernel.efcore.KernelSolver` against.
+
+Do not optimise this module; its value is being obviously correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ef.game import GameArena, Move
+from repro.ef.partial_iso import extend_with_constants, find_violation
+from repro.fc.structures import BOTTOM
+
+__all__ = ["NaiveGameSolver"]
+
+Element = "str | object"
+Pair = tuple  # (a-side element, b-side element)
+
+
+def _element_sort_key(element) -> tuple:
+    """Deterministic element ordering: ⊥ first, then by (length, text)."""
+    if element is BOTTOM:
+        return (0, 0, "")
+    return (1, len(element), element)
+
+
+@dataclass
+class NaiveGameSolver:
+    """Exact EF-game solver for one pair of structures (reference version).
+
+    One solver instance amortises its memo table across all queries about
+    the same ``(structure_a, structure_b)`` pair — different round counts,
+    strategy extraction, and mid-game positions all share it.
+    """
+
+    structure_a: object
+    structure_b: object
+    _memo: dict = field(default_factory=dict, repr=False)
+    _universe_a: list = field(default=None, repr=False)  # type: ignore[assignment]
+    _universe_b: list = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        arena = GameArena(self.structure_a, self.structure_b, 0)
+        self._universe_a = sorted(arena.universe("A"), key=_element_sort_key)
+        self._universe_b = sorted(arena.universe("B"), key=_element_sort_key)
+
+    # -- consistency ---------------------------------------------------------
+
+    def consistent(self, pairs: frozenset) -> bool:
+        """Is the pair set (with constants) a partial isomorphism?"""
+        ordered = sorted(pairs, key=lambda p: (_element_sort_key(p[0]), _element_sort_key(p[1])))
+        tuple_a = tuple(p[0] for p in ordered)
+        tuple_b = tuple(p[1] for p in ordered)
+        full_a, full_b = extend_with_constants(
+            self.structure_a, self.structure_b, tuple_a, tuple_b
+        )
+        return (
+            find_violation(self.structure_a, self.structure_b, full_a, full_b)
+            is None
+        )
+
+    # -- decision ------------------------------------------------------------
+
+    def duplicator_wins(
+        self, rounds: int, pairs: frozenset = frozenset()
+    ) -> bool:
+        """Decide whether Duplicator wins from the given position.
+
+        ``pairs`` must already be consistent (the empty position always is
+        when both words realise the same constants pattern; an inconsistent
+        start is reported as a Spoiler win).
+        """
+        if not self.consistent(pairs):
+            return False
+        return self._wins(rounds, pairs)
+
+    def _wins(self, rounds: int, pairs: frozenset) -> bool:
+        if rounds == 0:
+            return True
+        key = (rounds, pairs)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = True
+        for move in self._spoiler_moves(pairs):
+            if self._response(rounds, pairs, move) is None:
+                result = False
+                break
+        self._memo[key] = result
+        return result
+
+    def _spoiler_moves(self, pairs: frozenset):
+        taken_a = {p[0] for p in pairs}
+        taken_b = {p[1] for p in pairs}
+        for element in self._universe_a:
+            if element not in taken_a:
+                yield Move("A", element)
+        for element in self._universe_b:
+            if element not in taken_b:
+                yield Move("B", element)
+
+    def _response(
+        self, rounds: int, pairs: frozenset, move: Move
+    ) -> "Element | None":
+        """Find a winning Duplicator response to ``move`` (``None`` = lost).
+
+        Responses are tried mirror-first: the literally identical factor,
+        then same-length factors, then the rest — in practice Duplicator's
+        winning response is usually "the analogous element", so this
+        ordering finds wins quickly.
+        """
+        if move.side == "A":
+            candidates = self._universe_b
+            make_pair = lambda d: (move.element, d)  # noqa: E731
+        else:
+            candidates = self._universe_a
+            make_pair = lambda d: (d, move.element)  # noqa: E731
+        ordered = sorted(
+            candidates,
+            key=lambda d: (
+                d != move.element,
+                (d is BOTTOM) != (move.element is BOTTOM),
+                abs(
+                    (0 if d is BOTTOM else len(d))
+                    - (0 if move.element is BOTTOM else len(move.element))
+                ),
+            ),
+        )
+        for response in ordered:
+            extended = pairs | {make_pair(response)}
+            if self.consistent(extended) and self._wins(rounds - 1, extended):
+                return response
+        return None
+
+    # -- strategy extraction ---------------------------------------------------
+
+    def winning_response(
+        self, rounds: int, pairs: frozenset, move: Move
+    ) -> "Element | None":
+        """Public strategy hook: Duplicator's winning response at a position
+        with ``rounds`` rounds *remaining* (the current move included).
+
+        Returns ``None`` when no response keeps Duplicator winning.
+        """
+        if rounds < 1:
+            raise ValueError("no rounds remaining")
+        return self._response(rounds, pairs, move)
+
+    def spoiler_winning_move(
+        self,
+        rounds: int,
+        pairs: frozenset = frozenset(),
+        skip_bottom: bool = False,
+    ) -> "Move | None":
+        """Return a Spoiler move that defeats every Duplicator response, or
+        ``None`` if Duplicator wins the position.
+
+        ``skip_bottom`` restricts the search to factor moves — used by the
+        formula synthesiser, whose quantifiers range over Facs only.  A ⊥
+        move adds the inert pair (⊥, ⊥), so whenever only ⊥ "wins" at this
+        round count the position is equally lost one round earlier; the
+        synthesiser handles that by recursing at rounds − 1.
+        """
+        if not self.consistent(pairs):
+            return None  # already won by Spoiler; no further move needed
+        if rounds == 0:
+            return None
+        for move in self._spoiler_moves(pairs):
+            if skip_bottom and move.element is BOTTOM:
+                continue
+            if self._response(rounds, pairs, move) is None:
+                return move
+        return None
+
+    def memo_size(self) -> int:
+        """Number of memoised positions (for the benchmark reports)."""
+        return len(self._memo)

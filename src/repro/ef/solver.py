@@ -1,4 +1,4 @@
-"""Exact decision of ``𝔄_w ≡_k 𝔅_v`` by memoised game search.
+"""Exact decision of ``𝔄_w ≡_k 𝔅_v`` by memoised, symmetry-reduced search.
 
 The solver explores the EF game tree:  a *position* is the set of pairs
 played so far plus the number of rounds left.  Duplicator wins a position
@@ -6,20 +6,24 @@ iff for **every** Spoiler move there is **some** response leading to a
 winning sub-position; the recursion bottoms out at zero rounds with the
 partial-isomorphism check (constants included).
 
-Three structural facts keep the search tractable:
+Since the interned-factor kernel landed, :class:`GameSolver` is a thin
+facade over :class:`repro.kernel.efcore.KernelSolver`: each structure's
+universe is interned once into dense integer ids
+(:func:`repro.kernel.interning.intern_table`, shared process-wide via a
+registered lru cache), positions become sorted tuples of int pairs, the
+transposition table is keyed on a canonical form quotienting automorphic
+pairs, and consistency is checked incrementally — only the newly played
+pair is validated against the position.  The facade translates between
+the public string/⊥ element vocabulary and kernel ids at the boundary
+and is bit-for-bit compatible with the original solver: same results,
+same deterministic move and response ordering (the old implementation
+survives as :class:`repro.ef.naive.NaiveGameSolver`, the oracle that
+``tests/kernel/`` checks this one against).
 
-* positions are order-independent — the win condition only looks at the
-  *set* of pairs — so positions are memoised as frozensets;
-* a repeated Spoiler pick is dominated: Duplicator must repeat the paired
-  response (anything else breaks the equality pattern), and fewer remaining
-  rounds never hurt Duplicator, so such moves are skipped;
-* consistency is hereditary — a violated position stays violated — so
-  branches are cut at the first violation.
-
-Exactness comes at exponential cost in k; the intended envelope is
-``|Facs| ≲ 60`` per structure and ``k ≤ 3``, which covers every test and
-benchmark.  Larger instances are handled by the paper's *constructive*
-strategies in ``repro.ef.composition``.
+Exactness comes at exponential cost in k; the kernel pushes the
+practical envelope to ``|Facs| ≲ 120`` per structure at ``k ≤ 3``.
+Larger instances are handled by the paper's *constructive* strategies in
+``repro.ef.composition``.
 """
 
 from __future__ import annotations
@@ -27,8 +31,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.ef.game import GameArena, Move
-from repro.ef.partial_iso import extend_with_constants, find_violation
-from repro.fc.structures import BOTTOM
+from repro.fc.structures import BOTTOM, WordStructure
+from repro.kernel.efcore import KernelSolver
+from repro.kernel.interning import (
+    BOTTOM_ID,
+    InternTable,
+    intern_restricted_table,
+    intern_table,
+)
 
 __all__ = ["GameSolver", "solve_equivalence"]
 
@@ -36,47 +46,76 @@ Element = "str | object"
 Pair = tuple  # (a-side element, b-side element)
 
 
-def _element_sort_key(element) -> tuple:
-    """Deterministic element ordering: ⊥ first, then by (length, text)."""
-    if element is BOTTOM:
-        return (0, 0, "")
-    return (1, len(element), element)
+def _table_for(structure) -> InternTable:
+    """Interned view of a :class:`WordStructure` or a restriction thereof."""
+    alphabet = tuple(structure.alphabet)
+    if isinstance(structure, WordStructure):
+        return intern_table(structure.word, alphabet)
+    return intern_restricted_table(
+        structure.word, alphabet, structure.universe_factors
+    )
 
 
 @dataclass
 class GameSolver:
     """Exact EF-game solver for one pair of structures.
 
-    One solver instance amortises its memo table across all queries about
-    the same ``(structure_a, structure_b)`` pair — different round counts,
-    strategy extraction, and mid-game positions all share it.
+    One solver instance amortises its transposition table across all
+    queries about the same ``(structure_a, structure_b)`` pair —
+    different round counts, strategy extraction, and mid-game positions
+    all share it.  Elements in the public API are factors (``str``) or
+    ``BOTTOM``; pairs/positions are frozensets of element pairs, exactly
+    as before the kernel rewrite.
     """
 
     structure_a: object
     structure_b: object
-    _memo: dict = field(default_factory=dict, repr=False)
-    _universe_a: list = field(default=None, repr=False)  # type: ignore[assignment]
-    _universe_b: list = field(default=None, repr=False)  # type: ignore[assignment]
+    _core: KernelSolver = field(default=None, repr=False)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
-        arena = GameArena(self.structure_a, self.structure_b, 0)
-        self._universe_a = sorted(arena.universe("A"), key=_element_sort_key)
-        self._universe_b = sorted(arena.universe("B"), key=_element_sort_key)
+        # The arena constructor is the historical signature validator
+        # (same-alphabet check, error message included).
+        GameArena(self.structure_a, self.structure_b, 0)
+        self._core = KernelSolver(
+            _table_for(self.structure_a), _table_for(self.structure_b)
+        )
+
+    # -- element translation -------------------------------------------------
+
+    def _pair_ids(self, pairs) -> "list | None":
+        """Positions as id pairs; ``None`` if any element is foreign.
+
+        An element outside its structure's universe makes the position
+        meaningless (the game never produces one); it is reported as
+        inconsistent rather than an error.
+        """
+        table_a = self._core.table_a
+        table_b = self._core.table_b
+        out = []
+        for element_a, element_b in pairs:
+            try:
+                out.append(
+                    (
+                        table_a.id_for(None if element_a is BOTTOM else element_a),
+                        table_b.id_for(None if element_b is BOTTOM else element_b),
+                    )
+                )
+            except KeyError:
+                return None
+        return out
+
+    def _element(self, side: str, element_id: int):
+        if element_id == BOTTOM_ID:
+            return BOTTOM
+        table = self._core.table_a if side == "A" else self._core.table_b
+        return table.elements[element_id]
 
     # -- consistency ---------------------------------------------------------
 
     def consistent(self, pairs: frozenset) -> bool:
         """Is the pair set (with constants) a partial isomorphism?"""
-        ordered = sorted(pairs, key=lambda p: (_element_sort_key(p[0]), _element_sort_key(p[1])))
-        tuple_a = tuple(p[0] for p in ordered)
-        tuple_b = tuple(p[1] for p in ordered)
-        full_a, full_b = extend_with_constants(
-            self.structure_a, self.structure_b, tuple_a, tuple_b
-        )
-        return (
-            find_violation(self.structure_a, self.structure_b, full_a, full_b)
-            is None
-        )
+        ids = self._pair_ids(pairs)
+        return ids is not None and self._core.position_consistent(ids)
 
     # -- decision ------------------------------------------------------------
 
@@ -89,67 +128,10 @@ class GameSolver:
         when both words realise the same constants pattern; an inconsistent
         start is reported as a Spoiler win).
         """
-        if not self.consistent(pairs):
+        ids = self._pair_ids(pairs)
+        if ids is None:
             return False
-        return self._wins(rounds, pairs)
-
-    def _wins(self, rounds: int, pairs: frozenset) -> bool:
-        if rounds == 0:
-            return True
-        key = (rounds, pairs)
-        cached = self._memo.get(key)
-        if cached is not None:
-            return cached
-        result = True
-        for move in self._spoiler_moves(pairs):
-            if self._response(rounds, pairs, move) is None:
-                result = False
-                break
-        self._memo[key] = result
-        return result
-
-    def _spoiler_moves(self, pairs: frozenset):
-        taken_a = {p[0] for p in pairs}
-        taken_b = {p[1] for p in pairs}
-        for element in self._universe_a:
-            if element not in taken_a:
-                yield Move("A", element)
-        for element in self._universe_b:
-            if element not in taken_b:
-                yield Move("B", element)
-
-    def _response(
-        self, rounds: int, pairs: frozenset, move: Move
-    ) -> "Element | None":
-        """Find a winning Duplicator response to ``move`` (``None`` = lost).
-
-        Responses are tried mirror-first: the literally identical factor,
-        then same-length factors, then the rest — in practice Duplicator's
-        winning response is usually "the analogous element", so this
-        ordering finds wins quickly.
-        """
-        if move.side == "A":
-            candidates = self._universe_b
-            make_pair = lambda d: (move.element, d)  # noqa: E731
-        else:
-            candidates = self._universe_a
-            make_pair = lambda d: (d, move.element)  # noqa: E731
-        ordered = sorted(
-            candidates,
-            key=lambda d: (
-                d != move.element,
-                (d is BOTTOM) != (move.element is BOTTOM),
-                abs(
-                    (0 if d is BOTTOM else len(d))
-                    - (0 if move.element is BOTTOM else len(move.element))
-                ),
-            ),
-        )
-        for response in ordered:
-            extended = pairs | {make_pair(response)}
-            if self.consistent(extended) and self._wins(rounds - 1, extended):
-                return response
-        return None
+        return self._core.duplicator_wins(rounds, ids)
 
     # -- strategy extraction ---------------------------------------------------
 
@@ -163,7 +145,24 @@ class GameSolver:
         """
         if rounds < 1:
             raise ValueError("no rounds remaining")
-        return self._response(rounds, pairs, move)
+        ids = self._pair_ids(pairs)
+        if ids is None:
+            return None
+        move_table = (
+            self._core.table_a if move.side == "A" else self._core.table_b
+        )
+        try:
+            element_id = move_table.id_for(
+                None if move.element is BOTTOM else move.element
+            )
+        except KeyError:
+            return None
+        response = self._core.winning_response(
+            rounds, ids, move.side, element_id
+        )
+        if response is None:
+            return None
+        return self._element("B" if move.side == "A" else "A", response)
 
     def spoiler_winning_move(
         self,
@@ -180,22 +179,47 @@ class GameSolver:
         round count the position is equally lost one round earlier; the
         synthesiser handles that by recursing at rounds − 1.
         """
-        if not self.consistent(pairs):
-            return None  # already won by Spoiler; no further move needed
-        if rounds == 0:
+        ids = self._pair_ids(pairs)
+        if ids is None:
             return None
-        for move in self._spoiler_moves(pairs):
-            if skip_bottom and move.element is BOTTOM:
-                continue
-            if self._response(rounds, pairs, move) is None:
-                return move
-        return None
+        found = self._core.spoiler_winning_move(rounds, ids, skip_bottom)
+        if found is None:
+            return None
+        side, element_id = found
+        return Move(side, self._element(side, element_id))
+
+    # -- introspection ---------------------------------------------------------
 
     def memo_size(self) -> int:
-        """Number of memoised positions (for the benchmark reports)."""
-        return len(self._memo)
+        """Number of memoised canonical positions (for benchmark reports)."""
+        return self._core.memo_size()
+
+    def solver_stats(self) -> dict[str, int]:
+        """Search-effort counters for this solver instance.
+
+        ``positions_explored`` (transposition-table misses computed),
+        ``table_hits``, ``symmetry_cuts`` (positions whose canonical form
+        differed from their literal form), ``consistency_checks``
+        (incremental pair validations), plus ``memo_size`` and the two
+        universe sizes.  Process-wide totals flow into
+        ``BENCH_engine.json`` via :mod:`repro.kernel.stats`.
+        """
+        out = self._core.stats()
+        out["memo_size"] = self._core.memo_size()
+        out["universe_a"] = self._core.table_a.n_factors + 1
+        out["universe_b"] = self._core.table_b.n_factors + 1
+        return out
 
 
 def solve_equivalence(structure_a, structure_b, rounds: int) -> bool:
-    """One-shot ``𝔄 ≡_k 𝔅`` decision (fresh solver, no memo reuse)."""
-    return GameSolver(structure_a, structure_b).duplicator_wins(rounds)
+    """One-shot ``𝔄 ≡_k 𝔅`` decision by the **naive reference solver**.
+
+    This deliberately bypasses the kernel: it is the ground-truth oracle
+    that the differential tests in ``tests/kernel/`` compare
+    :class:`GameSolver` against, so it must stay independent of the
+    machinery under test.  Production callers wanting speed should hold a
+    :class:`GameSolver` (or use :func:`repro.ef.equivalence.equiv_k`).
+    """
+    from repro.ef.naive import NaiveGameSolver
+
+    return NaiveGameSolver(structure_a, structure_b).duplicator_wins(rounds)

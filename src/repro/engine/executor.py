@@ -27,6 +27,7 @@ from typing import Any, Callable, Iterable, Mapping
 
 from repro.engine import cachestats
 from repro.engine.cache import ResultCache
+from repro.kernel import stats as solver_stats
 from repro.engine.dag import dependents_of, topological_order, validate_dag
 from repro.engine.spec import (
     TaskRegistry,
@@ -50,6 +51,7 @@ class EngineReport:
     records: list[dict[str, Any]]
     cache: dict[str, Any]
     lru_caches: dict[str, Any] = field(default_factory=dict)
+    solver: dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -77,6 +79,7 @@ class EngineReport:
             },
             "cache": self.cache,
             "lru_caches": self.lru_caches,
+            "solver": self.solver,
             "tasks": self.records,
         }
 
@@ -101,6 +104,7 @@ def _execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
     """
     name = payload["task"]
     before = cachestats.snapshot()
+    solver_before = solver_stats.snapshot()
     start = time.perf_counter()
     try:
         fn = resolve_function(payload["fn"])
@@ -124,6 +128,11 @@ def _execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
         "args_bytes": len(canonical_json(payload["args"])),
         "result_bytes": len(canonical_json(result)) if result is not None else 0,
         "lru_delta": cachestats.diff(before, cachestats.snapshot()),
+        # Names registered *in the executing process* — with lazy task
+        # imports and a worker pool, the parent process may never see
+        # these sites, so the record is the only place they surface.
+        "lru_registered": cachestats.registered_names(),
+        "solver_delta": solver_stats.diff(solver_before, solver_stats.snapshot()),
     }
     return record
 
@@ -143,6 +152,8 @@ def _skipped_record(name: str, failed_deps: list[str]) -> dict[str, Any]:
         "result_bytes": 0,
         "cache": "none",
         "lru_delta": {},
+        "lru_registered": [],
+        "solver_delta": {},
     }
 
 
@@ -188,6 +199,32 @@ def run_tasks(
     keys: dict[str, str] = {}
     started = time.perf_counter()
 
+    # Run-wide accumulators.  With a worker pool, executed records are the
+    # *only* channel for worker-process cache/solver activity (lazy task
+    # imports mean the parent process typically registers nothing), so the
+    # per-record deltas are merged here in the parent.
+    worker_lru_totals: dict[str, dict[str, int]] = {}
+    seen_registered: set[str] = set()
+    solver_totals: dict[str, int] = {}
+    pooled = jobs > 1
+
+    def absorb(record: dict[str, Any]) -> None:
+        """Fold one executed record's deltas into the run accumulators."""
+        seen_registered.update(record.get("lru_registered", ()))
+        for counter, amount in record.get("solver_delta", {}).items():
+            solver_totals[counter] = solver_totals.get(counter, 0) + amount
+        if not pooled:
+            # Sequential execution happened in *this* process: the main
+            # snapshot already contains these deltas; merging them again
+            # would double-count.
+            return
+        for cache_name, counters in record.get("lru_delta", {}).items():
+            bucket = worker_lru_totals.setdefault(
+                cache_name, {"hits": 0, "misses": 0, "currsize": 0}
+            )
+            for fieldname in ("hits", "misses", "currsize"):
+                bucket[fieldname] += counters.get(fieldname, 0)
+
     def finish(name: str, record: dict[str, Any]) -> None:
         records[name] = record
         if on_record is not None:
@@ -213,7 +250,11 @@ def run_tasks(
         if cached is not None and cached.get("status") == "ok":
             record = dict(cached)
             record["cache"] = "hit"
+            # Stale execution-process details must not leak into this
+            # run's report: a hit did no cache or solver work.
             record["lru_delta"] = {}
+            record["lru_registered"] = []
+            record["solver_delta"] = {}
             finish(name, record)
             return None
         return {
@@ -229,6 +270,7 @@ def run_tasks(
     def seal(name: str, record: dict[str, Any]) -> None:
         record["cache"] = "miss" if cache.enabled else "bypass"
         record["key"] = keys[name]
+        absorb(record)
         if record["status"] == "ok":
             cache.store(keys[name], record)
         finish(name, record)
@@ -266,14 +308,30 @@ def run_tasks(
 
     elapsed = time.perf_counter() - started
     ordered = [records[name] for name in sorted(records)]
+    main_snapshot = cachestats.snapshot()
+    totals = cachestats.aggregate(main_snapshot)
+    for counters in worker_lru_totals.values():
+        for fieldname in ("hits", "misses", "currsize"):
+            totals[fieldname] += counters[fieldname]
     return EngineReport(
         jobs=jobs,
         elapsed_s=elapsed,
         records=ordered,
         cache=cache.describe(),
         lru_caches={
-            "registered": cachestats.registered_names(),
-            "main_process": cachestats.snapshot(),
-            "totals": cachestats.aggregate(),
+            "registered": sorted(
+                set(cachestats.registered_names()) | seen_registered
+            ),
+            "main_process": main_snapshot,
+            "workers": {
+                name: worker_lru_totals[name]
+                for name in sorted(worker_lru_totals)
+            },
+            "totals": totals,
+        },
+        solver={
+            "totals": {
+                name: solver_totals[name] for name in sorted(solver_totals)
+            },
         },
     )

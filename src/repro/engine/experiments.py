@@ -23,12 +23,20 @@ __all__ = ["build_default_registry", "EXPERIMENT_NAMES"]
 
 _HEAVY_P, _HEAVY_Q = 12, 14
 
+#: Version salt shared by every task in the default registry.  Bumped to
+#: "2" when the interned-factor kernel replaced the naive solver and
+#: evaluator underneath the task functions: results are bit-identical,
+#: but records gained solver_delta/lru_registered fields and several
+#: grids grew (E01 max_i 5→6, E02 max_length 4→5), so pre-kernel cache
+#: entries must not satisfy post-kernel runs.
+_ENGINE_VERSION = "2"
+
 
 # ---------------------------------------------------------------------------
 # E01 — Example 3.3: Spoiler wins the 2-round game on a^{2i} vs a^{2i-1}.
 
 
-def run_e01(max_i: int = 5) -> dict[str, Any]:
+def run_e01(max_i: int = 6) -> dict[str, Any]:
     from repro.ef.equivalence import distinguishing_rank, equiv_k
     from repro.ef.game import Move
     from repro.ef.solver import GameSolver
@@ -61,7 +69,7 @@ def run_e01(max_i: int = 5) -> dict[str, Any]:
 # E02 — Theorem 3.4: ≡_k ⟺ agreement on an FC(k) sentence pool.
 
 
-def run_e02(max_length: int = 4, pool_rank: int = 1) -> dict[str, Any]:
+def run_e02(max_length: int = 5, pool_rank: int = 1) -> dict[str, Any]:
     from repro.ef.equivalence import equiv_k
     from repro.fc.enumeration import sentence_pool
     from repro.fc.semantics import defines_language_member
@@ -1085,6 +1093,7 @@ def build_default_registry() -> TaskRegistry:
         "prim/pow2-pairs",
         f"{prim}:unary_minimal_pairs",
         args={"max_rank": 2, "max_exponent": 20},
+        version=_ENGINE_VERSION,
         description="ef.unary — minimal aᵖ ≡_k a^q pairs for k ≤ 2",
     )
     for family, param in _WITNESS_DEP_PARAMS.items():
@@ -1092,6 +1101,7 @@ def build_default_registry() -> TaskRegistry:
             f"prim/witness/{family}",
             f"{prim}:witness_report",
             args={"name": family},
+            version=_ENGINE_VERSION,
             description=f"core.witnesses — Lemma 4.14 chain for {family}",
         )
     registry.add(
@@ -1103,6 +1113,7 @@ def build_default_registry() -> TaskRegistry:
             "k": 2,
             "alphabet": "ab",
         },
+        version=_ENGINE_VERSION,
         description="ef.equivalence — a¹²b¹² ≡₂ a¹⁴b¹² (heavyweight exact)",
     )
     registry.add(
@@ -1114,12 +1125,14 @@ def build_default_registry() -> TaskRegistry:
             "k": 2,
             "alphabet": "ab",
         },
+        version=_ENGINE_VERSION,
         description="ef.equivalence — (ab)¹² ≡₂ (ab)¹⁴ (heavyweight exact)",
     )
     registry.add(
         "prim/synth/aaaa-aaa-k2",
         f"{prim}:synthesize",
         args={"w": "aaaa", "v": "aaa", "k": 2, "alphabet": "ab"},
+        version=_ENGINE_VERSION,
         description="ef.synthesis — verified separating FC(2) certificate",
     )
     for relation in RELATION_NAMES:
@@ -1127,6 +1140,7 @@ def build_default_registry() -> TaskRegistry:
             f"prim/relation/{relation}",
             f"{prim}:relation_agreement",
             args={"name": relation, "max_length": 7},
+            version=_ENGINE_VERSION,
             description=f"core.relations — ψ-reduction agreement for {relation}",
         )
 
@@ -1155,6 +1169,7 @@ def build_default_registry() -> TaskRegistry:
             name,
             f"{here}:run_{name.lower()}",
             deps=experiment_deps.get(name, {}),
+            version=_ENGINE_VERSION,
             description=_EXPERIMENT_DESCRIPTIONS[name],
         )
     return registry

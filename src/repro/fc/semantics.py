@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator
 
+from repro.fc.compiled import compiled_evaluator
 from repro.fc.optimizer import formula_pool
 from repro.fc.structures import BOTTOM, WordStructure, word_structure
 from repro.fc.syntax import (
@@ -219,7 +220,9 @@ def models(
                 f"assignment {variable!r} ↦ {value!r} is not a factor of "
                 f"{word!r}"
             )
-    return evaluate(structure, formula, assignment)
+    # Kernel fast path: interned ids + per-subformula projection cache,
+    # shared process-wide per structure (see repro.fc.compiled).
+    return compiled_evaluator(structure).evaluate(formula, assignment)
 
 
 def satisfying_assignments(
@@ -232,12 +235,16 @@ def satisfying_assignments(
     variables (matching the paper's convention for ⟦φ⟧).
     """
     structure = word_structure(word, alphabet)
+    evaluator = compiled_evaluator(structure)
     variables = sorted(free_variables(formula), key=lambda v: v.name)
     factor_pool = sorted(structure.universe_factors, key=lambda f: (len(f), f))
 
     def recurse(index: int, assignment: Assignment) -> Iterator[Assignment]:
         if index == len(variables):
-            if evaluate(structure, formula, assignment):
+            # The projection cache makes this re-entry cheap: inner
+            # subformulas are recomputed only when *their* free variables
+            # change, not for every enumerated combination.
+            if evaluator.evaluate(formula, assignment):
                 yield dict(assignment)
             return
         variable = variables[index]

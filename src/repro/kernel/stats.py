@@ -1,0 +1,56 @@
+"""Process-global counters for the kernel solver.
+
+The engine executor samples :func:`snapshot` around every task (in the
+worker process that runs it) and reports per-task deltas plus run-wide
+totals in ``BENCH_engine.json`` — the same protocol as
+:mod:`repro.cachestats`, but for search-effort counters instead of
+lru_cache hit rates.
+
+Counters are cumulative per process; all consumers work with deltas, so
+the absolute values never need resetting outside of tests.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["COUNTER_NAMES", "diff", "record", "reset", "snapshot"]
+
+#: Every counter the kernel solver maintains.
+COUNTER_NAMES = (
+    "positions_explored",
+    "table_hits",
+    "symmetry_cuts",
+    "consistency_checks",
+    "tables_built",
+)
+
+_COUNTERS: dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+
+
+def record(name: str, amount: int = 1) -> None:
+    """Increment one counter (unknown names raise ``KeyError``)."""
+    _COUNTERS[name] += amount
+
+
+def snapshot() -> dict[str, int]:
+    """Current value of every counter."""
+    return dict(_COUNTERS)
+
+
+def diff(
+    before: Mapping[str, int], after: Mapping[str, int]
+) -> dict[str, int]:
+    """Counter deltas between two snapshots; zero-delta entries omitted."""
+    deltas = {}
+    for name in COUNTER_NAMES:
+        delta = after.get(name, 0) - before.get(name, 0)
+        if delta:
+            deltas[name] = delta
+    return deltas
+
+
+def reset() -> None:
+    """Zero every counter (tests only — deltas never need this)."""
+    for name in COUNTER_NAMES:
+        _COUNTERS[name] = 0

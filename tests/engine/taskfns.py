@@ -31,6 +31,20 @@ def tupled() -> Any:
     return {"pair": (1, 2), "table": {3: "c"}}
 
 
+def factor_count(word: str) -> int:
+    # Lazy import on purpose: mirrors the real experiment tasks, whose
+    # instrumented caches are only touched inside the executing process.
+    from repro.words.factors import factors
+
+    return len(factors(word))
+
+
+def ef_probe(w: str, v: str, k: int) -> bool:
+    from repro.ef.equivalence import solver_for
+
+    return solver_for(w, v, "ab").duplicator_wins(k)
+
+
 def boom() -> None:
     raise RuntimeError("intentional failure")
 

@@ -1,0 +1,86 @@
+"""The bench-smoke regression gate: comparison logic, not the full run.
+
+(The full run is exercised by CI itself; here we pin down what counts as
+a regression so the gate can't silently rot.)
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+
+from benchmarks.bench_smoke import check  # noqa: E402
+
+
+class _Report:
+    def __init__(self, records):
+        self.records = records
+
+
+def _record(task, positions, status="ok"):
+    return {
+        "task": task,
+        "status": status,
+        "solver_delta": (
+            {"positions_explored": positions} if positions else {}
+        ),
+    }
+
+
+BASELINE = {"positions_explored": {"E01": 100, "E02": 1000, "prim": 0}}
+
+
+def test_matching_run_passes():
+    report = _Report(
+        [_record("E01", 100), _record("E02", 1000), _record("prim", 0)]
+    )
+    assert check(report, BASELINE, tolerance=0.2) == []
+
+
+def test_within_tolerance_passes():
+    report = _Report(
+        [_record("E01", 119), _record("E02", 1000), _record("prim", 0)]
+    )
+    assert check(report, BASELINE, tolerance=0.2) == []
+
+
+def test_regression_beyond_tolerance_fails():
+    report = _Report(
+        [_record("E01", 121), _record("E02", 1000), _record("prim", 0)]
+    )
+    failures = check(report, BASELINE, tolerance=0.2)
+    assert len(failures) == 1
+    assert "E01" in failures[0] and "regressed" in failures[0]
+
+
+def test_task_error_fails_even_without_effort_change():
+    report = _Report(
+        [
+            _record("E01", 100, status="error"),
+            _record("E02", 1000),
+            _record("prim", 0),
+        ]
+    )
+    failures = check(report, BASELINE, tolerance=0.2)
+    assert any("did not finish ok" in f for f in failures)
+
+
+def test_new_solver_work_on_zero_baseline_fails():
+    report = _Report(
+        [_record("E01", 100), _record("E02", 1000), _record("prim", 7)]
+    )
+    failures = check(report, BASELINE, tolerance=0.2)
+    assert any("prim" in f for f in failures)
+
+
+def test_unbaselined_task_fails_loudly():
+    report = _Report([_record("E99", 5)])
+    failures = check(report, BASELINE, tolerance=0.2)
+    assert any("no baseline entry" in f for f in failures)
+
+
+def test_improvement_passes():
+    report = _Report(
+        [_record("E01", 10), _record("E02", 1000), _record("prim", 0)]
+    )
+    assert check(report, BASELINE, tolerance=0.2) == []

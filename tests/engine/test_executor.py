@@ -157,3 +157,73 @@ def test_parallel_failure_isolation(tmp_path):
 def test_jobs_must_be_positive(tmp_path):
     with pytest.raises(ValueError):
         run_tasks(_registry(), jobs=0, cache=ResultCache(root=tmp_path))
+
+
+# -- lru-cache / solver-stats aggregation -----------------------------------
+
+
+def test_pool_worker_cache_activity_is_merged(tmp_path):
+    """Worker-process lru activity must surface in the final report.
+
+    The real experiment tasks import the solver stack lazily inside the
+    executing process, so with a worker pool the parent's own snapshot
+    sees none of their cache traffic — the report must merge the
+    per-record deltas instead (this was the `registered: []` bug).
+    """
+    registry = TaskRegistry()
+    registry.add(
+        "f1", f"{TASKFNS}:factor_count", args={"word": "abcabcabbacb"}
+    )
+    registry.add(
+        "f2", f"{TASKFNS}:factor_count", args={"word": "bbacbacabcab"}
+    )
+    report = run_tasks(registry, jobs=2, cache=ResultCache(root=tmp_path))
+    assert report.ok
+    assert "words.factors.factors" in report.lru_caches["registered"]
+    workers = report.lru_caches["workers"]
+    bucket = workers["words.factors.factors"]
+    assert bucket["hits"] + bucket["misses"] >= 2
+    # Totals = parent aggregate + worker deltas, so they must dominate
+    # the parent-only numbers by exactly the merged worker activity.
+    parent = report.lru_caches["main_process"]
+    parent_hits = sum(c["hits"] for c in parent.values())
+    merged_hits = sum(c["hits"] for c in workers.values())
+    assert report.lru_caches["totals"]["hits"] == parent_hits + merged_hits
+    for record in report.records:
+        assert "words.factors.factors" in record["lru_registered"]
+
+
+def test_sequential_run_does_not_double_count(tmp_path):
+    registry = TaskRegistry()
+    registry.add(
+        "f1", f"{TASKFNS}:factor_count", args={"word": "abcacbabcacb"}
+    )
+    report = run_tasks(registry, jobs=1, cache=ResultCache(root=tmp_path))
+    assert report.ok
+    # Sequential execution happens in this process: its deltas are already
+    # inside the main snapshot, so no worker bucket may exist for them.
+    assert report.lru_caches["workers"] == {}
+    parent_hits = sum(
+        c["hits"] for c in report.lru_caches["main_process"].values()
+    )
+    assert report.lru_caches["totals"]["hits"] == parent_hits
+
+
+def test_solver_stats_flow_into_report(tmp_path):
+    registry = TaskRegistry()
+    registry.add(
+        # Words chosen to be unique to this test: solver_for is a shared
+        # per-process cache, and a solver warmed by another test would
+        # report a zero delta here.
+        "probe", f"{TASKFNS}:ef_probe", args={"w": "aabbab", "v": "aababb", "k": 2}
+    )
+    report = run_tasks(registry, jobs=1, cache=ResultCache(root=tmp_path))
+    assert report.ok
+    delta = report.record_for("probe")["solver_delta"]
+    assert delta["positions_explored"] > 0
+    totals = report.solver["totals"]
+    assert totals["positions_explored"] >= delta["positions_explored"]
+    # A warm rerun does no solver work and must not report any.
+    warm = run_tasks(registry, jobs=1, cache=ResultCache(root=tmp_path))
+    assert warm.record_for("probe")["cache"] == "hit"
+    assert warm.record_for("probe")["solver_delta"] == {}

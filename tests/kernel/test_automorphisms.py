@@ -1,0 +1,77 @@
+"""Automorphism enumeration: rigidity of full structures, exactness of
+the groups it does find, and the identity fallback on oversized inputs."""
+
+import pytest
+
+from repro.kernel.automorphisms import automorphism_group
+from repro.kernel.interning import intern_restricted_table, intern_table
+from repro.words.factors import factors
+
+
+def _is_automorphism(table, perm) -> bool:
+    """Check that ``perm`` fixes ⊥ and constants and preserves R∘ both ways."""
+    n = table.n_factors
+    if perm[0] != 0:
+        return False
+    if any(perm[c] != c for c in table.const_ids):
+        return False
+    for i in range(n + 1):
+        for j in range(n + 1):
+            image = table.cat[i][j]
+            mapped = table.cat[perm[i]][perm[j]]
+            if (image == -1) != (mapped == -1):
+                return False
+            if image != -1 and mapped != perm[image]:
+                return False
+    return True
+
+
+@pytest.mark.parametrize("word", ["", "a", "ab", "abba", "aabab"])
+def test_full_word_structures_are_rigid(word):
+    # ε and the letter constants pin every factor by concat induction, so
+    # symmetry reduction must be a no-op on plain word structures.
+    table = intern_table(word, ("a", "b"))
+    group = automorphism_group(table)
+    assert group == (tuple(range(table.n_factors + 1)),)
+
+
+def test_sparse_restriction_has_a_swap_automorphism():
+    # Restricting a^10 to {aa, aaa} leaves no constants (ε and a collapse
+    # to ⊥) and an empty R∘, so swapping the two factors is an
+    # automorphism — this is the shape that arises in the pseudo-
+    # congruence lookup games.
+    word = "a" * 10
+    table = intern_restricted_table(word, ("a", "b"), frozenset({"aa", "aaa"}))
+    group = automorphism_group(table)
+    assert len(group) == 2
+    identity = tuple(range(table.n_factors + 1))
+    assert group[0] == identity  # identity sorts first
+    swap = group[1]
+    assert swap != identity
+    assert all(_is_automorphism(table, perm) for perm in group)
+
+
+def test_constants_pin_otherwise_symmetric_elements():
+    # {a, b} in "ab" also has an empty R∘ (ab is excluded), but the letter
+    # constants distinguish the two elements, so the group is trivial.
+    table = intern_restricted_table("ab", ("a", "b"), frozenset({"a", "b"}))
+    assert automorphism_group(table) == (tuple(range(table.n_factors + 1)),)
+
+
+def test_every_reported_permutation_is_verified_sound():
+    # A restriction with some surviving R∘ structure: the group must only
+    # contain maps preserving it exactly.
+    word = "a" * 12
+    allowed = frozenset({"a", "aa", "aaaa", "aaaaa"})
+    table = intern_restricted_table(word, ("a", "b"), allowed)
+    group = automorphism_group(table)
+    assert all(_is_automorphism(table, perm) for perm in group)
+
+
+def test_oversized_universe_falls_back_to_identity():
+    # De Bruijn-style word: > 80 distinct factors trips the enumeration
+    # cap, and the documented fallback is the (always sound) trivial group.
+    word = "aaaabaabbababbbbaaa"
+    assert len(factors(word)) > 80
+    table = intern_table(word, ("a", "b"))
+    assert automorphism_group(table) == (tuple(range(table.n_factors + 1)),)

@@ -1,0 +1,145 @@
+"""Differential check: CompiledEvaluator vs the naive FC evaluator.
+
+``evaluate_naive`` is the executable transcription of the Section 2
+satisfaction relation; the projection-cached evaluator must agree with it
+on every formula/word/assignment triple.  Sentences come from the same
+enumeration pools the experiments use, so the grid covers exactly the
+formula shapes the engine evaluates in anger.
+"""
+
+import random
+
+import pytest
+
+from repro.fc.compiled import compiled_evaluator, evaluate_compiled
+from repro.fc.enumeration import sentence_pool
+from repro.fc.semantics import evaluate_naive, satisfying_assignments
+from repro.fc.structures import word_structure
+from repro.fc.syntax import And, Concat, Const, Exists, Forall, Not, Var
+from repro.fcreg.constraints import in_regex
+from repro.words.factors import factors
+from repro.words.generators import words_up_to
+
+ALPHABET = "ab"
+SEED = 20260806
+
+X = Var("x")
+Y = Var("y")
+Z = Var("z")
+
+
+def test_rank1_pool_agrees_on_all_words_up_to_6():
+    sentences = list(sentence_pool(1, ALPHABET, max_atoms=1))
+    for word in words_up_to(ALPHABET, 6):
+        structure = word_structure(word, ALPHABET)
+        for sentence in sentences:
+            fast = evaluate_compiled(structure, sentence, {})
+            slow = evaluate_naive(structure, sentence, {})
+            assert fast == slow, (word, sentence)
+
+
+def test_rank2_pool_sample_agrees_on_words_up_to_4():
+    rng = random.Random(SEED)
+    sentences = rng.sample(list(sentence_pool(2, ALPHABET, max_atoms=2)), 150)
+    for word in words_up_to(ALPHABET, 4):
+        structure = word_structure(word, ALPHABET)
+        for sentence in sentences:
+            fast = evaluate_compiled(structure, sentence, {})
+            slow = evaluate_naive(structure, sentence, {})
+            assert fast == slow, (word, sentence)
+
+
+#: Open formulas whose satisfying-assignment sets are compared in full.
+OPEN_FORMULAS = [
+    Exists(Y, Concat(X, Y, Y)),  # x is a square
+    And(Concat(X, Y, Const("a")), Not(Concat(X, Const("a"), Y))),
+    Forall(Y, Not(Concat(Y, X, X))),  # x·x is not a factor
+    Exists(Y, Exists(Z, And(Concat(X, Y, Z), Concat(X, Z, Y)))),
+]
+
+
+@pytest.mark.parametrize("formula", OPEN_FORMULAS)
+@pytest.mark.parametrize("word", ["", "ab", "aabba", "ababab"])
+def test_open_formulas_agree_pointwise_and_setwise(word, formula):
+    structure = word_structure(word, ALPHABET)
+    universe = sorted(factors(word), key=lambda f: (len(f), f))
+    variables = sorted(
+        {X, Y, Z} & set(_free(formula)), key=lambda v: v.name
+    )
+    expected = set()
+
+    def sweep(index, assignment):
+        if index == len(variables):
+            fast = evaluate_compiled(structure, formula, dict(assignment))
+            slow = evaluate_naive(structure, formula, dict(assignment))
+            assert fast == slow, (word, formula, assignment)
+            if slow:
+                expected.add(frozenset(assignment.items()))
+            return
+        for factor in universe:
+            assignment[variables[index]] = factor
+            sweep(index + 1, assignment)
+        del assignment[variables[index]]
+
+    sweep(0, {})
+    produced = {
+        frozenset(a.items())
+        for a in satisfying_assignments(word, formula, ALPHABET)
+    }
+    assert produced == expected
+
+
+def _free(formula):
+    from repro.fc.syntax import free_variables
+
+    return free_variables(formula)
+
+
+def test_assignment_dict_is_never_mutated():
+    structure = word_structure("abab", ALPHABET)
+    assignment = {X: "ab"}
+    evaluate_compiled(structure, Exists(Y, Concat(Y, X, X)), assignment)
+    assert assignment == {X: "ab"}
+
+
+def test_quantifier_shadowing_restores_outer_binding():
+    # ∃x.(x ≐ ε·ε) rebinds x; the outer x ↦ "ab" must be back in force for
+    # the right conjunct.
+    structure = word_structure("ab", ALPHABET)
+    formula = And(
+        Exists(X, Concat(X, Const(""), Const(""))),
+        Concat(X, Const("a"), Const("b")),
+    )
+    for _ in range(2):  # second pass exercises the warm projection cache
+        assert evaluate_compiled(structure, formula, {X: "ab"}) is True
+        assert evaluate_naive(structure, formula, {X: "ab"}) is True
+
+
+def test_extension_atoms_evaluate_and_bypass_the_cache():
+    # FC[REG] atoms go through the opaque _evaluate hook: results must
+    # match the naive path and must not be projection-cached (their
+    # purity is unknown).
+    structure = word_structure("aabab", ALPHABET)
+    constraint = Exists(X, And(in_regex(X, "a(a|b)*"), Concat(X, Y, Y)))
+    evaluator = compiled_evaluator(word_structure("aabab", ALPHABET))
+    cache_before = len(evaluator._cache)
+    for value in sorted(factors("aabab")):
+        fast = evaluate_compiled(structure, constraint, {Y: value})
+        slow = evaluate_naive(structure, constraint, {Y: value})
+        assert fast == slow, value
+    assert id(constraint) not in evaluator._cache
+    assert len(evaluator._cache) >= cache_before  # pure siblings may cache
+
+
+def test_projection_cache_is_shared_across_outer_bindings():
+    # The inner sentence ∃y.(y ≐ y·y ... ) has no free variables, so under
+    # an outer enumeration it must be computed once and then served from
+    # the projection cache.
+    word = "abba"
+    structure = word_structure(word, ALPHABET)
+    inner = Exists(Y, And(Concat(Y, Y, Y), Not(Concat(Y, Const(""), Const("")))))
+    formula = Exists(X, And(Concat(X, X, Const("")), inner))
+    evaluator = compiled_evaluator(structure)
+    evaluate_compiled(structure, formula, {})
+    projections = evaluator._cache[id(inner)]
+    assert projections[()] == evaluate_naive(structure, inner, {})

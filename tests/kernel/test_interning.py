@@ -1,0 +1,88 @@
+"""InternTable invariants, checked against the string-level structures."""
+
+import pytest
+
+from repro.fc.structures import BOTTOM, word_structure
+from repro.kernel.interning import (
+    BOTTOM_ID,
+    intern_restricted_table,
+    intern_table,
+)
+from repro.words.factors import factors
+
+
+WORDS = ["", "a", "ab", "abba", "aabab", "bbbbbb"]
+
+
+@pytest.mark.parametrize("word", WORDS)
+def test_ids_follow_the_naive_enumeration_order(word):
+    table = intern_table(word, ("a", "b"))
+    ordered = sorted(factors(word), key=lambda f: (len(f), f))
+    assert table.elements == (None, *ordered)
+    assert table.n_factors == len(ordered)
+    assert table.id_of == {f: i for i, f in enumerate(ordered, start=1)}
+    assert table.lengths == (0, *(len(f) for f in ordered))
+
+
+@pytest.mark.parametrize("word", WORDS)
+def test_cat_matches_concat_holds(word):
+    structure = word_structure(word, "ab")
+    table = intern_table(word, ("a", "b"))
+    elements = table.elements
+    n = table.n_factors
+    for i in range(n + 1):
+        for j in range(n + 1):
+            value = table.cat[i][j]
+            if i == 0 or j == 0:
+                assert value == -1  # ⊥ never participates in R∘
+                continue
+            joined = elements[i] + elements[j]
+            if joined in table.id_of:
+                assert value == table.id_of[joined]
+                assert structure.concat_holds(joined, elements[i], elements[j])
+            else:
+                assert value == -1
+
+
+def test_cat_never_yields_bottom():
+    table = intern_table("abab", ("a", "b"))
+    assert all(BOTTOM_ID not in row for row in table.cat)
+
+
+@pytest.mark.parametrize("word", WORDS)
+def test_const_ids_mirror_constants_vector(word):
+    structure = word_structure(word, "ab")
+    table = intern_table(word, ("a", "b"))
+    for const_id, value in zip(table.const_ids, structure.constants_vector()):
+        if value is BOTTOM:
+            assert const_id == BOTTOM_ID
+        else:
+            assert table.elements[const_id] == value
+
+
+def test_restricted_table_respects_sub_universe():
+    structure = word_structure("abba", "ab")
+    allowed = frozenset({"", "a", "ab"})
+    restricted = structure.restrict(allowed)
+    table = intern_restricted_table("abba", ("a", "b"), allowed)
+    assert set(table.id_of) == allowed
+    # "b" is a factor of the word but outside the sub-universe, so the
+    # letter constant b collapses to ⊥ — same as the structure's view.
+    assert restricted.constant("b") is BOTTOM
+    assert table.const_ids[1] == BOTTOM_ID
+    # ab = a·b is not in R∘ of the restriction (b missing), and the cat
+    # table cannot even express it; a·a = aa is simply absent.
+    assert table.cat[table.id_of["a"]][table.id_of["a"]] == -1
+
+
+def test_id_for_roundtrip_and_foreignness():
+    table = intern_table("ab", ("a", "b"))
+    assert table.id_for(None) == BOTTOM_ID
+    for factor in ("", "a", "b", "ab"):
+        assert table.elements[table.id_for(factor)] == factor
+    with pytest.raises(KeyError):
+        table.id_for("ba")
+
+
+def test_tables_are_shared_by_identity():
+    assert intern_table("abba", ("a", "b")) is intern_table("abba", ("a", "b"))

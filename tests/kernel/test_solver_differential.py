@@ -1,0 +1,181 @@
+"""Differential check: kernel GameSolver vs the naive reference solver.
+
+The kernel facade must be *bit-for-bit* compatible with the pre-kernel
+implementation (preserved verbatim as :class:`NaiveGameSolver`): same
+win/lose verdicts, same strategy elements, same move objects.  Exact
+agreement (not just verdict agreement) matters because the formula
+synthesiser consumes the strategy hooks and must stay deterministic
+across the swap.
+"""
+
+import random
+
+import pytest
+
+from repro.ef.game import Move
+from repro.ef.naive import NaiveGameSolver
+from repro.ef.solver import GameSolver, solve_equivalence
+from repro.fc.structures import BOTTOM, word_structure
+from repro.words.factors import factors
+from repro.words.generators import words_up_to
+
+ALPHABET = "ab"
+WORDS4 = list(words_up_to(ALPHABET, 4))
+SEED = 20260806
+
+
+def _pair(word_a, word_b):
+    return (
+        word_structure(word_a, ALPHABET),
+        word_structure(word_b, ALPHABET),
+    )
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_full_grid_up_to_length_4(k):
+    # Every unordered pair of words of length ≤ 4 — the self-pairs pin the
+    # reflexive case, the rest sweep all small win/lose frontiers.
+    for i, word_a in enumerate(WORDS4):
+        for word_b in WORDS4[i:]:
+            structure_a, structure_b = _pair(word_a, word_b)
+            fast = GameSolver(structure_a, structure_b).duplicator_wins(k)
+            slow = solve_equivalence(structure_a, structure_b, k)
+            assert fast == slow, (word_a, word_b, k)
+
+
+def test_seeded_sample_at_lengths_5_and_6():
+    # The full ≤6 grid takes ~1 minute with the naive oracle; a fixed
+    # seeded sample keeps the long-word regime covered in CI time.
+    rng = random.Random(SEED)
+    long_words = [w for w in words_up_to(ALPHABET, 6) if len(w) >= 5]
+    for _ in range(20):
+        word_a = rng.choice(long_words)
+        word_b = rng.choice(long_words)
+        structure_a, structure_b = _pair(word_a, word_b)
+        fast = GameSolver(structure_a, structure_b)
+        for k in (1, 2, 3):
+            slow = solve_equivalence(structure_a, structure_b, k)
+            assert fast.duplicator_wins(k) == slow, (word_a, word_b, k)
+
+
+def _sampled_positions(rng, structure_a, structure_b, count):
+    universe_a = [BOTTOM, *sorted(structure_a.universe_factors)]
+    universe_b = [BOTTOM, *sorted(structure_b.universe_factors)]
+    for _ in range(count):
+        size = rng.randrange(0, 3)
+        yield frozenset(
+            (rng.choice(universe_a), rng.choice(universe_b))
+            for _ in range(size)
+        )
+
+
+def test_midgame_positions_agree_exactly():
+    # consistent / duplicator_wins / winning_response / spoiler_winning_move
+    # on random (possibly inconsistent) positions: the kernel must return
+    # the *same elements*, not merely equally-winning ones.
+    rng = random.Random(SEED)
+    pairs = [("abab", "abba"), ("aab", "aabb"), ("ba", "baa"), ("", "a")]
+    for word_a, word_b in pairs:
+        structure_a, structure_b = _pair(word_a, word_b)
+        fast = GameSolver(structure_a, structure_b)
+        slow = NaiveGameSolver(structure_a, structure_b)
+        for position in _sampled_positions(rng, structure_a, structure_b, 12):
+            assert fast.consistent(position) == slow.consistent(position)
+            for k in (1, 2):
+                assert fast.duplicator_wins(k, position) == slow.duplicator_wins(
+                    k, position
+                ), (word_a, word_b, position, k)
+                assert fast.spoiler_winning_move(
+                    k, position
+                ) == slow.spoiler_winning_move(k, position)
+                assert fast.spoiler_winning_move(
+                    k, position, skip_bottom=True
+                ) == slow.spoiler_winning_move(k, position, skip_bottom=True)
+            if not slow.consistent(position):
+                continue
+            move = Move("A", rng.choice([BOTTOM, *sorted(factors(word_a))]))
+            assert fast.winning_response(2, position, move) == (
+                slow.winning_response(2, position, move)
+            ), (word_a, word_b, position, move)
+
+
+def test_merged_response_order_matches_keyed_sort():
+    # The O(n) two-run merge must reproduce the naive stable sort key
+    # (mirror first, ⊥-status, length distance, ascending-id ties) for
+    # every move element, mirror present or absent.
+    for word_a, word_b in [("abab", "abba"), ("aab", "bbbaa"), ("", "ab")]:
+        structure_a, structure_b = _pair(word_a, word_b)
+        core = GameSolver(structure_a, structure_b)._core
+        for side, count, mirror_map, own, lengths in (
+            (
+                "A",
+                core._n_b + 1,
+                core._mirror_ab,
+                core.table_a.lengths,
+                core.table_b.lengths,
+            ),
+            (
+                "B",
+                core._n_a + 1,
+                core._mirror_ba,
+                core.table_b.lengths,
+                core.table_a.lengths,
+            ),
+        ):
+            for element in range(len(own)):
+                mirror = mirror_map[element]
+                expected = sorted(
+                    range(count),
+                    key=lambda d: (
+                        d != mirror,
+                        (d == 0) != (element == 0),
+                        abs(lengths[d] - own[element]),
+                    ),
+                )
+                assert list(core._responses(side, element)) == expected, (
+                    word_a,
+                    word_b,
+                    side,
+                    element,
+                )
+
+
+def test_winning_response_requires_a_round():
+    structure_a, structure_b = _pair("ab", "ba")
+    solver = GameSolver(structure_a, structure_b)
+    with pytest.raises(ValueError):
+        solver.winning_response(0, frozenset(), Move("A", "a"))
+
+
+def test_restricted_structures_agree():
+    # The E08-style pseudo-congruence games play on restrictions; these are
+    # also the only structures with nontrivial automorphism groups, so this
+    # exercises the symmetry-reduced memo against the oracle.
+    combos = [
+        ("aabb", "ab", "aabbab"),
+        ("abab", "bb", "ababbb"),
+        ("aaa", "aa", "aaaaa"),
+    ]
+    for part_a, part_b, combined in combos:
+        base = word_structure(combined, ALPHABET)
+        structure_a = base.restrict(factors(part_a))
+        structure_b = base.restrict(factors(part_b))
+        fast = GameSolver(structure_a, structure_b)
+        slow = NaiveGameSolver(structure_a, structure_b)
+        for k in (1, 2, 3):
+            assert fast.duplicator_wins(k) == slow.duplicator_wins(k), (
+                part_a,
+                part_b,
+                k,
+            )
+
+
+def test_solver_stats_shape():
+    structure_a, structure_b = _pair("aabba", "abbaa")
+    solver = GameSolver(structure_a, structure_b)
+    solver.duplicator_wins(2)
+    stats = solver.solver_stats()
+    assert stats["positions_explored"] > 0
+    assert stats["consistency_checks"] > 0
+    assert stats["memo_size"] == solver.memo_size()
+    assert stats["universe_a"] == len(factors("aabba")) + 1  # + ⊥
