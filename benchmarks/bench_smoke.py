@@ -2,16 +2,20 @@
 
 Runs a small, fast subset of the experiment DAG (``SMOKE_TASKS`` plus
 their dependency closure) with ``jobs=1`` and the result cache disabled,
-then compares each record's ``positions_explored`` solver delta against
-the committed ``benchmarks/baselines.json``.  The run fails if
+then compares each record's gated solver-delta counters against the
+committed ``benchmarks/baselines.json``.  The run fails if
 
 * any task errors, or
-* any task explores more than ``TOLERANCE`` (20%) *more* positions than
-  its baseline, or explores positions where the baseline has none.
+* any gated counter grows more than ``TOLERANCE`` (20%) over its
+  baseline, or is nonzero where the baseline has zero.
 
-``positions_explored`` counts transposition-table misses in the interned
-EF kernel — it is a machine-independent proxy for solver work, and with
-a single job and a cold cache it is bit-deterministic, so an exact
+The gated counters are machine-independent proxies for solver work —
+``positions_explored`` (EF kernel transposition misses),
+``foeq_positions_explored`` (the FO[EQ] position-game solver),
+and the sweep-layer effort counters (``sweep_words_interned``,
+``sweep_tables_extended`` vs ``sweep_tables_rebuilt`` — a rebuild where
+an extension should happen means the prefix sharing broke).  With a
+single job and a cold cache they are bit-deterministic, so an exact
 baseline with a small headroom band is meaningful where wall-clock time
 would flake.  Big *improvements* are reported but do not fail; refresh
 the baseline to lock them in:
@@ -31,8 +35,18 @@ BASELINE_PATH = Path(__file__).resolve().parent / "baselines.json"
 
 #: Solver-heavy but CI-fast entry points; deps (prim/*) ride along.
 #: E01/E02 drive full-structure games, E08 the restricted
-#: (symmetry-reduced) pseudo-congruence games.
-SMOKE_TASKS = ("E01", "E02", "E08")
+#: (symmetry-reduced) pseudo-congruence games, E05 the batched language
+#: sweep, E20 the FO[EQ] position games (its heavy FC dep rides along).
+SMOKE_TASKS = ("E01", "E02", "E05", "E08", "E20")
+
+#: Solver-delta counters the gate watches, per task.
+GATED_COUNTERS = (
+    "positions_explored",
+    "foeq_positions_explored",
+    "sweep_words_interned",
+    "sweep_tables_extended",
+    "sweep_tables_rebuilt",
+)
 
 TOLERANCE = 0.20
 
@@ -50,11 +64,13 @@ def run_smoke():
         )
 
 
-def positions_by_task(report) -> dict[str, int]:
+def counters_by_task(report) -> dict[str, dict[str, int]]:
+    """Gated solver-delta counters for every record, zeros included."""
     return {
-        record["task"]: record.get("solver_delta", {}).get(
-            "positions_explored", 0
-        )
+        record["task"]: {
+            name: record.get("solver_delta", {}).get(name, 0)
+            for name in GATED_COUNTERS
+        }
         for record in report.records
     }
 
@@ -66,32 +82,34 @@ def check(report, baseline: dict, tolerance: float) -> list[str]:
     if errored:
         failures.append(f"tasks did not finish ok: {', '.join(errored)}")
 
-    current = positions_by_task(report)
-    baseline_tasks = baseline.get("positions_explored", {})
-    for task, explored in sorted(current.items()):
-        expected = baseline_tasks.get(task)
-        if expected is None:
+    baseline_tasks = baseline.get("counters", {})
+    for task, counters in sorted(counters_by_task(report).items()):
+        expected_counters = baseline_tasks.get(task)
+        if expected_counters is None:
             failures.append(
                 f"{task}: no baseline entry — run with --update and commit"
             )
-        elif expected == 0:
-            if explored > 0:
+            continue
+        for name, observed in counters.items():
+            expected = expected_counters.get(name, 0)
+            if expected == 0:
+                if observed > 0:
+                    failures.append(
+                        f"{task}: baseline has no {name} but this run "
+                        f"recorded {observed}"
+                    )
+            elif observed > expected * (1 + tolerance):
                 failures.append(
-                    f"{task}: baseline explores no positions but this run "
-                    f"explored {explored}"
+                    f"{task}: {name} regressed "
+                    f"{expected} -> {observed} "
+                    f"(+{100 * (observed / expected - 1):.0f}%, "
+                    f"tolerance {100 * tolerance:.0f}%)"
                 )
-        elif explored > expected * (1 + tolerance):
-            failures.append(
-                f"{task}: positions_explored regressed "
-                f"{expected} -> {explored} "
-                f"(+{100 * (explored / expected - 1):.0f}%, "
-                f"tolerance {100 * tolerance:.0f}%)"
-            )
-        elif explored < expected * (1 - tolerance):
-            print(
-                f"note: {task} improved {expected} -> {explored}; "
-                "consider --update to tighten the baseline"
-            )
+            elif observed < expected * (1 - tolerance):
+                print(
+                    f"note: {task} improved {name} {expected} -> {observed}; "
+                    "consider --update to tighten the baseline"
+                )
     return failures
 
 
@@ -106,7 +124,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "--tolerance",
         type=float,
         default=TOLERANCE,
-        help="allowed relative increase in positions_explored",
+        help="allowed relative increase in any gated counter",
     )
     options = parser.parse_args(argv)
 
@@ -121,7 +139,8 @@ def main(argv: "list[str] | None" = None) -> int:
                 "benchmarks/bench_smoke.py --update"
             ),
             "smoke_tasks": list(SMOKE_TASKS),
-            "positions_explored": positions_by_task(report),
+            "gated_counters": list(GATED_COUNTERS),
+            "counters": counters_by_task(report),
         }
         BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"baselines written to {BASELINE_PATH}")

@@ -377,9 +377,15 @@ class LintConfig:
         "repro.spanners.regex_formulas",
     )
     # Packages that must be bit-deterministic (witness search + caching).
+    # repro.fc.sweep and repro.foeq joined when the batched sweep
+    # evaluator and the kernel-backed position-game solver landed: both
+    # feed content-addressed engine results, so iteration order in their
+    # search/memo code is load-bearing.
     determinism_prefixes: tuple[str, ...] = (
         "repro.ef",
         "repro.engine",
+        "repro.fc.sweep",
+        "repro.foeq",
         "repro.kernel",
     )
     # Dotted path of the engine registry builder, and the version lock.

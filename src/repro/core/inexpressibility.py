@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.core.relations import PSI_REDUCTIONS, oracle_for
 from repro.core.witnesses import WITNESS_FAMILIES, WitnessPair
-from repro.fc.semantics import defines_language_member
+from repro.fc.semantics import defines_language_members
 from repro.fcreg.bounded import is_bounded_by
 from repro.words.generators import PAPER_LANGUAGES, words_up_to
 
@@ -117,10 +117,17 @@ def relation_report(name: str, max_length: int = 8) -> RelationReport:
     oracle_language = PAPER_LANGUAGES[reduction.target_language]
     psi = reduction.build(oracle_for(name))
     first_bad: str | None = None
-    for word in words_up_to(oracle_language.alphabet, max_length):
-        in_psi = defines_language_member(word, psi, oracle_language.alphabet)
-        in_target = word in oracle_language
-        if in_psi != in_target:
+    # Batched sweep: one compiled program for ψ across the whole grid,
+    # sharing chain decompositions, regex filters and oracle-atom truth
+    # between words (the oracle atom is assignment-pure, so its verdict
+    # per value tuple is memoised family-wide).
+    memberships = defines_language_members(
+        psi,
+        oracle_language.alphabet,
+        words_up_to(oracle_language.alphabet, max_length),
+    )
+    for word, in_psi in memberships:
+        if in_psi != (word in oracle_language):
             first_bad = word
             break
     return RelationReport(

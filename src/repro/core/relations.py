@@ -69,6 +69,10 @@ class OracleAtom(Formula):
     predicate: Callable[..., bool]
     name: str = "R"
 
+    #: Truth depends only on the assigned values (never on the structure),
+    #: so batched sweeps may memoise it per value tuple (repro.fc.sweep).
+    _assignment_pure = True
+
     def __repr__(self) -> str:
         args = ", ".join(v.name for v in self.variables)
         return f"{self.name}({args})"

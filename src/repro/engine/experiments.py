@@ -31,6 +31,17 @@ _HEAVY_P, _HEAVY_Q = 12, 14
 #: entries must not satisfy post-kernel runs.
 _ENGINE_VERSION = "2"
 
+#: Per-task overrides for tasks whose semantics path changed after the
+#: shared salt last moved.  "3" marks the batched-sweep generation:
+#: E02/E05 membership loops route through repro.fc.sweep, E20 runs on
+#: the kernel-backed FO[EQ] solver + compiled position programs (and
+#: now consumes prim/equiv/anbn-k2 instead of recomputing it), and
+#: prim/relation/* evaluates ψ via the sweep.  Results are unchanged,
+#: but solver_delta counters differ, so older cache entries must not
+#: satisfy these tasks.
+_TASK_VERSIONS = {"E02": "3", "E05": "4", "E20": "3"}
+_RELATION_TASK_VERSION = "3"
+
 
 # ---------------------------------------------------------------------------
 # E01 — Example 3.3: Spoiler wins the 2-round game on a^{2i} vs a^{2i-1}.
@@ -72,17 +83,14 @@ def run_e01(max_i: int = 6) -> dict[str, Any]:
 def run_e02(max_length: int = 5, pool_rank: int = 1) -> dict[str, Any]:
     from repro.ef.equivalence import equiv_k
     from repro.fc.enumeration import sentence_pool
-    from repro.fc.semantics import defines_language_member
+    from repro.fc.semantics import language_signatures
     from repro.words.generators import words_up_to
 
     pool = list(sentence_pool(pool_rank, "ab", max_atoms=1))
     words = list(words_up_to("ab", max_length))
-    signatures = {
-        word: tuple(
-            defines_language_member(word, sentence, "ab") for sentence in pool
-        )
-        for word in words
-    }
+    # One sweep family for the whole pool: every sentence shares the
+    # word tables and the global candidate/atom memos (repro.fc.sweep).
+    signatures = dict(language_signatures(pool, "ab", words))
     pairs = consistent = separated_confirmed = 0
     violations = []
     for i, w in enumerate(words):
@@ -171,7 +179,7 @@ def run_e05(
     max_length: int = 8, long_members_up_to: int = 8, power_free_up_to: int = 14
 ) -> dict[str, Any]:
     from repro.fc.builders import phi_fib
-    from repro.fc.semantics import defines_language_member
+    from repro.fc.semantics import defines_language_members
     from repro.words.fibonacci import (
         fibonacci_word,
         is_fourth_power_free,
@@ -183,20 +191,26 @@ def run_e05(
     phi = phi_fib()
     mismatches = []
     total = members = 0
-    for word in words_up_to("abc", max_length):
+    # Batched sweep over the grid: φ_fib is compiled once and the
+    # prefix-tree tables/candidate memos are shared across all 9 841
+    # words (repro.fc.sweep) — this loop was the bench's critical path.
+    memberships = defines_language_members(
+        phi, "abc", words_up_to("abc", max_length)
+    )
+    for word, predicted in memberships:
         total += 1
-        predicted = defines_language_member(word, phi, "abc")
         actual = is_l_fib(word)
         members += actual
         if predicted != actual:
             mismatches.append(word)
+    # Each L_fib word is a prefix of the next, so one batched sweep
+    # shares every factor table along the chain.
+    long_words = [l_fib_word(n) for n in range(long_members_up_to)]
     long_members = [
-        {
-            "n": n,
-            "length": len(l_fib_word(n)),
-            "accepted": defines_language_member(l_fib_word(n), phi, "abc"),
-        }
-        for n in range(long_members_up_to)
+        {"n": n, "length": len(word), "accepted": accepted}
+        for n, (word, accepted) in enumerate(
+            defines_language_members(phi, "abc", long_words)
+        )
     ]
     power_free = [
         {"n": n, "fourth_power_free": is_fourth_power_free(fibonacci_word(n))}
@@ -825,10 +839,12 @@ def run_e19(pow_bound: int = 384) -> dict[str, Any]:
 # E20 — FC vs FO[EQ].
 
 
-def run_e20(agreement_max_length: int = 6) -> dict[str, Any]:
-    from repro.ef.equivalence import distinguishing_rank, equiv_k
+def run_e20(
+    heavy_fc: dict[str, Any], agreement_max_length: int = 6
+) -> dict[str, Any]:
+    from repro.ef.equivalence import distinguishing_rank
     from repro.fc.builders import phi_ww
-    from repro.fc.semantics import models
+    from repro.fc.semantics import defines_language_members
     from repro.foeq.builders import phi_square
     from repro.foeq.games import (
         foeq_distinguishing_rank,
@@ -838,17 +854,25 @@ def run_e20(agreement_max_length: int = 6) -> dict[str, Any]:
     from repro.foeq.semantics import p_models
     from repro.words.generators import words_up_to
 
+    # Both sentences are built once: the FC side runs as a batched sweep
+    # and the FO[EQ] side hits one compiled position program.
+    square = phi_square()
+    fc_members = defines_language_members(
+        phi_ww(), "ab", words_up_to("ab", agreement_max_length)
+    )
     checked = mismatches = 0
-    for w in words_up_to("ab", agreement_max_length):
+    for w, fc_square in fc_members:
         if not w:
             continue  # FC counts ε as a square; FO[EQ]'s ε has no positions
         checked += 1
-        mismatches += p_models(w, phi_square()) != models(w, phi_ww(), "ab")
+        mismatches += p_models(w, square) != fc_square
 
     w, v = "a" * _HEAVY_P + "b" * _HEAVY_P, "a" * _HEAVY_Q + "b" * _HEAVY_P
     shared = {
         "foeq": foeq_equiv_k(w, v, 2),
-        "fc": equiv_k(w, v, 2, "ab"),
+        # The FC half of the shared witness is the heavyweight exact
+        # ≡₂ decision already computed by prim/equiv/anbn-k2.
+        "fc": heavy_fc["equivalent"],
     }
 
     ranks = []
@@ -1140,7 +1164,7 @@ def build_default_registry() -> TaskRegistry:
             f"prim/relation/{relation}",
             f"{prim}:relation_agreement",
             args={"name": relation, "max_length": 7},
-            version=_ENGINE_VERSION,
+            version=_RELATION_TASK_VERSION,
             description=f"core.relations — ψ-reduction agreement for {relation}",
         )
 
@@ -1162,6 +1186,7 @@ def build_default_registry() -> TaskRegistry:
             relation.lower(): f"prim/relation/{relation}"
             for relation in RELATION_NAMES
         },
+        "E20": {"heavy_fc": "prim/equiv/anbn-k2"},
         "E21": {"spot": "prim/synth/aaaa-aaa-k2"},
     }
     for name in EXPERIMENT_NAMES:
@@ -1169,7 +1194,7 @@ def build_default_registry() -> TaskRegistry:
             name,
             f"{here}:run_{name.lower()}",
             deps=experiment_deps.get(name, {}),
-            version=_ENGINE_VERSION,
+            version=_TASK_VERSIONS.get(name, _ENGINE_VERSION),
             description=_EXPERIMENT_DESCRIPTIONS[name],
         )
     return registry

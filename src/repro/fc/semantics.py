@@ -22,6 +22,7 @@ from typing import Dict, Iterable, Iterator
 from repro.fc.compiled import compiled_evaluator
 from repro.fc.optimizer import formula_pool
 from repro.fc.structures import BOTTOM, WordStructure, word_structure
+from repro.fc.sweep import LanguageSweep
 from repro.fc.syntax import (
     And,
     Concat,
@@ -46,6 +47,8 @@ __all__ = [
     "models",
     "satisfying_assignments",
     "defines_language_member",
+    "defines_language_members",
+    "language_signatures",
     "language_slice",
     "languages_agree",
     "FCLanguage",
@@ -266,14 +269,87 @@ def defines_language_member(word: str, sentence: Formula, alphabet: str) -> bool
     return models(word, sentence, alphabet)
 
 
+def _require_sentence(sentence: Formula) -> None:
+    if free_variables(sentence):
+        raise ValueError(
+            f"L(φ) is only defined for sentences; free vars: "
+            f"{sorted(v.name for v in free_variables(sentence))}"
+        )
+
+
+def defines_language_members(
+    sentence: Formula, alphabet: str, words: Iterable[str]
+) -> Iterator[tuple[str, bool]]:
+    """Batched ``w ∈ L(φ)`` over a word family: yield ``(word, member)``.
+
+    Compiles the sentence once against a :class:`repro.fc.sweep`
+    program so interning, candidate pools and pure-atom truth are shared
+    across the whole family; enumeration order of ``words`` is preserved
+    (enumerate prefixes-first, e.g. via ``words_up_to``, for the
+    incremental table extension to pay off).  Sentences outside the
+    sweep fragment fall back to per-word :func:`defines_language_member`
+    with identical results — the differential suite checks the
+    equivalence over full small grids.
+    """
+    _require_sentence(sentence)
+    sweep = LanguageSweep(alphabet)
+    program = sweep.compile(sentence)
+
+    def run() -> Iterator[tuple[str, bool]]:
+        if program is None:
+            for word in words:
+                yield word, models(word, sentence, alphabet)
+            return
+        family = sweep.family
+        for word in words:
+            yield word, program.evaluate(family.table(word))
+
+    return run()
+
+
+def language_signatures(
+    sentences: Iterable[Formula], alphabet: str, words: Iterable[str]
+) -> Iterator[tuple[str, tuple[bool, ...]]]:
+    """Membership signatures over a sentence pool: yield
+    ``(word, (w ∈ L(φ_1), …, w ∈ L(φ_k)))``.
+
+    All sentences share one sweep family (one id space, one table per
+    word), so the E02-style signature computation interns each word's
+    factors once instead of once per sentence.
+    """
+    pool = tuple(sentences)
+    for sentence in pool:
+        _require_sentence(sentence)
+    sweep = LanguageSweep(alphabet)
+    programs = tuple(sweep.compile(sentence) for sentence in pool)
+
+    def run() -> Iterator[tuple[str, tuple[bool, ...]]]:
+        family = sweep.family
+        for word in words:
+            table = None
+            signature = []
+            for sentence, program in zip(pool, programs):
+                if program is None:
+                    signature.append(models(word, sentence, alphabet))
+                    continue
+                if table is None:
+                    table = family.table(word)
+                signature.append(program.evaluate(table))
+            yield word, tuple(signature)
+
+    return run()
+
+
 def language_slice(
     sentence: Formula, alphabet: str, max_length: int
 ) -> frozenset[str]:
     """Return ``L(φ) ∩ Σ^{≤max_length}`` by brute-force enumeration."""
     return frozenset(
         word
-        for word in words_up_to(alphabet, max_length)
-        if defines_language_member(word, sentence, alphabet)
+        for word, member in defines_language_members(
+            sentence, alphabet, words_up_to(alphabet, max_length)
+        )
+        if member
     )
 
 
@@ -287,10 +363,11 @@ def languages_agree(
 
     The finite agreement check used by the Lemma 5.4 rewriting experiments.
     """
-    for word in words_up_to(alphabet, max_length):
-        if defines_language_member(word, sentence_a, alphabet) != (
-            defines_language_member(word, sentence_b, alphabet)
-        ):
+    pair = language_signatures(
+        (sentence_a, sentence_b), alphabet, words_up_to(alphabet, max_length)
+    )
+    for _word, (in_a, in_b) in pair:
+        if in_a != in_b:
             return False
     return True
 
@@ -320,8 +397,11 @@ class FCLanguage:
         self, oracle: Iterable[str] | object, max_length: int
     ) -> bool:
         """Check agreement with an oracle supporting ``in`` up to length n."""
-        for word in words_up_to(self.alphabet, max_length):
-            if (word in self) != (word in oracle):  # type: ignore[operator]
+        members = defines_language_members(
+            self.sentence, self.alphabet, words_up_to(self.alphabet, max_length)
+        )
+        for word, member in members:
+            if member != (word in oracle):  # type: ignore[operator]
                 return False
         return True
 
@@ -330,8 +410,11 @@ class FCLanguage:
     ) -> str | None:
         """Return the shortest word on which the language and oracle differ,
         or ``None`` if they agree up to ``max_length``."""
-        for word in words_up_to(self.alphabet, max_length):
-            if (word in self) != (word in oracle):  # type: ignore[operator]
+        members = defines_language_members(
+            self.sentence, self.alphabet, words_up_to(self.alphabet, max_length)
+        )
+        for word, member in members:
+            if member != (word in oracle):  # type: ignore[operator]
                 return word
         return None
 

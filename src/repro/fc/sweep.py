@@ -1,0 +1,775 @@
+"""Batched FC sentence evaluation over a word family (the sweep layer).
+
+Membership sweeps — ``L(φ) ∩ Σ^{≤n}`` in E05, the E02 signature pools,
+the Theorem 5.8 agreement checks — evaluate one *fixed* sentence on
+thousands of words.  The per-word evaluator
+(:class:`repro.fc.compiled.CompiledEvaluator`) re-derives everything per
+word: free-variable sets, purity, candidate pools, regex/oracle atom
+truth.  Profiling the E05 grid put ~65% of the wall time in
+re-computing :func:`repro.fc.optimizer.formula_pool` from scratch at
+every quantifier entry of every word.
+
+:class:`SweepProgram` compiles the sentence **once per family** into a
+plan tree and shares everything that is word-independent:
+
+* **Pool plans** — which atoms constrain each quantified variable, with
+  which terms known/masked, is static; only the known *values* vary.
+  The ``formula_pool`` recursion is compiled away into a small
+  intersection/union tree over per-atom candidate generators.
+* **Global candidate memos** — candidates derived from a known head
+  value are substrings of that value, hence factors of *any* word the
+  value occurs in: chain decompositions, prefix/suffix cuts and halves
+  are memoised per value across the whole family (gid-keyed via
+  :class:`repro.kernel.sweep.SweepFamily`).  Only whole-word scans
+  (``factors with prefix p``) stay per-word.
+* **Assignment-pure extension atoms** — atoms declaring
+  ``_assignment_pure`` (their truth depends only on the values of their
+  free variables: regex constraints on variables, the Theorem 5.8
+  oracle atoms) are memoised per value tuple across the family, so a
+  DFA runs once per distinct factor instead of once per enumerated
+  tuple.  A sentence with any *non*-pure extension atom makes
+  ``compile`` return ``None`` and the caller falls back to the exact
+  per-word path.
+* **Conjunct ordering** — flattened ∧/∨ chains are evaluated cheapest
+  subformula first (evaluation is total, so the boolean result is
+  order-independent); φ_fib's ``φ_w(u) ∧ chain ∧ …`` blocks stop
+  paying the quantified whole-word check on every candidate that a
+  one-probe chain atom already refutes.
+
+Truth of a quantifier-free pure subformula depends only on the gid
+assignment, not the word: values are factors, so ``x = y·z`` over
+factors holds in the structure iff it holds as a string equation.
+Quantified subformulas *do* depend on the word (scans range over its
+factors), so projection caches stay per word, exactly as in the
+compiled evaluator.
+
+Differential tests (``tests/fc/test_sweep_differential.py``) prove the
+batched results equal per-word ``defines_language_member`` over full
+small grids and seeded longer samples, including regex- and
+oracle-bearing sentences.
+"""
+
+from __future__ import annotations
+
+from repro.fc.syntax import (
+    And,
+    Concat,
+    ConcatChain,
+    Const,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Var,
+    free_variables,
+)
+from repro.kernel.sweep import SweepFamily, SweepTable
+
+__all__ = ["LanguageSweep", "SweepProgram"]
+
+
+class _Unsupported(Exception):
+    """Sentence outside the sweep fragment (non-pure extension atom)."""
+
+
+class _WordView:
+    """Minimal structure stand-in passed to assignment-pure extension
+    atoms (whose contract is to not inspect the structure beyond
+    constants)."""
+
+    __slots__ = ("word", "alphabet")
+
+    def __init__(self, word: str, alphabet: str) -> None:
+        self.word = word
+        self.alphabet = alphabet
+
+    def constant(self, symbol: str):
+        if symbol == "":
+            return ""
+        if symbol not in self.alphabet:
+            raise ValueError(
+                f"{symbol!r} is not a constant of τ_{{{self.alphabet}}}"
+            )
+        return symbol if symbol in self.word else None
+
+
+# Plan-node kinds.
+_CONCAT, _CHAIN, _NOT, _AND, _OR, _IMPLIES, _QUANT, _EXT = range(8)
+
+
+class _Plan:
+    """One compiled formula node (a parallel tree over the sentence)."""
+
+    __slots__ = (
+        "kind",
+        "node",
+        "children",
+        "cost",
+        "codes",
+        "var_slot",
+        "want",
+        "free",
+        "pool",
+        "cache_index",
+        "ext_index",
+        "ext_free",
+    )
+
+    def __init__(self, kind: int, node: Formula) -> None:
+        self.kind = kind
+        self.node = node
+        self.children: tuple = ()
+        self.cost = 1
+        #: term codes: gid for a Const (≥ 0), ``-(slot + 1)`` for a Var.
+        self.codes: tuple = ()
+        self.var_slot = -1
+        self.want = True
+        #: environment slots of the node's free variables (projection).
+        self.free: tuple = ()
+        self.pool = None
+        self.cache_index = -1
+        self.ext_index = -1
+        self.ext_free: tuple = ()
+
+
+# Pool-expression nodes.  A pool expression evaluates to a frozenset of
+# gids that is guaranteed to contain every value of the pooled variable
+# under which the guarded subformula can reach the decisive truth value
+# (the formula_pool soundness invariant); ``None`` pool plans mean
+# "unconstrained — scan the word's universe".
+
+
+class _PoolAtom:
+    """Candidate generator from one Concat/ConcatChain atom.
+
+    ``case`` selects the specialised generator (which terms are known is
+    static); ``refs`` holds per-term value sources: an int gid ≥ 0 for
+    constants (resolved globally — see the module docstring for why the
+    per-word ⊥ check is unnecessary inside pools), ``-(slot + 1)`` for
+    outer-bound variables, ``None`` for the pooled/masked unknowns.
+    """
+
+    __slots__ = ("case", "refs", "atom", "var", "index")
+
+    def __init__(self, case: str, refs: tuple, atom, var, index: int) -> None:
+        self.case = case
+        self.refs = refs
+        self.atom = atom
+        self.var = var
+        self.index = index
+
+
+class _PoolFilter:
+    """An assignment-pure unary extension atom used as a membership
+    filter (memoised per gid family-wide)."""
+
+    __slots__ = ("atom", "var", "index")
+
+    def __init__(self, atom, var, index: int) -> None:
+        self.atom = atom
+        self.var = var
+        self.index = index
+
+
+class _PoolInter:
+    __slots__ = ("sets", "filters")
+
+    def __init__(self, sets: tuple, filters: tuple) -> None:
+        self.sets = sets
+        self.filters = filters
+
+
+class _PoolUnion:
+    __slots__ = ("children",)
+
+    def __init__(self, children: tuple) -> None:
+        self.children = children
+
+
+class _Ctx:
+    """Per-word evaluation state."""
+
+    __slots__ = ("table", "env", "caches", "scan_memo", "view")
+
+    def __init__(
+        self, table: SweepTable, n_slots: int, n_caches: int, view
+    ) -> None:
+        self.table = table
+        #: slot → gid of the current (partial) assignment.
+        self.env: list = [None] * n_slots
+        #: per-quantifier projection caches (projection tuple → bool).
+        self.caches = [dict() for _ in range(n_caches)]
+        #: per-word memo for word-dependent candidate scans.
+        self.scan_memo: dict = {}
+        self.view = view
+
+
+class SweepProgram:
+    """One sentence compiled against one :class:`SweepFamily`."""
+
+    def __init__(
+        self, sentence: Formula, family: SweepFamily, alphabet: str
+    ) -> None:
+        self.family = family
+        self.alphabet = alphabet
+        self._quant_count = 0
+        self._pool_index = 0
+        self._ext_count = 0
+        #: Var → environment-slot index.  Rebinding a variable reuses
+        #: its slot; the quantifier's save/restore gives shadowing the
+        #: same semantics the assignment dict had.
+        self._slot_of: dict = {}
+        #: family-global memos (all gid-keyed, hence word-independent).
+        self._span_memo: dict = {}
+        self._chain_memo: dict = {}
+        self._filter_memo: dict = {}
+        self._ext_memo: dict = {}
+        self.root = self._compile(sentence)
+        self._n_slots = len(self._slot_of)
+        self._eps = family.epsilon_id
+
+    # -- compilation ---------------------------------------------------------
+
+    def _slot(self, var: Var) -> int:
+        return self._slot_of.setdefault(var, len(self._slot_of))
+
+    def _code(self, term) -> int:
+        """Term code: Const → its gid (≥ 0), Var → ``-(slot + 1)``."""
+        if isinstance(term, Const):
+            return self.family.intern(term.symbol)
+        return -1 - self._slot(term)
+
+    def _compile(self, node: Formula) -> _Plan:
+        if isinstance(node, Concat):
+            plan = _Plan(_CONCAT, node)
+            terms = (node.x, node.y, node.z)
+            self._intern_consts(terms)
+            plan.codes = tuple(self._code(t) for t in terms)
+            plan.cost = 1
+            return plan
+        if isinstance(node, ConcatChain):
+            plan = _Plan(_CHAIN, node)
+            terms = (node.x, *node.parts)
+            self._intern_consts(terms)
+            plan.codes = tuple(self._code(t) for t in terms)
+            plan.cost = len(node.parts)
+            return plan
+        if isinstance(node, Not):
+            plan = _Plan(_NOT, node)
+            child = self._compile(node.inner)
+            plan.children = (child,)
+            plan.cost = child.cost
+            return plan
+        if isinstance(node, (And, Or)):
+            plan = _Plan(_AND if isinstance(node, And) else _OR, node)
+            flat: list[_Plan] = []
+            self._flatten(node, type(node), flat)
+            # Cheapest conjunct/disjunct first: evaluation is total, so
+            # short-circuit order cannot change the boolean result, and
+            # stable sort keeps the source order among equals.
+            flat.sort(key=lambda p: p.cost)
+            plan.children = tuple(flat)
+            plan.cost = sum(p.cost for p in flat)
+            return plan
+        if isinstance(node, Implies):
+            plan = _Plan(_IMPLIES, node)
+            plan.children = (
+                self._compile(node.left),
+                self._compile(node.right),
+            )
+            plan.cost = plan.children[0].cost + plan.children[1].cost
+            return plan
+        if isinstance(node, (Exists, Forall)):
+            plan = _Plan(_QUANT, node)
+            inner = self._compile(node.inner)
+            plan.children = (inner,)
+            plan.var_slot = self._slot(node.var)
+            plan.want = isinstance(node, Exists)
+            plan.free = tuple(
+                self._slot(v)
+                for v in sorted(free_variables(node), key=lambda v: v.name)
+            )
+            plan.cache_index = self._quant_count
+            self._quant_count += 1
+            plan.pool = self._compile_pool(
+                node.inner, node.var, plan.want, frozenset()
+            )
+            plan.cost = 10 + 20 * inner.cost
+            return plan
+        # Extension atom: admitted only when assignment-pure, i.e. its
+        # truth is a function of its free-variable values alone — the
+        # family-wide value-tuple memo is sound exactly then.
+        if getattr(node, "_evaluate", None) is not None:
+            if not getattr(node, "_assignment_pure", False):
+                raise _Unsupported(f"extension atom {node!r} is not pure")
+            plan = _Plan(_EXT, node)
+            plan.ext_free = tuple(
+                sorted(free_variables(node), key=lambda v: v.name)
+            )
+            plan.free = tuple(self._slot(v) for v in plan.ext_free)
+            plan.ext_index = self._ext_count
+            self._ext_count += 1
+            plan.cost = 5
+            return plan
+        raise _Unsupported(f"unknown formula node: {node!r}")
+
+    def _flatten(self, node: Formula, op: type, out: list) -> None:
+        if isinstance(node, op):
+            self._flatten(node.left, op, out)
+            self._flatten(node.right, op, out)
+        else:
+            out.append(self._compile(node))
+
+    def _intern_consts(self, terms: tuple) -> None:
+        for term in terms:
+            if isinstance(term, Const):
+                if term.symbol != "" and term.symbol not in self.alphabet:
+                    # Fall back so the per-word path raises the same
+                    # ValueError the structure would.
+                    raise _Unsupported(f"constant {term.symbol!r} ∉ Σ")
+                self.family.intern(term.symbol)
+
+    # -- pool compilation (static formula_pool) ------------------------------
+
+    def _compile_pool(
+        self, node: Formula, var: Var, target: bool, masked: frozenset
+    ):
+        """Static twin of :func:`repro.fc.optimizer.formula_pool`: the
+        recursion over the formula happens here, once; what remains for
+        runtime is per-atom candidate generation."""
+        if isinstance(node, (Concat, ConcatChain)):
+            if not target:
+                return None
+            return self._compile_pool_atom(node, var, masked)
+        if isinstance(node, Not):
+            return self._compile_pool(node.inner, var, not target, masked)
+        if isinstance(node, (And, Or, Implies)):
+            if isinstance(node, And):
+                pairs = ((node.left, target), (node.right, target))
+                want_inter = target
+            elif isinstance(node, Or):
+                pairs = ((node.left, target), (node.right, target))
+                want_inter = not target
+            else:  # (P → Q) ≡ ¬P ∨ Q
+                pairs = ((node.left, not target), (node.right, target))
+                want_inter = not target
+            children = [
+                self._compile_pool(sub, var, sub_target, masked)
+                for sub, sub_target in pairs
+            ]
+            if want_inter:
+                kept = [c for c in children if c is not None]
+                return self._make_inter(kept)
+            if any(c is None for c in children):
+                return None
+            return _PoolUnion(tuple(children))
+        if isinstance(node, (Exists, Forall)):
+            if node.var == var:
+                # Rebinding: every atom below sees var as masked, so the
+                # whole subtree is unconstraining.
+                return None
+            return self._compile_pool(
+                node.inner, var, target, masked | {node.var}
+            )
+        # Extension atom: contributes only as a truth filter, mirroring
+        # the _candidates hook (unary on the pooled variable, positive
+        # polarity).
+        if (
+            target
+            and getattr(node, "_candidates", None) is not None
+            and getattr(node, "_assignment_pure", False)
+        ):
+            free = free_variables(node)
+            if free == frozenset((var,)):
+                index = self._pool_index
+                self._pool_index += 1
+                return _PoolFilter(node, var, index)
+        return None
+
+    def _make_inter(self, children: list):
+        if not children:
+            return None
+        if len(children) == 1:
+            return children[0]
+        sets = tuple(c for c in children if not isinstance(c, _PoolFilter))
+        filters = tuple(c for c in children if isinstance(c, _PoolFilter))
+        return _PoolInter(sets, filters)
+
+    def _compile_pool_atom(self, atom, var: Var, masked: frozenset):
+        """Pick the specialised candidate case for one atom; ``None``
+        when the atom cannot constrain ``var`` (matching the dynamic
+        logic of ``_atom_candidates``/``_chain_candidates``)."""
+
+        def ref(term):
+            """Value source for a term: gid ≥ 0 (Const), ``-(slot+1)``
+            (outer-bound Var), or None (the pooled variable / a masked
+            inner variable)."""
+            if isinstance(term, Const):
+                return self.family.intern(term.symbol)
+            if term == var or term in masked:
+                return None
+            return -1 - self._slot(term)
+
+        index = self._pool_index
+        self._pool_index += 1
+        if isinstance(atom, Concat):
+            terms = (atom.x, atom.y, atom.z)
+            if var not in terms:
+                return None
+            in_x, in_y, in_z = (t == var for t in terms)
+            x_ref, y_ref, z_ref = (ref(t) for t in terms)
+            if in_x and not in_y and not in_z:
+                if y_ref is not None and z_ref is not None:
+                    return _PoolAtom("xc", (y_ref, z_ref), atom, var, index)
+                if y_ref is not None:
+                    return _PoolAtom("xp", (y_ref,), atom, var, index)
+                if z_ref is not None:
+                    return _PoolAtom("xs", (z_ref,), atom, var, index)
+                return None
+            if in_y or in_z:
+                if x_ref is None:
+                    return None  # includes the in_x-and-in_y/z mixes
+                if in_y and in_z:
+                    return _PoolAtom("half", (x_ref,), atom, var, index)
+                if in_y:
+                    if z_ref is not None:
+                        return _PoolAtom(
+                            "ycut", (x_ref, z_ref), atom, var, index
+                        )
+                    return _PoolAtom("yall", (x_ref,), atom, var, index)
+                if y_ref is not None:
+                    return _PoolAtom("zcut", (x_ref, y_ref), atom, var, index)
+                return _PoolAtom("zall", (x_ref,), atom, var, index)
+            return None
+        # ConcatChain.
+        if var == atom.x:
+            refs = tuple(ref(part) for part in atom.parts)
+            if any(r is None for r in refs):
+                return None
+            return _PoolAtom("fold", refs, atom, var, index)
+        if var not in atom.parts:
+            return None
+        head_ref = ref(atom.x)
+        if head_ref is None:
+            return None
+        part_refs = tuple(
+            None if part == var else ref(part) for part in atom.parts
+        )
+        return _PoolAtom("bt", (head_ref, *part_refs), atom, var, index)
+
+    # -- pool evaluation -----------------------------------------------------
+
+    def _resolve(self, ref: int, ctx: _Ctx) -> int:
+        """Runtime value of a compiled ref (gid or outer-bound slot)."""
+        if ref >= 0:
+            return ref
+        return ctx.env[-1 - ref]
+
+    def _pool_eval(self, expr, ctx: _Ctx) -> frozenset:
+        if isinstance(expr, _PoolAtom):
+            return self._pool_atom_eval(expr, ctx)
+        if isinstance(expr, _PoolInter):
+            pool = None
+            for child in expr.sets:
+                candidates = self._pool_eval(child, ctx)
+                pool = candidates if pool is None else pool & candidates
+                if pool is not None and not pool:
+                    return pool
+            for flt in expr.filters:
+                source = ctx.table.universe if pool is None else pool
+                pool = frozenset(
+                    gid for gid in source if self._filter_ok(flt, gid, ctx)
+                )
+                if not pool:
+                    return pool
+            return pool
+        if isinstance(expr, _PoolUnion):
+            merged: set = set()
+            for child in expr.children:
+                merged |= self._pool_eval(child, ctx)
+            return frozenset(merged)
+        # _PoolFilter standing alone: filter the word's universe.
+        return frozenset(
+            gid
+            for gid in ctx.table.universe
+            if self._filter_ok(expr, gid, ctx)
+        )
+
+    def _filter_ok(self, flt: _PoolFilter, gid: int, ctx: _Ctx) -> bool:
+        key = (flt.index, gid)
+        cached = self._filter_memo.get(key)
+        if cached is None:
+            cached = flt.atom._evaluate(
+                ctx.view, {flt.var: self.family.strings[gid]}
+            )
+            self._filter_memo[key] = cached
+        return cached
+
+    def _pool_atom_eval(self, pa: _PoolAtom, ctx: _Ctx) -> frozenset:
+        family = self.family
+        texts = family.strings
+        case = pa.case
+        if case == "xc":
+            combined = family.cat(
+                self._resolve(pa.refs[0], ctx), self._resolve(pa.refs[1], ctx)
+            )
+            if combined in ctx.table.members:
+                return frozenset((combined,))
+            return frozenset()
+        if case == "fold":
+            joined = family.epsilon_id
+            for ref in pa.refs:
+                joined = family.cat(joined, self._resolve(ref, ctx))
+            if joined in ctx.table.members:
+                return frozenset((joined,))
+            return frozenset()
+        if case in ("xp", "xs"):
+            # Whole-word scans are the only word-dependent candidates:
+            # memoised per word (ctx), keyed by the known value.
+            value = self._resolve(pa.refs[0], ctx)
+            key = (case, value)
+            cached = ctx.scan_memo.get(key)
+            if cached is None:
+                cached = self._word_scan(case, texts[value], ctx)
+                ctx.scan_memo[key] = cached
+            return cached
+        if case == "bt":
+            env = ctx.env
+            head = self._resolve(pa.refs[0], ctx)
+            knowns = tuple(
+                ref if ref is None or ref >= 0 else env[-1 - ref]
+                for ref in pa.refs[1:]
+            )
+            key = (pa.index, head, knowns)
+            cached = self._chain_memo.get(key)
+            if cached is None:
+                cached = self._chain_backtrack(pa, head, knowns)
+                self._chain_memo[key] = cached
+            return cached
+        # Span cases: substrings of one known value — word-independent.
+        values = tuple(self._resolve(ref, ctx) for ref in pa.refs)
+        key = (case, *values)
+        cached = self._span_memo.get(key)
+        if cached is None:
+            cached = self._span_candidates(case, values)
+            self._span_memo[key] = cached
+        return cached
+
+    def _word_scan(self, case: str, value: str, ctx: _Ctx) -> frozenset:
+        """Factors of the current word with a given prefix/suffix."""
+        word = ctx.table.word
+        intern = self.family.intern
+        found: set[int] = set()
+        start = word.find(value)
+        if case == "xp":
+            while start != -1:
+                for end in range(start + len(value), len(word) + 1):
+                    found.add(intern(word[start:end]))
+                start = word.find(value, start + 1)
+        else:
+            while start != -1:
+                end = start + len(value)
+                for begin in range(0, start + 1):
+                    found.add(intern(word[begin:end]))
+                start = word.find(value, start + 1)
+        return frozenset(found)
+
+    def _span_candidates(self, case: str, values: tuple) -> frozenset:
+        """Candidates that are substrings of the known head value —
+        factors of every word the value occurs in, hence family-global."""
+        texts = self.family.strings
+        intern = self.family.intern
+        x_val = texts[values[0]]
+        if case == "half":
+            half, rem = divmod(len(x_val), 2)
+            if rem == 0 and x_val[:half] == x_val[half:]:
+                return frozenset((intern(x_val[:half]),))
+            return frozenset()
+        if case == "ycut":
+            z_val = texts[values[1]]
+            if x_val.endswith(z_val):
+                return frozenset(
+                    (intern(x_val[: len(x_val) - len(z_val)]),)
+                )
+            return frozenset()
+        if case == "zcut":
+            y_val = texts[values[1]]
+            if x_val.startswith(y_val):
+                return frozenset((intern(x_val[len(y_val) :]),))
+            return frozenset()
+        if case == "yall":
+            return frozenset(
+                intern(x_val[:i]) for i in range(len(x_val) + 1)
+            )
+        # "zall"
+        return frozenset(intern(x_val[i:]) for i in range(len(x_val) + 1))
+
+    def _chain_backtrack(
+        self, pa: _PoolAtom, head_gid: int, knowns: tuple
+    ) -> frozenset:
+        """Project the head's chain decompositions onto the pooled
+        variable (the port of ``_chain_candidates``, on the global id
+        space)."""
+        family = self.family
+        head = family.strings[head_gid]
+        parts = pa.atom.parts
+        var = pa.var
+        texts = family.strings
+        values = [None if g is None else texts[g] for g in knowns]
+        total = len(head)
+        results: set[str] = set()
+
+        def backtrack(index: int, pos: int, local: dict) -> None:
+            if index == len(parts):
+                if pos == total:
+                    results.add(local[var])
+                return
+            value = values[index]
+            t = parts[index]
+            if value is None:
+                value = local.get(t)
+            if value is not None:
+                if head.startswith(value, pos):
+                    backtrack(index + 1, pos + len(value), local)
+                return
+            owned = t not in local
+            for end in range(pos, total + 1):
+                local[t] = head[pos:end]
+                backtrack(index + 1, end, local)
+            if owned:
+                del local[t]
+
+        backtrack(0, 0, {})
+        return frozenset(family.intern(s) for s in results)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, table: SweepTable) -> bool:
+        """Truth of the sentence on ``table``'s word."""
+        ctx = _Ctx(
+            table,
+            self._n_slots,
+            self._quant_count,
+            _WordView(table.word, self.alphabet),
+        )
+        return self._eval(self.root, ctx)
+
+    def _term_gid(self, code: int, ctx: _Ctx):
+        """Truth-evaluation term value: gid, or ``None`` for a ⊥
+        constant (a letter absent from the word).  Out-of-alphabet
+        constants never compile, so every gid code here is ε or a
+        letter of Σ."""
+        if code < 0:
+            return ctx.env[-1 - code]
+        if code == self._eps:
+            return code
+        return code if code in ctx.table.members else None
+
+    def _eval(self, plan: _Plan, ctx: _Ctx) -> bool:
+        kind = plan.kind
+        if kind == _CONCAT:
+            codes = plan.codes
+            x = self._term_gid(codes[0], ctx)
+            y = self._term_gid(codes[1], ctx)
+            z = self._term_gid(codes[2], ctx)
+            if x is None or y is None or z is None:
+                return False
+            # Values are factors of the word, so the string equation
+            # x = y·z is exactly R∘ membership.
+            return self.family.cat(y, z) == x
+        if kind == _CHAIN:
+            head = self._term_gid(plan.codes[0], ctx)
+            if head is None:
+                return False
+            members = ctx.table.members
+            cat = self.family.cat
+            joined = self._eps
+            for code in plan.codes[1:]:
+                value = self._term_gid(code, ctx)
+                if value is None:
+                    return False
+                joined = cat(joined, value)
+                if joined not in members:
+                    # A true chain's partial concatenations are prefixes
+                    # of the (factor) head, hence factors: fail early.
+                    return False
+            return joined == head
+        if kind == _AND:
+            for child in plan.children:
+                if not self._eval(child, ctx):
+                    return False
+            return True
+        if kind == _OR:
+            for child in plan.children:
+                if self._eval(child, ctx):
+                    return True
+            return False
+        if kind == _NOT:
+            return not self._eval(plan.children[0], ctx)
+        if kind == _IMPLIES:
+            return (not self._eval(plan.children[0], ctx)) or self._eval(
+                plan.children[1], ctx
+            )
+        if kind == _QUANT:
+            return self._quantifier(plan, ctx)
+        # _EXT: assignment-pure — memoised on the value projection.
+        env = ctx.env
+        projection = tuple(env[s] for s in plan.free)
+        key = (plan.ext_index, projection)
+        cached = self._ext_memo.get(key)
+        if cached is None:
+            texts = self.family.strings
+            assignment = {
+                v: texts[g] for v, g in zip(plan.ext_free, projection)
+            }
+            cached = plan.node._evaluate(ctx.view, assignment)
+            self._ext_memo[key] = cached
+        return cached
+
+    def _quantifier(self, plan: _Plan, ctx: _Ctx) -> bool:
+        env = ctx.env
+        slot = plan.var_slot
+        shadow = env[slot]
+
+        cache = ctx.caches[plan.cache_index]
+        projection = tuple(env[s] for s in plan.free)
+        result = cache.get(projection)
+        if result is None:
+            env[slot] = None
+            if plan.pool is None:
+                scan = ctx.table.universe
+            else:
+                pool = self._pool_eval(plan.pool, ctx)
+                scan = sorted(pool, key=self.family.sort_key)
+            want = plan.want
+            inner = plan.children[0]
+            result = not want
+            for gid in scan:
+                env[slot] = gid
+                if self._eval(inner, ctx) == want:
+                    result = want
+                    break
+            cache[projection] = result
+
+        env[slot] = shadow
+        return result
+
+
+class LanguageSweep:
+    """A shared id space for evaluating sentences over one alphabet's
+    word family (one instance per sweep; multiple sentences may share
+    it, as the E02 signature pool does)."""
+
+    def __init__(self, alphabet: str) -> None:
+        self.alphabet = alphabet
+        self.family = SweepFamily(tuple(alphabet))
+
+    def compile(self, sentence: Formula) -> "SweepProgram | None":
+        """Compile ``sentence``, or ``None`` when it falls outside the
+        sweep fragment (the caller then uses the per-word path)."""
+        try:
+            return SweepProgram(sentence, self.family, self.alphabet)
+        except _Unsupported:
+            return None

@@ -46,6 +46,14 @@ class RegularConstraint(Formula):
 
     # -- FC extension hooks --------------------------------------------------
 
+    @property
+    def _assignment_pure(self) -> bool:
+        """With a variable subject, truth is a function of the assigned
+        value alone, so batched sweeps (repro.fc.sweep) may memoise the
+        DFA run per value; a Const subject reads the structure (⊥ when
+        the letter is absent from the word) and must stay per-word."""
+        return isinstance(self.x, Var)
+
     def _quantifier_rank(self) -> int:
         return 0
 

@@ -5,14 +5,40 @@ game solving reaches further here than for FC.  The solver decides
 ``w ≡_k^{FO[EQ]} v`` — Duplicator survival in the k-round game over the
 position structures — with the partial-isomorphism condition induced by
 the signature {<, (P_a), EQ}.
+
+Since the interned-factor kernel landed this solver follows its playbook
+(:mod:`repro.kernel.efcore`) on the position side:
+
+* **Interned intervals.**  Every factor ``w[i..j]`` / ``v[i..j]`` gets a
+  dense id from one shared pool at construction, so the EQ condition
+  compares ints instead of slicing strings (the old solver sliced
+  O(n) characters per ``factor_at``, O(m⁴) times per consistency check).
+* **Incremental consistency.**  Extending a consistent position by one
+  pair validates letters and order against the new pair only; the EQ
+  condition collapses from the O(m⁴) quadruple scan to an O(m²) partial-
+  bijection check over interval ids (sound because order mirroring
+  already forces interval *definedness* to coincide — see
+  ``_extend``).
+* **Canonical transposition keys.**  Position structures are rigid (any
+  automorphism of a finite total order is the identity), so the sorted
+  pair tuple *is* the canonical form; the memo is keyed on it directly
+  and shared across all round counts queried on one solver.
+
+Results and the deterministic move/response ordering are bit-for-bit
+those of the original string-based solver, which survives as
+:class:`repro.foeq.naive.NaivePositionGameSolver` — the oracle that
+``tests/foeq/test_games_differential.py`` checks this one against.
+Search-effort counters flow into :mod:`repro.kernel.stats`
+(``foeq_positions_explored`` …) so the engine's per-task sampling covers
+this solver like every other.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import product
 
-from repro.foeq.semantics import factor_at
+from repro.foeq.naive import position_partial_iso
+from repro.kernel import stats as _global_stats
 
 __all__ = [
     "position_partial_iso",
@@ -24,42 +50,26 @@ __all__ = [
 ]
 
 
-def position_partial_iso(
-    w: str, v: str, positions_w: tuple, positions_v: tuple, with_eq: bool = True
-) -> bool:
-    """Definition-3.1-style check for the FO[EQ] signature.
-
-    Conditions on the paired positions: order type mirrored, letters
-    mirrored, and (unless ``with_eq`` is off — the plain FO[<] game) the
-    quaternary EQ pattern mirrored.
-    """
-    if len(positions_w) != len(positions_v):
-        raise ValueError("tuples must have equal length")
-    n = len(positions_w)
-    for i in range(n):
-        if w[positions_w[i] - 1] != v[positions_v[i] - 1]:
-            return False
-        for j in range(n):
-            if (positions_w[i] < positions_w[j]) != (
-                positions_v[i] < positions_v[j]
-            ):
-                return False
-            if (positions_w[i] == positions_w[j]) != (
-                positions_v[i] == positions_v[j]
-            ):
-                return False
-    if not with_eq:
-        return True
-    for i, j, k, l in product(range(n), repeat=4):
-        left_w = factor_at(w, positions_w[i], positions_w[j])
-        right_w = factor_at(w, positions_w[k], positions_w[l])
-        holds_w = left_w is not None and left_w == right_w
-        left_v = factor_at(v, positions_v[i], positions_v[j])
-        right_v = factor_at(v, positions_v[k], positions_v[l])
-        holds_v = left_v is not None and left_v == right_v
-        if holds_w != holds_v:
-            return False
-    return True
+def _interval_ids(
+    word: str, pool: dict
+) -> tuple[tuple[int, ...], ...]:
+    """``table[i][j]`` = dense id of ``word[i..j]`` (1-based, closed);
+    ids are shared through ``pool`` so cross-word factor equality is
+    integer equality."""
+    n = len(word)
+    table = []
+    for i in range(n + 1):
+        row = [-1] * (n + 1)
+        if i >= 1:
+            for j in range(i, n + 1):
+                text = word[i - 1 : j]
+                fid = pool.get(text)
+                if fid is None:
+                    fid = len(pool)
+                    pool[text] = fid
+                row[j] = fid
+        table.append(tuple(row))
+    return tuple(table)
 
 
 @dataclass
@@ -74,8 +84,30 @@ class PositionGameSolver:
     v: str
     with_eq: bool = True
     _memo: dict = field(default_factory=dict, repr=False)
+    _fid_w: tuple = field(default=(), repr=False)
+    _fid_v: tuple = field(default=(), repr=False)
+    _counters: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        pool: dict = {}
+        self._fid_w = _interval_ids(self.w, pool)
+        self._fid_v = _interval_ids(self.v, pool)
+        self._counters = {
+            "positions_explored": 0,
+            "table_hits": 0,
+            "consistency_checks": 0,
+        }
+
+    def _bump(self, name: str) -> None:
+        self._counters[name] += 1
+        _global_stats.record(f"foeq_{name}")
+
+    # -- consistency -----------------------------------------------------------
 
     def consistent(self, pairs: frozenset) -> bool:
+        """Full Definition-3.1 check (the specification; extension moves
+        use the incremental ``_extend`` instead)."""
+        self._bump("consistency_checks")
         ordered = sorted(pairs)
         return position_partial_iso(
             self.w,
@@ -85,28 +117,89 @@ class PositionGameSolver:
             self.with_eq,
         )
 
+    def _extend(self, state: tuple, pair: tuple):
+        """The consistent position reached by playing ``pair`` on
+        ``state`` (a sorted, already-consistent pair tuple), or ``None``.
+
+        Letters and order/equality are checked against the new pair
+        only.  The EQ condition reduces to: the map ``id_w(interval) →
+        id_v(interval)`` over all defined interval pairs must be a
+        partial bijection — order mirroring already forces definedness
+        (p_i ≤ p_j iff q_i ≤ q_j) to coincide, and matching
+        definedness + bijection is exactly "every EQ quadruple has the
+        same truth value on both sides".
+        """
+        self._bump("consistency_checks")
+        p, q = pair
+        if self.w[p - 1] != self.v[q - 1]:
+            return None
+        for p2, q2 in state:
+            if (p < p2) != (q < q2) or (p == p2) != (q == q2):
+                return None
+        merged = []
+        placed = False
+        for existing in state:
+            if not placed and pair < existing:
+                merged.append(pair)
+                placed = True
+            merged.append(existing)
+        if not placed:
+            merged.append(pair)
+        if self.with_eq and not self._eq_mirrored(merged):
+            return None
+        return tuple(merged)
+
+    def _eq_mirrored(self, pairs: list) -> bool:
+        fid_w = self._fid_w
+        fid_v = self._fid_v
+        forward: dict = {}
+        backward: dict = {}
+        for p1, q1 in pairs:
+            row_w = fid_w[p1]
+            row_v = fid_v[q1]
+            for p2, q2 in pairs:
+                if p1 > p2:
+                    continue
+                a = row_w[p2]
+                b = row_v[q2]
+                seen = forward.get(a)
+                if seen is None:
+                    forward[a] = b
+                elif seen != b:
+                    return False
+                seen = backward.get(b)
+                if seen is None:
+                    backward[b] = a
+                elif seen != a:
+                    return False
+        return True
+
+    # -- game search -----------------------------------------------------------
+
     def duplicator_wins(self, rounds: int, pairs: frozenset = frozenset()) -> bool:
         if not self.consistent(pairs):
             return False
-        return self._wins(rounds, pairs)
+        return self._wins(rounds, tuple(sorted(pairs)))
 
-    def _wins(self, rounds: int, pairs: frozenset) -> bool:
+    def _wins(self, rounds: int, state: tuple) -> bool:
         if rounds == 0:
             return True
-        key = (rounds, pairs)
+        key = (rounds, state)
         cached = self._memo.get(key)
         if cached is not None:
+            self._bump("table_hits")
             return cached
+        self._bump("positions_explored")
         result = all(
-            self._response(rounds, pairs, side, position) is not None
-            for side, position in self._moves(pairs)
+            self._response(rounds, state, side, position) is not None
+            for side, position in self._moves(state)
         )
         self._memo[key] = result
         return result
 
-    def _moves(self, pairs: frozenset):
-        taken_w = {p for p, _ in pairs}
-        taken_v = {q for _, q in pairs}
+    def _moves(self, state: tuple):
+        taken_w = {p for p, _ in state}
+        taken_v = {q for _, q in state}
         for position in range(1, len(self.w) + 1):
             if position not in taken_w:
                 yield "A", position
@@ -114,7 +207,7 @@ class PositionGameSolver:
             if position not in taken_v:
                 yield "B", position
 
-    def _response(self, rounds: int, pairs: frozenset, side: str, position: int):
+    def _response(self, rounds: int, state: tuple, side: str, position: int):
         limit = len(self.v) if side == "A" else len(self.w)
         offset = (
             len(self.v) - len(self.w) if side == "A" else len(self.w) - len(self.v)
@@ -126,10 +219,31 @@ class PositionGameSolver:
         )
         for response in candidates:
             pair = (position, response) if side == "A" else (response, position)
-            extended = pairs | {pair}
-            if self.consistent(extended) and self._wins(rounds - 1, extended):
+            extended = self._extend(state, pair)
+            if extended is not None and self._wins(rounds - 1, extended):
                 return response
         return None
+
+    # -- introspection (mirrors repro.ef.solver.GameSolver) --------------------
+
+    def memo_size(self) -> int:
+        """Number of memoised canonical positions (for benchmark reports)."""
+        return len(self._memo)
+
+    def solver_stats(self) -> dict[str, int]:
+        """Search-effort counters for this solver instance.
+
+        ``positions_explored`` (transposition-table misses computed),
+        ``table_hits``, ``consistency_checks`` (incremental pair
+        validations), plus ``memo_size`` and the two universe sizes.
+        Process-wide totals flow into ``BENCH_engine.json`` via the
+        ``foeq_*`` counters of :mod:`repro.kernel.stats`.
+        """
+        out = dict(self._counters)
+        out["memo_size"] = len(self._memo)
+        out["universe_a"] = len(self.w)
+        out["universe_b"] = len(self.v)
+        return out
 
 
 def foeq_equiv_k(w: str, v: str, k: int) -> bool:

@@ -1,0 +1,157 @@
+"""The reference FO[EQ] position-game solver (pre-kernel, string-based).
+
+This is the original :class:`PositionGameSolver` implementation, moved
+here verbatim when :mod:`repro.foeq.games` was rewritten on interned
+interval ids: full partial-isomorphism rebuild per extension (the EQ
+condition checked over all O(m⁴) index quadruples with O(n) string
+slicing each) and string-keyed memoisation.  It is deliberately simple —
+a direct transcription of the Definition-3.1-style condition — and
+serves as the ground-truth oracle the differential tests in
+``tests/foeq/`` compare the kernel-backed solver against, so it must
+stay independent of the machinery under test.
+
+:func:`position_partial_iso` also lives here (it *is* the specification
+of consistency) and is re-exported by :mod:`repro.foeq.games` for
+compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.foeq.semantics import factor_at
+
+__all__ = ["NaivePositionGameSolver", "position_partial_iso"]
+
+
+def position_partial_iso(
+    w: str, v: str, positions_w: tuple, positions_v: tuple, with_eq: bool = True
+) -> bool:
+    """Definition-3.1-style check for the FO[EQ] signature.
+
+    Conditions on the paired positions: order type mirrored, letters
+    mirrored, and (unless ``with_eq`` is off — the plain FO[<] game) the
+    quaternary EQ pattern mirrored.
+    """
+    if len(positions_w) != len(positions_v):
+        raise ValueError("tuples must have equal length")
+    n = len(positions_w)
+    for i in range(n):
+        if w[positions_w[i] - 1] != v[positions_v[i] - 1]:
+            return False
+        for j in range(n):
+            if (positions_w[i] < positions_w[j]) != (
+                positions_v[i] < positions_v[j]
+            ):
+                return False
+            if (positions_w[i] == positions_w[j]) != (
+                positions_v[i] == positions_v[j]
+            ):
+                return False
+    if not with_eq:
+        return True
+    for i, j, k, l in product(range(n), repeat=4):
+        left_w = factor_at(w, positions_w[i], positions_w[j])
+        right_w = factor_at(w, positions_w[k], positions_w[l])
+        holds_w = left_w is not None and left_w == right_w
+        left_v = factor_at(v, positions_v[i], positions_v[j])
+        right_v = factor_at(v, positions_v[k], positions_v[l])
+        holds_v = left_v is not None and left_v == right_v
+        if holds_w != holds_v:
+            return False
+    return True
+
+
+@dataclass
+class NaivePositionGameSolver:
+    """Exact k-round EF solver over the position structures of two words.
+
+    ``with_eq = False`` plays the plain FO[<] game (signature {<, P_a}) —
+    used to show that the EQ relation is what lets FO[EQ] define squares.
+    """
+
+    w: str
+    v: str
+    with_eq: bool = True
+    _memo: dict = field(default_factory=dict, repr=False)
+    _counters: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._counters = {
+            "positions_explored": 0,
+            "table_hits": 0,
+            "consistency_checks": 0,
+        }
+
+    def consistent(self, pairs: frozenset) -> bool:
+        self._counters["consistency_checks"] += 1
+        ordered = sorted(pairs)
+        return position_partial_iso(
+            self.w,
+            self.v,
+            tuple(p for p, _ in ordered),
+            tuple(q for _, q in ordered),
+            self.with_eq,
+        )
+
+    def duplicator_wins(self, rounds: int, pairs: frozenset = frozenset()) -> bool:
+        if not self.consistent(pairs):
+            return False
+        return self._wins(rounds, pairs)
+
+    def _wins(self, rounds: int, pairs: frozenset) -> bool:
+        if rounds == 0:
+            return True
+        key = (rounds, pairs)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self._counters["table_hits"] += 1
+            return cached
+        self._counters["positions_explored"] += 1
+        result = all(
+            self._response(rounds, pairs, side, position) is not None
+            for side, position in self._moves(pairs)
+        )
+        self._memo[key] = result
+        return result
+
+    def _moves(self, pairs: frozenset):
+        taken_w = {p for p, _ in pairs}
+        taken_v = {q for _, q in pairs}
+        for position in range(1, len(self.w) + 1):
+            if position not in taken_w:
+                yield "A", position
+        for position in range(1, len(self.v) + 1):
+            if position not in taken_v:
+                yield "B", position
+
+    def _response(self, rounds: int, pairs: frozenset, side: str, position: int):
+        limit = len(self.v) if side == "A" else len(self.w)
+        offset = (
+            len(self.v) - len(self.w) if side == "A" else len(self.w) - len(self.v)
+        )
+        mirror = position + offset
+        candidates = sorted(
+            range(1, limit + 1),
+            key=lambda q: min(abs(q - position), abs(q - mirror)),
+        )
+        for response in candidates:
+            pair = (position, response) if side == "A" else (response, position)
+            extended = pairs | {pair}
+            if self.consistent(extended) and self._wins(rounds - 1, extended):
+                return response
+        return None
+
+    # -- introspection (mirrors GameSolver.solver_stats) -----------------------
+
+    def memo_size(self) -> int:
+        return len(self._memo)
+
+    def solver_stats(self) -> dict[str, int]:
+        """Same shape as the kernel-backed solver's ``solver_stats``."""
+        out = dict(self._counters)
+        out["memo_size"] = len(self._memo)
+        out["universe_a"] = len(self.w)
+        out["universe_b"] = len(self.v)
+        return out

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.foeq.compiled import position_program
 from repro.foeq.syntax import (
     FactorEq,
     Less,
@@ -99,7 +100,11 @@ def p_models(
             raise ValueError(
                 f"{variable!r} ↦ {position} is not a position of {word!r}"
             )
-    return p_evaluate(word, formula, assignment)
+    # Kernel fast path: interval-id atoms + per-quantifier projection
+    # caches, with programs shared process-wide per formula (see
+    # repro.foeq.compiled).  p_evaluate above remains the reference
+    # semantics the compiled path is differential-tested against.
+    return position_program(formula).evaluate(word, assignment)
 
 
 def p_language_slice(

@@ -28,6 +28,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro import cachestats
+from repro.kernel import stats
 from repro.kernel.interning import InternTable
 
 __all__ = ["automorphism_group"]
@@ -174,9 +175,11 @@ def automorphism_group(table: InternTable) -> tuple[tuple[int, ...], ...]:
     n = table.n_factors
     identity = tuple(range(n + 1))
     if n > _MAX_UNIVERSE:
+        stats.record("automorphism_cap_hits")
         return (identity,)
     group = _enumerate(table)
     if group is None:
+        stats.record("automorphism_cap_hits")
         return (identity,)
     return group
 

@@ -106,6 +106,7 @@ class KernelSolver:
         group_a = automorphism_group(self.table_a)
         group_b = automorphism_group(self.table_b)
         if len(group_a) * len(group_b) > _MAX_SYM_PRODUCT:
+            _global_stats.record("symmetry_product_skips")
             return ()
         identity_a = tuple(range(self._n_a + 1))
         identity_b = tuple(range(self._n_b + 1))

@@ -16,13 +16,29 @@ from typing import Mapping
 
 __all__ = ["COUNTER_NAMES", "diff", "record", "reset", "snapshot"]
 
-#: Every counter the kernel solver maintains.
+#: Every counter the kernel maintains.  The first block is the FC EF
+#: solver; ``sweep_*`` is the language-sweep layer (``repro.kernel.sweep``);
+#: ``foeq_*`` is the FO[EQ] position-game solver (``repro.foeq.games``,
+#: which records through this module — the counters live with the kernel
+#: so the engine's per-task sampling covers every solver uniformly);
+#: ``automorphism_cap_hits`` / ``symmetry_product_skips`` count the
+#: identity fallbacks of ``repro.kernel.automorphisms`` /
+#: ``KernelSolver._symmetries`` (data for the ROADMAP's "revisit caps
+#: with measurements" item).
 COUNTER_NAMES = (
     "positions_explored",
     "table_hits",
     "symmetry_cuts",
     "consistency_checks",
     "tables_built",
+    "sweep_words_interned",
+    "sweep_tables_extended",
+    "sweep_tables_rebuilt",
+    "foeq_positions_explored",
+    "foeq_table_hits",
+    "foeq_consistency_checks",
+    "automorphism_cap_hits",
+    "symmetry_product_skips",
 )
 
 _COUNTERS: dict[str, int] = {name: 0 for name in COUNTER_NAMES}

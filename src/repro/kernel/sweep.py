@@ -1,0 +1,187 @@
+"""Shared interning for language sweeps: one id space per word *family*.
+
+Membership sweeps (``L(φ) ∩ Σ^{≤n}``) evaluate the same sentence on every
+word of an enumerated family.  The per-word kernel
+(:mod:`repro.kernel.interning`) rebuilds a fresh universe per word —
+~9 850 one-shot tables for the E05 grid — and, worse, every cross-word
+cache is keyed on strings.  This module fixes both:
+
+* a :class:`SweepFamily` interns **strings, not factors**: every string
+  that any word of the family (or any candidate computation) touches gets
+  one dense id, so equality across words is integer equality and
+  family-global memo keys are tuples of ints;
+* per-word views (:class:`SweepTable`) are built **incrementally along
+  the prefix tree** of the enumeration: ``Facs(w·a) = Facs(w) ∪
+  {suffixes of w·a}``, so extending a parent table costs O(|w|) intern
+  probes plus one sorted merge instead of the O(|w|²) from-scratch
+  interning — and the factor sets share their parent's ids.
+
+The family's ``cat`` is *global* concatenation (total — every string has
+an id, interned on demand), unlike ``InternTable.cat`` which is partial
+on one universe; "is the result a factor of this word" is a separate
+per-word set probe.  ``tests/kernel/test_sweep.py`` checks that a
+prefix-extended universe equals from-scratch interning of
+``factors(word)`` for every word of enumerated grids.
+
+Effort counters (``sweep_words_interned``, ``sweep_tables_extended``,
+``sweep_tables_rebuilt``) flow through :mod:`repro.kernel.stats` into the
+engine report, same as the EF solver's.
+"""
+
+from __future__ import annotations
+
+from repro.kernel import stats
+
+__all__ = ["SweepFamily", "SweepTable"]
+
+
+class SweepTable:
+    """One word's factor view inside a :class:`SweepFamily`.
+
+    ``universe`` lists the word's factor ids sorted by ``(len, text)`` —
+    the same deterministic enumeration order as
+    :class:`~repro.kernel.interning.InternTable` — and ``members`` is the
+    same set for O(1) membership probes.
+    """
+
+    __slots__ = ("word", "gid", "universe", "members")
+
+    def __init__(
+        self, word: str, gid: int, universe: tuple, members: frozenset
+    ) -> None:
+        self.word = word
+        self.gid = gid
+        self.universe = universe
+        self.members = members
+
+    def __repr__(self) -> str:
+        return f"SweepTable({self.word!r}, {len(self.universe)} factors)"
+
+
+class SweepFamily:
+    """Global intern pool + per-word tables for one alphabet's sweep.
+
+    One instance per sweep call; every sentence evaluated against the
+    family shares the id space, the concatenation cache and the tables.
+    """
+
+    __slots__ = (
+        "alphabet",
+        "id_of",
+        "strings",
+        "lengths",
+        "epsilon_id",
+        "_cat",
+        "_tables",
+    )
+
+    def __init__(self, alphabet: tuple[str, ...]) -> None:
+        self.alphabet = alphabet
+        #: string → global id (total over all strings ever seen).
+        self.id_of: dict[str, int] = {}
+        #: global id → string.
+        self.strings: list[str] = []
+        #: global id → length.
+        self.lengths: list[int] = []
+        #: global concatenation cache: (id, id) → id.
+        self._cat: dict[tuple[int, int], int] = {}
+        #: word → SweepTable, one entry per enumerated word.
+        self._tables: dict[str, SweepTable] = {}
+        self.epsilon_id = self.intern("")
+
+    def intern(self, text: str) -> int:
+        """The global id of ``text`` (assigned on first sight)."""
+        gid = self.id_of.get(text)
+        if gid is None:
+            gid = len(self.strings)
+            self.id_of[text] = gid
+            self.strings.append(text)
+            self.lengths.append(len(text))
+        return gid
+
+    def cat(self, left: int, right: int) -> int:
+        """Id of ``strings[left] + strings[right]`` (total, cached)."""
+        key = (left, right)
+        gid = self._cat.get(key)
+        if gid is None:
+            gid = self.intern(self.strings[left] + self.strings[right])
+            self._cat[key] = gid
+        return gid
+
+    def sort_key(self, gid: int):
+        """The deterministic ``(len, text)`` enumeration key for an id."""
+        return (self.lengths[gid], self.strings[gid])
+
+    def table(self, word: str) -> SweepTable:
+        """The word's factor view, built by extending its longest cached
+        prefix (ultimately the ε root) one letter at a time."""
+        table = self._tables.get(word)
+        if table is not None:
+            return table
+        # Find the longest prefix that already has a table, then extend
+        # letter by letter (iterative — words can exceed recursion depth).
+        start = len(word)
+        parent = None
+        while start > 0:
+            parent = self._tables.get(word[:start])
+            if parent is not None:
+                break
+            start -= 1
+        if parent is None:
+            parent = self._root()
+            start = 0
+        for end in range(start + 1, len(word) + 1):
+            parent = self._extend(parent, word[:end])
+        return parent
+
+    def _root(self) -> SweepTable:
+        table = self._tables.get("")
+        if table is None:
+            eps = self.epsilon_id
+            table = SweepTable("", eps, (eps,), frozenset((eps,)))
+            self._tables[""] = table
+            stats.record("sweep_tables_rebuilt")
+            stats.record("sweep_words_interned")
+        return table
+
+    def _extend(self, parent: SweepTable, word: str) -> SweepTable:
+        table = self._tables.get(word)
+        if table is not None:
+            return table
+        # Facs(w·a) = Facs(w) ∪ {suffixes of w·a}.  The new suffixes have
+        # pairwise distinct lengths, so sorting them by length alone
+        # already yields (len, text) order for the merge.
+        intern = self.intern
+        members = parent.members
+        fresh = []
+        for begin in range(len(word) + 1):
+            gid = intern(word[begin:])
+            if gid not in members:
+                fresh.append(gid)
+        fresh.sort(key=lambda g: self.lengths[g])
+        universe = self._merge(parent.universe, fresh)
+        table = SweepTable(
+            word, intern(word), universe, members | frozenset(fresh)
+        )
+        self._tables[word] = table
+        stats.record("sweep_tables_extended")
+        stats.record("sweep_words_interned")
+        return table
+
+    def _merge(self, old: tuple, fresh: list) -> tuple:
+        """Merge two (len, text)-sorted id sequences into one tuple."""
+        if not fresh:
+            return old
+        key = self.sort_key
+        merged = []
+        i = j = 0
+        while i < len(old) and j < len(fresh):
+            if key(old[i]) <= key(fresh[j]):
+                merged.append(old[i])
+                i += 1
+            else:
+                merged.append(fresh[j])
+                j += 1
+        merged.extend(old[i:])
+        merged.extend(fresh[j:])
+        return tuple(merged)

@@ -9,7 +9,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
 
-from benchmarks.bench_smoke import check  # noqa: E402
+from benchmarks.bench_smoke import GATED_COUNTERS, check  # noqa: E402
 
 
 class _Report:
@@ -17,70 +17,107 @@ class _Report:
         self.records = records
 
 
-def _record(task, positions, status="ok"):
-    return {
-        "task": task,
-        "status": status,
-        "solver_delta": (
-            {"positions_explored": positions} if positions else {}
-        ),
+def _record(task, status="ok", **counters):
+    return {"task": task, "status": status, "solver_delta": dict(counters)}
+
+
+BASELINE = {
+    "counters": {
+        "E01": {"positions_explored": 100},
+        "E05": {
+            "sweep_words_interned": 9841,
+            "sweep_tables_extended": 9840,
+            "sweep_tables_rebuilt": 1,
+        },
+        "E20": {"foeq_positions_explored": 500},
+        "prim": {},
     }
+}
 
 
-BASELINE = {"positions_explored": {"E01": 100, "E02": 1000, "prim": 0}}
+def _ok_records():
+    return [
+        _record("E01", positions_explored=100),
+        _record(
+            "E05",
+            sweep_words_interned=9841,
+            sweep_tables_extended=9840,
+            sweep_tables_rebuilt=1,
+        ),
+        _record("E20", foeq_positions_explored=500),
+        _record("prim"),
+    ]
 
 
 def test_matching_run_passes():
-    report = _Report(
-        [_record("E01", 100), _record("E02", 1000), _record("prim", 0)]
-    )
-    assert check(report, BASELINE, tolerance=0.2) == []
+    assert check(_Report(_ok_records()), BASELINE, tolerance=0.2) == []
 
 
 def test_within_tolerance_passes():
-    report = _Report(
-        [_record("E01", 119), _record("E02", 1000), _record("prim", 0)]
-    )
-    assert check(report, BASELINE, tolerance=0.2) == []
+    records = _ok_records()
+    records[0] = _record("E01", positions_explored=119)
+    assert check(_Report(records), BASELINE, tolerance=0.2) == []
 
 
 def test_regression_beyond_tolerance_fails():
-    report = _Report(
-        [_record("E01", 121), _record("E02", 1000), _record("prim", 0)]
-    )
-    failures = check(report, BASELINE, tolerance=0.2)
+    records = _ok_records()
+    records[0] = _record("E01", positions_explored=121)
+    failures = check(_Report(records), BASELINE, tolerance=0.2)
     assert len(failures) == 1
     assert "E01" in failures[0] and "regressed" in failures[0]
 
 
-def test_task_error_fails_even_without_effort_change():
-    report = _Report(
-        [
-            _record("E01", 100, status="error"),
-            _record("E02", 1000),
-            _record("prim", 0),
-        ]
+def test_sweep_counter_regression_fails():
+    # A rebuild where an extension should happen (broken prefix sharing)
+    # shows up as sweep_tables_rebuilt growing from its baseline.
+    records = _ok_records()
+    records[1] = _record(
+        "E05",
+        sweep_words_interned=9841,
+        sweep_tables_extended=8000,
+        sweep_tables_rebuilt=1841,
     )
-    failures = check(report, BASELINE, tolerance=0.2)
+    failures = check(_Report(records), BASELINE, tolerance=0.2)
+    assert any("sweep_tables_rebuilt" in f for f in failures)
+
+
+def test_foeq_counter_regression_fails():
+    records = _ok_records()
+    records[2] = _record("E20", foeq_positions_explored=1000)
+    failures = check(_Report(records), BASELINE, tolerance=0.2)
+    assert any("foeq_positions_explored" in f for f in failures)
+
+
+def test_task_error_fails_even_without_effort_change():
+    records = _ok_records()
+    records[0] = _record("E01", status="error", positions_explored=100)
+    failures = check(_Report(records), BASELINE, tolerance=0.2)
     assert any("did not finish ok" in f for f in failures)
 
 
 def test_new_solver_work_on_zero_baseline_fails():
-    report = _Report(
-        [_record("E01", 100), _record("E02", 1000), _record("prim", 7)]
-    )
-    failures = check(report, BASELINE, tolerance=0.2)
+    records = _ok_records()
+    records[3] = _record("prim", positions_explored=7)
+    failures = check(_Report(records), BASELINE, tolerance=0.2)
     assert any("prim" in f for f in failures)
 
 
 def test_unbaselined_task_fails_loudly():
-    report = _Report([_record("E99", 5)])
+    report = _Report([_record("E99", positions_explored=5)])
     failures = check(report, BASELINE, tolerance=0.2)
     assert any("no baseline entry" in f for f in failures)
 
 
 def test_improvement_passes():
-    report = _Report(
-        [_record("E01", 10), _record("E02", 1000), _record("prim", 0)]
-    )
-    assert check(report, BASELINE, tolerance=0.2) == []
+    records = _ok_records()
+    records[0] = _record("E01", positions_explored=10)
+    assert check(_Report(records), BASELINE, tolerance=0.2) == []
+
+
+def test_every_gated_counter_is_checked():
+    # Guard the gate itself: all advertised counters really participate.
+    for name in GATED_COUNTERS:
+        baseline = {"counters": {"T": {name: 100}}}
+        report = _Report([_record("T", **{name: 200})])
+        failures = check(report, baseline, tolerance=0.2)
+        assert any(name in f for f in failures), name
