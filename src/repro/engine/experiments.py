@@ -32,15 +32,16 @@ _HEAVY_P, _HEAVY_Q = 12, 14
 _ENGINE_VERSION = "2"
 
 #: Per-task overrides for tasks whose semantics path changed after the
-#: shared salt last moved.  "3" marks the batched-sweep generation:
+#: shared salt last moved.  "3" marked the batched-sweep generation:
 #: E02/E05 membership loops route through repro.fc.sweep, E20 runs on
 #: the kernel-backed FO[EQ] solver + compiled position programs (and
 #: now consumes prim/equiv/anbn-k2 instead of recomputing it), and
-#: prim/relation/* evaluates ψ via the sweep.  Results are unchanged,
-#: but solver_delta counters differ, so older cache entries must not
-#: satisfy these tasks.
-_TASK_VERSIONS = {"E02": "3", "E05": "4", "E20": "3"}
-_RELATION_TASK_VERSION = "3"
+#: prim/relation/* evaluates ψ via the sweep.  The next bump marks the
+#: sweep soundness fix (quantifier scans restricted to the word's
+#: factor universe): results on these grids are unchanged, but entries
+#: computed by the unrestricted scan must not satisfy fixed runs.
+_TASK_VERSIONS = {"E02": "4", "E05": "5", "E20": "4"}
+_RELATION_TASK_VERSION = "4"
 
 
 # ---------------------------------------------------------------------------

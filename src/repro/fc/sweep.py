@@ -76,8 +76,15 @@ class _Unsupported(Exception):
 
 class _WordView:
     """Minimal structure stand-in passed to assignment-pure extension
-    atoms (whose contract is to not inspect the structure beyond
-    constants)."""
+    atoms.
+
+    A pure atom's truth is a function of its assigned values alone —
+    that is exactly what makes the family-wide ``_filter_memo`` /
+    ``_ext_memo`` sound.  ``constant`` is word-dependent (⊥ when the
+    letter is absent), so an atom consulting it violates the purity
+    contract and would silently poison cross-word memo entries; it
+    raises instead, turning the contract violation into a loud failure.
+    """
 
     __slots__ = ("word", "alphabet")
 
@@ -86,13 +93,11 @@ class _WordView:
         self.alphabet = alphabet
 
     def constant(self, symbol: str):
-        if symbol == "":
-            return ""
-        if symbol not in self.alphabet:
-            raise ValueError(
-                f"{symbol!r} is not a constant of τ_{{{self.alphabet}}}"
-            )
-        return symbol if symbol in self.word else None
+        raise TypeError(
+            f"assignment-pure extension atoms must not read structure "
+            f"constants (constant({symbol!r}) is word-dependent, but the "
+            f"atom's result is memoised family-wide)"
+        )
 
 
 # Plan-node kinds.
@@ -146,9 +151,10 @@ class _PoolAtom:
 
     ``case`` selects the specialised generator (which terms are known is
     static); ``refs`` holds per-term value sources: an int gid ≥ 0 for
-    constants (resolved globally — see the module docstring for why the
-    per-word ⊥ check is unnecessary inside pools), ``-(slot + 1)`` for
-    outer-bound variables, ``None`` for the pooled/masked unknowns.
+    constants (resolved globally, *without* the per-word ⊥ check — the
+    quantifier scan intersects the pool with the word's factor universe,
+    which subsumes it), ``-(slot + 1)`` for outer-bound variables,
+    ``None`` for the pooled/masked unknowns.
     """
 
     __slots__ = ("case", "refs", "atom", "var", "index")
@@ -741,8 +747,19 @@ class SweepProgram:
             if plan.pool is None:
                 scan = ctx.table.universe
             else:
+                # Pool candidates are derived from *globally* resolved
+                # values (Const gids, substrings of outer bindings) and
+                # may fall outside this word's factor universe — e.g. a
+                # Const head whose letter the word lacks (⊥ in the
+                # per-word structure).  Quantifiers range over the
+                # word's factors, so restrict to the domain here;
+                # without this, assignment-pure extension atoms
+                # (regex/oracle) can hold at non-domain values and flip
+                # the verdict.
                 pool = self._pool_eval(plan.pool, ctx)
-                scan = sorted(pool, key=self.family.sort_key)
+                scan = sorted(
+                    pool & ctx.table.members, key=self.family.sort_key
+                )
             want = plan.want
             inner = plan.children[0]
             result = not want

@@ -44,6 +44,15 @@ __all__ = ["PositionProgram", "position_program"]
 
 _LESS, _SYMAT, _EQ, _NOT, _AND, _OR, _IMPLIES, _QUANT = range(8)
 
+#: Per-program bound on cached word states.  Each state holds an O(n²)
+#: interval table plus projection caches, and programs live process-wide
+#: (``position_program``'s lru_cache), so an unbounded dict would grow
+#: with every word a sweep touches.  256 comfortably covers the repeated
+#: words of the E20 agreement pairs and game loops while keeping big
+#: ``p_language_slice`` grids at a constant footprint (grid words are
+#: each evaluated once, so eviction costs them nothing).
+_MAX_STATES = 256
+
 
 class _Plan:
     __slots__ = ("kind", "vars", "symbol", "children", "cost", "want", "free", "cache_index")
@@ -150,10 +159,16 @@ class PositionProgram:
     def evaluate(self, word: str, assignment: dict) -> bool:
         """Truth under ``assignment`` (which must cover the free vars;
         it is read, never mutated)."""
-        state = self._states.get(word)
+        # LRU over insertion-ordered dict: pop + reinsert moves the word
+        # to the back; evict the front when full (deterministic — the
+        # order depends only on the evaluation sequence).
+        states = self._states
+        state = states.pop(word, None)
         if state is None:
             state = _WordState(word, self._quant_count)
-            self._states[word] = state
+            if len(states) >= _MAX_STATES:
+                del states[next(iter(states))]
+        states[word] = state
         return self._eval(self.root, state, dict(assignment))
 
     def _eval(self, plan: _Plan, state: _WordState, sigma: dict) -> bool:

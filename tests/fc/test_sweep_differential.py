@@ -63,6 +63,17 @@ def _sentence_pool():
             X,
             Implies(in_regex(X, "aa*"), Exists(Y, Concat(Y, X, Const("a")))),
         ),
+        # Absent-letter Const heads: on words without 'a' the span/chain
+        # pool generators produce candidates outside the word's factor
+        # universe, and the pure regex disjunct would accept them if the
+        # quantifier scan failed to restrict to the domain (regression:
+        # sweep=True vs per-word=False on "b").
+        "absent_const_span_regex": Exists(
+            Y, Or(Concat(Const("a"), Y, Const("")), in_regex(Y, "a"))
+        ),
+        "absent_const_chain_regex": Exists(
+            Y, Or(chain(Const("a"), [Y]), in_regex(Y, "a"))
+        ),
     }
 
 
@@ -100,6 +111,36 @@ def test_psi_reductions_agree(relation):
     alphabet = PAPER_LANGUAGES[reduction.target_language].alphabet
     psi = reduction.build(oracle_for(relation))
     _assert_agree(psi, alphabet, list(words_up_to(alphabet, 5)))
+
+
+def test_absent_letter_const_pool_restricted_to_domain():
+    # Const terms resolve to *global* gids inside pool generators, so a
+    # letter absent from the word yields pool candidates that are not
+    # factors of the word.  These must be filtered out before the
+    # quantifier scan: quantifiers range over the word's factors, and an
+    # assignment-pure disjunct (here the regex) holds at the non-domain
+    # value 'a'.  Both sentences stay inside the sweep fragment — no
+    # fallback masks the bug.
+    for sentence in (
+        Exists(Y, Or(Concat(Const("a"), Y, Const("")), in_regex(Y, "a"))),
+        Exists(Y, Or(chain(Const("a"), [Y]), in_regex(Y, "a"))),
+    ):
+        sweep = LanguageSweep("ab")
+        program = sweep.compile(sentence)
+        assert program is not None
+        assert program.evaluate(sweep.family.table("b")) is False
+        assert defines_language_member("b", sentence, "ab") is False
+
+
+def test_word_view_constant_raises():
+    # _WordView.constant is word-dependent (⊥ when the letter is
+    # absent), but pure-atom results are memoised family-wide; an atom
+    # consulting it must fail loudly instead of poisoning the memo.
+    from repro.fc.sweep import _WordView
+
+    view = _WordView("ab", "ab")
+    with pytest.raises(TypeError):
+        view.constant("a")
 
 
 def test_const_subject_regex_falls_back():

@@ -114,6 +114,24 @@ def test_compiled_evaluator_matches_reference():
             )
 
 
+def test_compiled_evaluator_state_cache_is_bounded():
+    # Programs live process-wide (position_program's lru_cache), so the
+    # per-word O(n²) state tables must not accumulate without bound over
+    # large sweeps; eviction is LRU, keeping repeated words resident.
+    from repro.foeq import compiled
+    from repro.foeq.compiled import PositionProgram
+
+    program = PositionProgram(phi_square())
+    for i in range(compiled._MAX_STATES + 50):
+        word = "ab" * (i % 7 + 1) + "a" * (i // 7)
+        program.evaluate(word, {})
+    assert len(program._states) <= compiled._MAX_STATES
+    # A word evaluated again is served from (and refreshed in) the cache.
+    recent = next(reversed(program._states))
+    program.evaluate(recent, {})
+    assert next(reversed(program._states)) == recent
+
+
 def test_compiled_evaluator_open_formulas():
     from repro.foeq.semantics import p_evaluate
     from repro.foeq.syntax import FactorEq, PVar
