@@ -15,8 +15,9 @@ those implicit proof-lab invariants into machine-checked ones:
   dotted path must resolve and its ``version`` must match the recorded
   source hash in ``versions.lock``;
 * :mod:`repro.analysis.determinism` — no wall-clock, unseeded
-  randomness, environment reads, ``id()`` logic or raw set iteration in
-  solver/engine modules;
+  randomness, entropy reads (``os.urandom``, ``uuid.uuid1/uuid4``),
+  environment reads, ``id()`` logic, ``hash()``-keyed ordering or raw
+  set iteration in solver/engine modules;
 * :mod:`repro.analysis.purity`      — ``lru_cache`` sites must be pure
   (no mutable defaults, no ``global``/``nonlocal``, no closures);
 * :mod:`repro.analysis.layering`    — the package import DAG
@@ -24,8 +25,16 @@ those implicit proof-lab invariants into machine-checked ones:
   engine`` with no upward imports;
 * :mod:`repro.analysis.frozen`      — AST node discipline: syntax-module
   dataclasses are ``frozen=True`` with hashable field types;
+* :mod:`repro.analysis.callgraph`   — project-wide call graph: function
+  index, resolved call sites with argument roots, attr-type inference;
+* :mod:`repro.analysis.effects`     — fixed-point effect inference
+  assigning every function a summary over the effect-atom lattice;
+* :mod:`repro.analysis.effectrules` — the four ``effects.*`` rules
+  (purity-propagation, assignment-purity, memo-key-completeness,
+  worker-isolation) consuming those summaries;
 * :mod:`repro.analysis.cli`         — the ``python -m repro lint``
-  command and the CI gate.
+  command (``--rule`` globs, ``--json``, ``--effects-json``) and the CI
+  gate.
 """
 
 from __future__ import annotations

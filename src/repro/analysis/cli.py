@@ -22,11 +22,13 @@ import sys
 from pathlib import Path
 
 from repro.analysis.framework import (
+    Codebase,
     all_checkers,
     apply_baseline,
     default_config,
     load_baseline,
     run_checkers,
+    select_checkers,
     write_baseline,
 )
 
@@ -49,7 +51,10 @@ def add_lint_parser(commands: argparse._SubParsersAction) -> None:
         action="append",
         default=None,
         metavar="NAME",
-        help="run only this rule (repeatable; see --list-rules)",
+        help=(
+            "run only matching rules (repeatable; globs like "
+            "'effects.*' work; see --list-rules)"
+        ),
     )
     lint.add_argument(
         "--json",
@@ -57,6 +62,16 @@ def add_lint_parser(commands: argparse._SubParsersAction) -> None:
         default=None,
         metavar="PATH",
         help="also write a machine-readable report to PATH",
+    )
+    lint.add_argument(
+        "--effects-json",
+        dest="effects_json_path",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also write the inferred effect summary of every function "
+            "to PATH"
+        ),
     )
     lint.add_argument(
         "--baseline",
@@ -118,8 +133,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(f"versions.lock updated at {config.resolved_lock_path()}")
         return 0
 
+    codebase = Codebase(config.src_root, config.package)
     try:
-        active, suppressed = run_checkers(config, rules=args.rule)
+        ran = select_checkers(args.rule or ["*"], all_checkers())
+        active, suppressed = run_checkers(
+            config, rules=args.rule, codebase=codebase
+        )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -142,7 +161,6 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     for finding in new:
         print(finding.render())
-    ran = args.rule or [checker.name for checker in all_checkers()]
     summary = (
         f"{len(new)} finding(s), {len(baselined)} baselined, "
         f"{len(suppressed)} suppressed inline "
@@ -151,15 +169,29 @@ def cmd_lint(args: argparse.Namespace) -> int:
     print(("FAIL: " if new else "ok: ") + summary)
 
     if args.json_path:
+        by_fingerprint = lambda f: f.fingerprint  # noqa: E731
+
         payload = {
-            "findings": [f.to_json_dict() for f in new],
-            "baselined": [f.to_json_dict() for f in baselined],
-            "suppressed": [f.to_json_dict() for f in suppressed],
+            "findings": [
+                f.to_json_dict() for f in sorted(new, key=by_fingerprint)
+            ],
+            "baselined": [
+                f.to_json_dict()
+                for f in sorted(baselined, key=by_fingerprint)
+            ],
+            "suppressed": [
+                f.to_json_dict()
+                for f in sorted(suppressed, key=by_fingerprint)
+            ],
+            "rules": [
+                {"name": checker.name, "description": checker.description}
+                for checker in sorted(ran, key=lambda c: c.name)
+            ],
             "summary": {
                 "findings": len(new),
                 "baselined": len(baselined),
                 "suppressed": len(suppressed),
-                "rules": sorted(ran),
+                "rules": sorted(checker.name for checker in ran),
             },
         }
         Path(args.json_path).write_text(
@@ -167,5 +199,15 @@ def cmd_lint(args: argparse.Namespace) -> int:
             encoding="utf-8",
         )
         print(f"lint report written to {args.json_path}")
+
+    if args.effects_json_path:
+        from repro.analysis.effects import analysis_for
+
+        payload = analysis_for(codebase, config).summary_payload()
+        Path(args.effects_json_path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"effect summaries written to {args.effects_json_path}")
 
     return 1 if new else 0

@@ -14,7 +14,13 @@ rule flags the classic nondeterminism sources:
 * environment reads — ``os.environ`` / ``os.getenv`` (configuration
   belongs at the CLI boundary; suppress with a reason where a read is
   genuinely config-only);
+* entropy and entropy-derived ids — ``os.urandom`` and
+  ``uuid.uuid1``/``uuid.uuid4`` (uuid1 leaks clock+MAC, uuid4 is raw
+  randomness; derive ids from content instead);
 * ``id()``-dependent logic — CPython address ordering leaks into output;
+* ``hash()`` used as an ordering key — ``sorted(..., key=hash)`` or a
+  ``key=`` lambda calling ``hash()`` varies per process under hash
+  randomisation (``PYTHONHASHSEED``);
 * iteration over freshly built ``set(...)``/``frozenset(...)`` values or
   set literals — hash randomisation makes the order vary across
   processes unless the iteration is wrapped in ``sorted``/an
@@ -40,9 +46,17 @@ _CLOCK_CALLS = {
     ("datetime", "utcnow"),
     ("datetime", "today"),
     ("date", "today"),
+}
+
+#: Entropy-backed id constructors; uuid1 additionally embeds the MAC.
+_ENTROPY_CALLS = {
+    ("os", "urandom"),
     ("uuid", "uuid1"),
     ("uuid", "uuid4"),
 }
+
+#: Callables whose ``key=`` argument establishes an output ordering.
+_ORDERING_CALLS = {"sorted", "min", "max"}
 
 _RANDOM_FUNCTIONS = {
     "random", "randint", "randrange", "choice", "choices", "shuffle",
@@ -116,6 +130,7 @@ class DeterminismChecker(Checker):
         self, codebase: Codebase, module, node: ast.Call
     ) -> Iterator[Finding]:
         pair = _attr_call(node)
+        yield from self._check_ordering_key(codebase, module, node)
         if pair in _CLOCK_CALLS:
             yield self.finding(
                 codebase,
@@ -124,6 +139,18 @@ class DeterminismChecker(Checker):
                 f"wall-clock read {pair[0]}.{pair[1]}() in a deterministic "
                 "module",
                 hint="timestamps belong in CLI-layer reports, not payloads",
+            )
+        elif pair in _ENTROPY_CALLS:
+            yield self.finding(
+                codebase,
+                module,
+                node.lineno,
+                f"entropy read {pair[0]}.{pair[1]}() in a deterministic "
+                "module",
+                hint=(
+                    "derive identifiers from content (hashlib over "
+                    "canonical bytes) instead of process entropy"
+                ),
             )
         elif pair is not None and pair[0] == "random":
             if pair[1] in _RANDOM_FUNCTIONS:
@@ -162,6 +189,49 @@ class DeterminismChecker(Checker):
                 "id()-dependent logic in a deterministic module",
                 hint="compare/order by value, not by object identity",
             )
+
+    def _check_ordering_key(
+        self, codebase: Codebase, module, node: ast.Call
+    ) -> Iterator[Finding]:
+        """``sorted(..., key=hash)``-style orderings vary per process."""
+        is_ordering = (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _ORDERING_CALLS
+        ) or (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "sort"
+        )
+        if not is_ordering:
+            return
+        caller = (
+            node.func.id
+            if isinstance(node.func, ast.Name)
+            else f"….{node.func.attr}"
+        )
+        for keyword in node.keywords:
+            if keyword.arg != "key":
+                continue
+            value = keyword.value
+            uses_hash = (
+                isinstance(value, ast.Name) and value.id == "hash"
+            ) or any(
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Name)
+                and inner.func.id == "hash"
+                for inner in ast.walk(value)
+            )
+            if uses_hash:
+                yield self.finding(
+                    codebase,
+                    module,
+                    node.lineno,
+                    f"hash() used as the ordering key of {caller}(): "
+                    "order varies under hash randomisation",
+                    hint=(
+                        "order by a value-derived key (the element "
+                        "itself, a tuple of fields, or a canonical "
+                        "serialisation), not by hash()"
+                    ),
+                )
 
     def _order_insensitive_parents(self, tree: ast.Module) -> set[int]:
         """ids of set-expressions consumed by order-insensitive callers."""

@@ -20,6 +20,7 @@ and emitted in sorted order.
 from __future__ import annotations
 
 import ast
+import fnmatch
 import json
 import re
 from dataclasses import dataclass, field
@@ -38,6 +39,7 @@ __all__ = [
     "default_config",
     "load_baseline",
     "run_checkers",
+    "select_checkers",
     "write_baseline",
 ]
 
@@ -388,6 +390,22 @@ class LintConfig:
         "repro.foeq",
         "repro.kernel",
     )
+    # Modules whose functions carry the trusted {counter} effect summary
+    # (process-wide effort accounting, exempt from the purity rules).
+    counter_modules: tuple[str, ...] = (
+        "repro.cachestats",
+        "repro.kernel.stats",
+    )
+    # Modules whose get-then-store memo dicts must satisfy
+    # effects.memo-key-completeness (family-wide caches).
+    memo_modules: tuple[str, ...] = (
+        "repro.fc.sweep",
+        "repro.foeq.compiled",
+        "repro.kernel.sweep",
+    )
+    # Explicit worker-isolation roots (dotted ``pkg.mod:fn`` paths); when
+    # empty, the registered engine tasks from ``registry_builder`` are used.
+    task_roots: tuple[str, ...] = ()
     # Dotted path of the engine registry builder, and the version lock.
     registry_builder: str | None = "repro.engine.experiments:build_default_registry"
     lock_path: Path | None = None
@@ -442,6 +460,12 @@ def all_checkers() -> list[Checker]:
     from repro.analysis.cachesound import CacheSoundnessChecker
     from repro.analysis.determinism import DeterminismChecker
     from repro.analysis.dispatch import DispatchExhaustivenessChecker
+    from repro.analysis.effectrules import (
+        EffectAssignmentPurityChecker,
+        EffectPurityPropagationChecker,
+        MemoKeyCompletenessChecker,
+        WorkerIsolationChecker,
+    )
     from repro.analysis.frozen import FrozenAstChecker
     from repro.analysis.layering import ImportLayeringChecker
     from repro.analysis.purity import LruCachePurityChecker
@@ -450,11 +474,45 @@ def all_checkers() -> list[Checker]:
         CacheSoundnessChecker(),
         DeterminismChecker(),
         DispatchExhaustivenessChecker(),
+        EffectAssignmentPurityChecker(),
+        EffectPurityPropagationChecker(),
+        MemoKeyCompletenessChecker(),
+        WorkerIsolationChecker(),
         FrozenAstChecker(),
         ImportLayeringChecker(),
         LruCachePurityChecker(),
     ]
     return sorted(checkers, key=lambda checker: checker.name)
+
+
+def select_checkers(
+    rules: Sequence[str], checkers: Sequence[Checker]
+) -> list[Checker]:
+    """The checkers matching the rule names/globs (``effects.*`` works).
+
+    Raises ``ValueError`` on a pattern that matches nothing, preserving
+    the old exact-name error behaviour.
+    """
+    selected: list[Checker] = []
+    unmatched: list[str] = []
+    for pattern in rules:
+        matched = [
+            checker
+            for checker in checkers
+            if fnmatch.fnmatchcase(checker.name, pattern)
+        ]
+        if not matched:
+            unmatched.append(pattern)
+        for checker in matched:
+            if checker not in selected:
+                selected.append(checker)
+    if unmatched:
+        available = ", ".join(sorted(c.name for c in checkers))
+        raise ValueError(
+            f"unknown rule(s): {', '.join(sorted(unmatched))}; "
+            f"available: {available}"
+        )
+    return selected
 
 
 _SUPPRESS_RE = re.compile(r"repro-lint:\s*allow\[([^\]]+)\]")
@@ -485,19 +543,18 @@ def run_checkers(
     config: LintConfig,
     rules: Sequence[str] | None = None,
     checkers: Sequence[Checker] | None = None,
+    codebase: Codebase | None = None,
 ) -> tuple[list[Finding], list[Finding]]:
-    """Run the (selected) rules.  Returns ``(active, suppressed)``."""
+    """Run the (selected) rules.  Returns ``(active, suppressed)``.
+
+    Pass ``codebase`` to share one parsed tree (and its cached effect
+    analysis) with the caller — ``--effects-json`` relies on this.
+    """
     selected = list(checkers) if checkers is not None else all_checkers()
     if rules:
-        known = {checker.name for checker in selected}
-        unknown = sorted(set(rules) - known)
-        if unknown:
-            raise ValueError(
-                f"unknown rule(s): {', '.join(unknown)}; "
-                f"available: {', '.join(sorted(known))}"
-            )
-        selected = [checker for checker in selected if checker.name in rules]
-    codebase = Codebase(config.src_root, config.package)
+        selected = select_checkers(rules, selected)
+    if codebase is None:
+        codebase = Codebase(config.src_root, config.package)
     collected: list[Finding] = []
     for checker in selected:
         collected.extend(checker.check(codebase, config))

@@ -87,6 +87,7 @@ class OracleAtom(Formula):
         replaced = tuple(mapping.get(v, v) for v in self.variables)
         return OracleAtom(replaced, self.predicate, self.name)
 
+    # repro-lint: effects[pure] predicate is contractually a pure function of the string values — the _assignment_pure declaration relies on it
     def _evaluate(self, structure: WordStructure, assignment: dict) -> bool:
         values = []
         for variable in self.variables:

@@ -154,6 +154,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     counts = report.counts()
     stats = report.cache
+    if report.jobs != report.jobs_requested:
+        print(
+            f"note: --jobs {report.jobs_requested} capped at "
+            f"{report.jobs} (host CPU count)"
+        )
     print(
         f"\n{counts['ok']} ok, {counts['error']} error(s), "
         f"{counts['skipped']} skipped in {report.elapsed_s:.2f}s — "

@@ -20,6 +20,7 @@ name regardless of completion order.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -52,6 +53,13 @@ class EngineReport:
     cache: dict[str, Any]
     lru_caches: dict[str, Any] = field(default_factory=dict)
     solver: dict[str, Any] = field(default_factory=dict)
+    #: The pre-cap ``--jobs`` request; equals ``jobs`` unless the run
+    #: was capped at the host's CPU count.
+    jobs_requested: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.jobs_requested:
+            self.jobs_requested = self.jobs
 
     @property
     def ok(self) -> bool:
@@ -73,6 +81,7 @@ class EngineReport:
         return {
             "engine": {
                 "jobs": self.jobs,
+                "jobs_requested": self.jobs_requested,
                 "elapsed_s": round(self.elapsed_s, 6),
                 "tasks_total": len(self.records),
                 "tasks": self.counts(),
@@ -183,6 +192,10 @@ def run_tasks(
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    jobs_requested = jobs
+    # More workers than cores just adds fork cost and scheduler churn;
+    # cap silently here, report the cap in the run summary.
+    jobs = min(jobs, os.cpu_count() or 1)
     if isinstance(registry, TaskRegistry):
         specs = (
             registry.closure(list(only)) if only is not None else registry.specs()
@@ -315,6 +328,7 @@ def run_tasks(
             totals[fieldname] += counters[fieldname]
     return EngineReport(
         jobs=jobs,
+        jobs_requested=jobs_requested,
         elapsed_s=elapsed,
         records=ordered,
         cache=cache.describe(),

@@ -154,6 +154,14 @@ class TaskRegistry:
     def names(self) -> list[str]:
         return sorted(self._specs)
 
+    def fn_paths(self) -> list[str]:
+        """Sorted unique dotted ``fn`` paths of every registered task.
+
+        These are the entry points executed inside engine workers — the
+        root set of the ``effects.worker-isolation`` lint rule.
+        """
+        return sorted({spec.fn for spec in self._specs.values()})
+
     def specs(self) -> dict[str, TaskSpec]:
         return dict(self._specs)
 

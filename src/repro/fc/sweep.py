@@ -508,6 +508,7 @@ class SweepProgram:
         cached = self._filter_memo.get(key)
         if cached is None:
             cached = flt.atom._evaluate(
+                # repro-lint: allow[effects.memo-key-completeness] ctx.view only reaches _assignment_pure atoms, whose results do not depend on it (enforced by effects.assignment-purity)
                 ctx.view, {flt.var: self.family.strings[gid]}
             )
             self._filter_memo[key] = cached

@@ -67,6 +67,7 @@ class RegularConstraint(Formula):
 
     def _evaluate(self, structure: WordStructure, assignment: dict) -> bool:
         if isinstance(self.x, Const):
+            # repro-lint: allow[effects.assignment-purity] _assignment_pure is False exactly when x is a Const, so sweeps never memoise this branch
             value = structure.constant(self.x.symbol)
         else:
             value = assignment[self.x]

@@ -152,6 +152,7 @@ class SweepFamily:
         # pairwise distinct lengths, so sorting them by length alone
         # already yields (len, text) order for the merge.
         intern = self.intern
+        # repro-lint: allow[effects.memo-key-completeness] parent is the interned table of word[:-1], itself a pure function of the key word
         members = parent.members
         fresh = []
         for begin in range(len(word) + 1):

@@ -31,6 +31,7 @@ def namespace(**overrides) -> argparse.Namespace:
     settings = dict(
         rule=None,
         json_path=None,
+        effects_json_path=None,
         baseline=None,
         write_baseline=False,
         update_lock=False,
@@ -80,6 +81,69 @@ def test_json_report_is_written(tmp_path, monkeypatch):
     assert finding["fingerprint"].startswith("determinism::")
 
 
+def test_json_report_is_fingerprint_sorted_with_rule_metadata(
+    tmp_path, monkeypatch
+):
+    seeded = dict(SEEDED)
+    seeded["fixpkg/high/other.py"] = """\
+        import time
+
+
+        def later():
+            return time.time_ns()
+        """
+    _, config = build(tmp_path, seeded)
+    point_at(monkeypatch, config)
+    report = tmp_path / "lint-report.json"
+    assert cmd_lint(namespace(json_path=str(report))) == 1
+    payload = json.loads(report.read_text(encoding="utf-8"))
+    fingerprints = [f["fingerprint"] for f in payload["findings"]]
+    assert fingerprints == sorted(fingerprints) and len(fingerprints) == 2
+    rules = payload["rules"]
+    assert [r["name"] for r in rules] == sorted(r["name"] for r in rules)
+    assert all(r["description"] for r in rules)
+    assert {"determinism", "effects.purity-propagation"} <= {
+        r["name"] for r in rules
+    }
+
+
+def test_rule_glob_selects_effects_family(tmp_path, monkeypatch, capsys):
+    _, config = build(tmp_path, SEEDED)
+    point_at(monkeypatch, config)
+    # The seeded wall-clock violation is a determinism finding, so the
+    # effects-only run passes while the full run fails.
+    assert cmd_lint(namespace(rule=["effects.*"])) == 0
+    assert "4 rule(s)" in capsys.readouterr().out
+
+
+def test_effects_json_dump(tmp_path, monkeypatch):
+    _, config = build(
+        tmp_path,
+        {
+            "fixpkg/high/calc.py": """\
+                def double(x):
+                    return 2 * x
+
+
+                def record(log, x):
+                    log.append(x)
+                    return x
+                """,
+        },
+    )
+    point_at(monkeypatch, config)
+    dump = tmp_path / "effects.json"
+    assert cmd_lint(namespace(effects_json_path=str(dump))) == 0
+    payload = json.loads(dump.read_text(encoding="utf-8"))
+    by_name = {f["function"]: f for f in payload["functions"]}
+    assert by_name["fixpkg.high.calc.double"]["pure"] is True
+    assert by_name["fixpkg.high.calc.record"]["effects"] == [
+        "mutates-arg:log"
+    ]
+    assert payload["totals"]["functions"] == len(payload["functions"])
+    assert payload["totals"]["mutates-arg"] == 1
+
+
 def test_baseline_roundtrip(tmp_path, monkeypatch, capsys):
     _, config = build(tmp_path, SEEDED)
     point_at(monkeypatch, config)
@@ -101,6 +165,10 @@ def test_list_rules(tmp_path, monkeypatch, capsys):
         "cache-soundness",
         "determinism",
         "dispatch-exhaustiveness",
+        "effects.assignment-purity",
+        "effects.memo-key-completeness",
+        "effects.purity-propagation",
+        "effects.worker-isolation",
         "frozen-ast",
         "import-layering",
         "lru-cache-purity",

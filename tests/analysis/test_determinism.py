@@ -142,3 +142,81 @@ def test_inline_suppression_moves_finding_to_suppressed(tmp_path):
     assert active == []
     assert len(suppressed) == 1
     assert suppressed[0].rule == "determinism"
+
+
+def test_entropy_reads_are_flagged(tmp_path):
+    _, _, findings = run(
+        tmp_path,
+        """\
+        import os
+        import uuid
+
+
+        def token():
+            return os.urandom(8)
+
+
+        def fresh_id():
+            return uuid.uuid4()
+
+
+        def node_id():
+            return uuid.uuid1()
+        """,
+    )
+    messages = sorted(f.message for f in findings)
+    assert messages == [
+        "entropy read os.urandom() in a deterministic module",
+        "entropy read uuid.uuid1() in a deterministic module",
+        "entropy read uuid.uuid4() in a deterministic module",
+    ]
+
+
+def test_content_derived_uuid_is_not_flagged(tmp_path):
+    _, _, findings = run(
+        tmp_path,
+        """\
+        import uuid
+
+
+        def stable_id(name):
+            return uuid.uuid5(uuid.NAMESPACE_URL, name)
+        """,
+    )
+    assert findings == []
+
+
+def test_hash_ordering_key_is_flagged(tmp_path):
+    codebase, _, findings = run(
+        tmp_path,
+        """\
+        def shuffle_ish(items):
+            return sorted(items, key=hash)
+
+
+        def pick(items):
+            return min(items, key=lambda x: hash(x.name))
+
+
+        def inplace(items):
+            items.sort(key=hash)
+        """,
+    )
+    assert len(findings) == 3
+    assert all("hash() used as the ordering key" in f.message for f in findings)
+    assert {f.line for f in findings} == {
+        line_of(codebase, "fixpkg/high/solver.py", "sorted(items"),
+        line_of(codebase, "fixpkg/high/solver.py", "min(items"),
+        line_of(codebase, "fixpkg/high/solver.py", "items.sort"),
+    }
+
+
+def test_value_derived_ordering_key_is_not_flagged(tmp_path):
+    _, _, findings = run(
+        tmp_path,
+        """\
+        def stable(items):
+            return sorted(items, key=lambda x: (len(x), x))
+        """,
+    )
+    assert findings == []

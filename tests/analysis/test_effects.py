@@ -1,0 +1,203 @@
+"""Fixed-point effect inference over fixture packages."""
+
+from repro.analysis.effects import EffectAnalysis
+
+from tests.analysis.util import build
+
+
+def analyse(tmp_path, files, **overrides):
+    codebase, config = build(tmp_path, files, **overrides)
+    return EffectAnalysis(codebase, config)
+
+
+def summary(analysis, qualname):
+    return sorted(analysis.summaries[qualname])
+
+
+def test_pure_io_and_nondeterministic_seeds(tmp_path):
+    analysis = analyse(tmp_path, {
+        "fixpkg/low/base.py": """\
+            import random
+
+
+            def double(x):
+                return 2 * x
+
+
+            def report(x):
+                print(x)
+
+
+            def roll():
+                return random.random()
+            """,
+    })
+    assert summary(analysis, "fixpkg.low.base.double") == []
+    assert summary(analysis, "fixpkg.low.base.report") == ["io"]
+    assert summary(analysis, "fixpkg.low.base.roll") == [
+        "nondeterministic"
+    ]
+
+
+def test_effects_propagate_through_call_chains(tmp_path):
+    analysis = analyse(tmp_path, {
+        "fixpkg/low/base.py": """\
+            def leaf():
+                print("hi")
+
+
+            def middle():
+                return leaf()
+
+
+            def top():
+                return middle()
+            """,
+    })
+    assert summary(analysis, "fixpkg.low.base.top") == ["io"]
+    chain = analysis.explain("fixpkg.low.base.top", "io")
+    assert len(chain) == 3  # top → middle → leaf's print seed
+    assert "print" in chain[-1]
+
+
+def test_param_indexed_mutation_absorbed_by_fresh_argument(tmp_path):
+    analysis = analyse(tmp_path, {
+        "fixpkg/low/base.py": """\
+            def push(acc, x):
+                acc.append(x)
+
+
+            def collect(items):
+                out = []
+                for item in items:
+                    push(out, item)
+                return out
+
+
+            def taint(items):
+                push(items, 1)
+            """,
+    })
+    assert summary(analysis, "fixpkg.low.base.push") == ["mutates-arg:acc"]
+    # A fresh local absorbs the callee's parameter mutation...
+    assert summary(analysis, "fixpkg.low.base.collect") == []
+    # ...while forwarding an own parameter re-indexes the atom.
+    assert summary(analysis, "fixpkg.low.base.taint") == [
+        "mutates-arg:items"
+    ]
+
+
+def test_mutates_self_translation_by_receiver(tmp_path):
+    analysis = analyse(tmp_path, {
+        "fixpkg/low/base.py": """\
+            SHARED = []
+
+
+            class Acc:
+                def bump(self):
+                    self.n = 1
+
+
+            def on_fresh():
+                Acc().bump()
+
+
+            def on_param(acc: Acc):
+                acc.bump()
+
+
+            def on_module():
+                SHARED.append(1)
+            """,
+    })
+    assert summary(analysis, "fixpkg.low.base.Acc.bump") == ["mutates-self"]
+    assert summary(analysis, "fixpkg.low.base.on_fresh") == []
+    assert summary(analysis, "fixpkg.low.base.on_param") == [
+        "mutates-arg:acc"
+    ]
+    assert summary(analysis, "fixpkg.low.base.on_module") == [
+        "mutates-global"
+    ]
+
+
+def test_reads_global_mutable(tmp_path):
+    analysis = analyse(tmp_path, {
+        "fixpkg/low/base.py": """\
+            CACHE = {}
+
+
+            def poke(k, v):
+                CACHE[k] = v
+
+
+            def peek(k):
+                return CACHE.get(k)
+            """,
+    })
+    # The subscript store both writes and reads the module-level dict.
+    assert summary(analysis, "fixpkg.low.base.poke") == [
+        "mutates-global", "reads-global-mutable",
+    ]
+    assert "reads-global-mutable" in summary(
+        analysis, "fixpkg.low.base.peek"
+    )
+
+
+def test_declared_summary_pins_inference(tmp_path):
+    analysis = analyse(tmp_path, {
+        "fixpkg/low/base.py": """\
+            # repro-lint: effects[pure] callback is contractually pure
+            def apply(f, x):
+                return f(x)
+
+
+            def user(x):
+                return apply(abs, x)
+            """,
+    })
+    assert summary(analysis, "fixpkg.low.base.apply") == []
+    assert summary(analysis, "fixpkg.low.base.user") == []
+
+
+def test_counter_modules_carry_declared_counter(tmp_path):
+    analysis = analyse(
+        tmp_path,
+        {
+            "fixpkg/low/stats.py": """\
+                TALLY = {}
+
+
+                def record(name):
+                    TALLY[name] = TALLY.get(name, 0) + 1
+                """,
+            "fixpkg/low/base.py": """\
+                from fixpkg.low import stats
+
+
+                def work(x):
+                    stats.record("work")
+                    return x
+                """,
+        },
+        counter_modules=("fixpkg.low.stats",),
+    )
+    assert summary(analysis, "fixpkg.low.stats.record") == ["counter"]
+    assert summary(analysis, "fixpkg.low.base.work") == ["counter"]
+
+
+def test_summary_payload_is_sorted_and_totalled(tmp_path):
+    analysis = analyse(tmp_path, {
+        "fixpkg/low/base.py": """\
+            def a():
+                return 1
+
+
+            def b(out):
+                out.append(1)
+            """,
+    })
+    payload = analysis.summary_payload()
+    names = [f["function"] for f in payload["functions"]]
+    assert names == sorted(names)
+    assert payload["totals"]["pure"] >= 1
+    assert payload["totals"]["mutates-arg"] == 1

@@ -134,7 +134,15 @@ def test_only_restricts_to_dependency_closure(tmp_path):
     assert {r["task"] for r in report.records} == {"base", "doubled"}
 
 
-def test_parallel_run_matches_serial(tmp_path):
+def _uncap_cpus(monkeypatch, count=8):
+    """Pretend the host has ``count`` cores so jobs>1 is not capped."""
+    import os
+
+    monkeypatch.setattr(os, "cpu_count", lambda: count)
+
+
+def test_parallel_run_matches_serial(tmp_path, monkeypatch):
+    _uncap_cpus(monkeypatch)
     serial = run_tasks(
         _registry(), jobs=1, cache=ResultCache(root=tmp_path / "serial")
     )
@@ -145,7 +153,8 @@ def test_parallel_run_matches_serial(tmp_path):
     assert _stable(serial) == _stable(parallel)
 
 
-def test_parallel_failure_isolation(tmp_path):
+def test_parallel_failure_isolation(tmp_path, monkeypatch):
+    _uncap_cpus(monkeypatch)
     registry = TaskRegistry()
     registry.add("fails", f"{TASKFNS}:boom")
     registry.add("downstream", f"{TASKFNS}:double", deps={"n": "fails"})
@@ -162,7 +171,7 @@ def test_jobs_must_be_positive(tmp_path):
 # -- lru-cache / solver-stats aggregation -----------------------------------
 
 
-def test_pool_worker_cache_activity_is_merged(tmp_path):
+def test_pool_worker_cache_activity_is_merged(tmp_path, monkeypatch):
     """Worker-process lru activity must surface in the final report.
 
     The real experiment tasks import the solver stack lazily inside the
@@ -170,6 +179,7 @@ def test_pool_worker_cache_activity_is_merged(tmp_path):
     sees none of their cache traffic — the report must merge the
     per-record deltas instead (this was the `registered: []` bug).
     """
+    _uncap_cpus(monkeypatch)
     registry = TaskRegistry()
     registry.add(
         "f1", f"{TASKFNS}:factor_count", args={"word": "abcabcabbacb"}
@@ -227,3 +237,24 @@ def test_solver_stats_flow_into_report(tmp_path):
     warm = run_tasks(registry, jobs=1, cache=ResultCache(root=tmp_path))
     assert warm.record_for("probe")["cache"] == "hit"
     assert warm.record_for("probe")["solver_delta"] == {}
+
+
+def test_jobs_capped_at_cpu_count(tmp_path, monkeypatch):
+    import repro.engine.executor as executor_module
+
+    monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 2)
+    registry = TaskRegistry()
+    registry.add("only", f"{TASKFNS}:const", args={"value": 1})
+    report = run_tasks(registry, jobs=64, cache=ResultCache(root=tmp_path))
+    assert report.jobs == 2
+    assert report.jobs_requested == 64
+    assert report.to_json_dict()["engine"]["jobs"] == 2
+    assert report.to_json_dict()["engine"]["jobs_requested"] == 64
+
+
+def test_jobs_within_cpu_count_is_untouched(tmp_path):
+    registry = TaskRegistry()
+    registry.add("only", f"{TASKFNS}:const", args={"value": 1})
+    report = run_tasks(registry, jobs=1, cache=ResultCache(root=tmp_path))
+    assert report.jobs == 1
+    assert report.jobs_requested == 1
