@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""CI smoke for the persistent store + serve daemon.
+
+Warms an artifact store, starts ``python -m repro serve`` against it,
+issues one membership and one EF-equivalence query over the wire, checks
+the answers against the engine's committed results, and shuts the daemon
+down cleanly.  Exits non-zero on any mismatch, daemon error, or unclean
+shutdown.
+
+The reference answers are fixed points of the reproduction:
+
+* ``abab ∈ L(φ_ww)`` and ``aba ∉ L(φ_ww)`` (experiment E04 / Example
+  2.4 machinery);
+* ``a¹²b¹² ≡₂ a¹⁴b¹²`` — the committed verdict of the engine task
+  ``prim/equiv/anbn-k2`` (and exactly the query the warm store is
+  supposed to make cheap).
+
+Usage: ``PYTHONPATH=src python benchmarks/serve_smoke.py``
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.serve.client import ServeClient  # noqa: E402
+
+HEAVY_W = "a" * 12 + "b" * 12
+HEAVY_V = "a" * 14 + "b" * 12
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p
+        for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH"))
+        if p
+    )
+    return env
+
+
+def fail(message: str) -> int:
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        spec = f"sqlite:{os.path.join(tmp, 'artifacts.sqlite')}"
+
+        print(f"serve-smoke: warming {spec}")
+        started = time.time()
+        warm = subprocess.run(
+            [sys.executable, "-m", "repro", "warm", "--store", spec],
+            env=_env(),
+            capture_output=True,
+            text=True,
+        )
+        print(warm.stdout, end="")
+        if warm.returncode != 0:
+            print(warm.stderr, file=sys.stderr, end="")
+            return fail(f"warm exited {warm.returncode}")
+        print(f"serve-smoke: warmed in {time.time() - started:.2f}s")
+
+        daemon = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--store",
+                spec,
+            ],
+            env=_env(),
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            announce = daemon.stdout.readline().strip()
+            print(f"serve-smoke: {announce}")
+            if not announce.startswith("serving on "):
+                return fail(f"unexpected announce line: {announce!r}")
+            port = int(announce.rsplit(":", 1)[1])
+
+            with ServeClient(port=port, timeout=120.0) as client:
+                ping = client.call("ping")
+                print(f"serve-smoke: ping → {ping}")
+
+                member = client.call(
+                    "membership", word="abab", formula="ww"
+                )
+                print(f"serve-smoke: membership(abab, ww) → {member}")
+                if member["member"] is not True:
+                    return fail("abab should satisfy φ_ww")
+                non_member = client.call(
+                    "membership", word="aba", formula="ww"
+                )
+                if non_member["member"] is not False:
+                    return fail("aba should not satisfy φ_ww")
+
+                started = time.time()
+                equiv = client.call(
+                    "equiv", w=HEAVY_W, v=HEAVY_V, k=2, alphabet="ab"
+                )
+                elapsed = time.time() - started
+                print(
+                    f"serve-smoke: equiv(a¹²b¹², a¹⁴b¹², 2) → "
+                    f"{equiv['equivalent']} in {elapsed:.3f}s (warm)"
+                )
+                if equiv["equivalent"] is not True:
+                    return fail(
+                        "a12b12 ≡₂ a14b12 expected (prim/equiv/anbn-k2)"
+                    )
+
+                stats = client.call("stats")
+                hits = stats["counters"].get("store_hits", 0)
+                print(f"serve-smoke: daemon store hits: {hits}")
+                if hits < 1:
+                    return fail("daemon never hydrated from the warm store")
+
+                ack = client.call("shutdown")
+                if ack != {"stopping": True}:
+                    return fail(f"unexpected shutdown ack: {ack}")
+
+            daemon.wait(timeout=30)
+            if daemon.returncode != 0:
+                return fail(f"daemon exited {daemon.returncode}")
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+    print("serve-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,12 @@ Commands:
                                determinism, lru_cache purity, import
                                layering, frozen-AST discipline; see
                                repro.analysis)
+* ``warm [--store SPEC] [WORD...]``
+                             — prebuild kernel artifacts into the
+                               persistent store (see repro.store)
+* ``serve [--host H] [--port P] [--store SPEC]``
+                             — long-lived JSON-lines query daemon over
+                               the warm kernel stack (see repro.serve)
 """
 
 from __future__ import annotations
@@ -33,12 +39,10 @@ import sys
 
 __all__ = ["main"]
 
-PAPER_FORMULAS = {
-    "ww": ("repro.fc.builders", "phi_ww", "ab"),
-    "no-cube": ("repro.fc.builders", "phi_no_cube", "ab"),
-    "vbv": ("repro.fc.builders", "phi_vbv", "ab"),
-    "fib": ("repro.fc.builders", "phi_fib", "abc"),
-}
+#: Mirrors ``repro.fc.builders.PAPER_FORMULAS`` (the source of truth) so
+#: the argparse ``choices`` list needs no package import at startup; a
+#: test pins the two in sync.
+PAPER_FORMULA_NAMES = ("fib", "no-cube", "vbv", "ww")
 
 
 def _cmd_report(_: argparse.Namespace) -> int:
@@ -104,21 +108,15 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    import importlib
-
+    from repro.fc.builders import paper_formula
     from repro.fc.semantics import defines_language_member
 
     try:
-        module_name, function, alphabet = PAPER_FORMULAS[args.formula]
-    except KeyError:
-        print(
-            f"unknown formula {args.formula!r}; choose from "
-            f"{sorted(PAPER_FORMULAS)}",
-            file=sys.stderr,
-        )
+        phi, alphabet = paper_formula(args.formula)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
         return 2
-    builder = getattr(importlib.import_module(module_name), function)
-    verdict = defines_language_member(args.word, builder(), alphabet)
+    verdict = defines_language_member(args.word, phi, alphabet)
     print(f"{args.word!r} ⊨ φ_{args.formula}: {verdict}")
     return 0
 
@@ -187,6 +185,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return cmd_lint(args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.cli import cmd_serve
+
+    return cmd_serve(args)
+
+
+def _cmd_warm(args: argparse.Namespace) -> int:
+    from repro.serve.cli import cmd_warm
+
+    return cmd_warm(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -213,7 +223,7 @@ def main(argv: list[str] | None = None) -> int:
 
     check = commands.add_parser("check", help="model-check a paper formula")
     check.add_argument("word")
-    check.add_argument("formula", choices=sorted(PAPER_FORMULAS))
+    check.add_argument("formula", choices=PAPER_FORMULA_NAMES)
 
     pow2 = commands.add_parser("pow2", help="unary witness pair")
     pow2.add_argument("k", type=int, nargs="?", default=2)
@@ -230,9 +240,12 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.analysis.cli import add_lint_parser
     from repro.engine.cli import add_run_parser
+    from repro.serve.cli import add_serve_parser, add_warm_parser
 
     add_run_parser(commands)
     add_lint_parser(commands)
+    add_serve_parser(commands)
+    add_warm_parser(commands)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -246,6 +259,8 @@ def main(argv: list[str] | None = None) -> int:
         "certify": _cmd_certify,
         "run": _cmd_run,
         "lint": _cmd_lint,
+        "serve": _cmd_serve,
+        "warm": _cmd_warm,
     }
     return handlers[args.command](args)
 

@@ -19,7 +19,11 @@ call graph + fixed point per lint run):
 * ``effects.worker-isolation`` — functions reachable from registered
   engine task ``fn``s run inside forked workers whose module state is
   thrown away; assigning module-level state there is at best lost and
-  at worst a race, except through the trusted counter modules.
+  at worst a race, except through the trusted counter modules and the
+  artifact-store channel (``repro.store``): workers *may* publish
+  artifacts, but only via the declared store modules — an inline
+  ``effects[store]`` pin outside them is flagged, so the channel cannot
+  be widened ad hoc.
 
 Intentional exemptions are written *next to the code* as
 ``# repro-lint: allow[effects.<rule>] reason`` comments.
@@ -44,8 +48,13 @@ __all__ = [
 
 _BUILTIN_NAMES = frozenset(dir(builtins))
 
-#: Atoms every rule tolerates: effort counters are exempt by design.
-_TOLERATED = frozenset({"counter"})
+#: Atoms every rule tolerates: effort counters are exempt by design, and
+#: the ``store`` channel is too — an artifact-store probe returns either
+#: exactly the value the cold computation would produce (content-
+#: addressed, salt-versioned) or a miss, so it cannot change any cached
+#: result.  Reaching storage *around* the channel still infers
+#: ``io``/``unknown`` and fails these rules.
+_TOLERATED = frozenset({"counter", "store"})
 
 
 def _module_of(codebase: Codebase, analysis, qualname: str):
@@ -393,7 +402,8 @@ class WorkerIsolationChecker(Checker):
     name = "effects.worker-isolation"
     description = (
         "engine task closures may not assign module-level state outside "
-        "the trusted counter modules"
+        "the trusted counter modules, and may reach the artifact store "
+        "only through the declared store modules"
     )
 
     def check(
@@ -416,12 +426,35 @@ class WorkerIsolationChecker(Checker):
                         parents[callee] = current
                         queue.append(callee)
         counters = set(getattr(config, "counter_modules", ()))
+        stores = set(getattr(config, "store_modules", ()))
         for qualname in sorted(parents):
             info = graph.functions[qualname]
-            if info.module in counters:
+            if info.module in counters or info.module in stores:
                 continue
             seeds = analysis.seeds.get(qualname, {})
             declared = graph.scans[qualname].declared
+            if declared is not None and "store" in declared:
+                # The store effect is a *channel*, not a suppression: a
+                # worker may publish artifacts, but only by calling into
+                # the store modules, whose declared summaries propagate
+                # the atom on their own.  An inline pin outside them
+                # would let arbitrary storage code masquerade as the
+                # trusted channel.
+                yield self.finding(
+                    codebase,
+                    codebase.modules[info.module],
+                    info.line,
+                    f"task-reachable function {info.name}() declares the "
+                    f"store effect inline; only the store modules "
+                    f"({', '.join(sorted(stores)) or 'none configured'}) "
+                    f"may declare it",
+                    hint=(
+                        "route artifact reads/writes through "
+                        "repro.store.runtime.load/publish — the channel's "
+                        "declared summary propagates the store atom to "
+                        "callers without a pin"
+                    ),
+                )
             if declared is not None and "mutates-global" not in declared:
                 continue
             if "mutates-global" not in seeds and not (

@@ -13,6 +13,7 @@ call we cannot resolve could do anything).  The atoms:
 ``reads-global-mutable``  reads a module-level container some function writes
 ``nondeterministic``      wall clock, randomness, environment, ``id()``
 ``counter``               writes process-wide effort counters (trusted)
+``store``                 reads/publishes persistent artifacts (trusted)
 ``unknown``               an unresolvable dynamic call — anything possible
 ========================  ====================================================
 
@@ -32,9 +33,14 @@ effect instead of inheriting it.
 
 Functions in the configured *counter modules* (``repro.kernel.stats``,
 ``repro.cachestats``) carry the declared summary ``{counter}`` — effort
-accounting is exempt by design.  A ``# repro-lint: effects[pure]``
-comment on a ``def`` pins a summary where inference is too weak
-(document the reason next to it).
+accounting is exempt by design.  Functions in the *store modules*
+(``repro.store.runtime`` and friends) likewise carry ``{store}``: the
+artifact store is a content-addressed hydration channel whose hits are
+bit-identical to the cold computation, so reaching it through the
+declared channel is as benign as a counter bump — while reaching
+storage *around* the channel still infers ``io``/``unknown`` and is
+flagged.  A ``# repro-lint: effects[pure]`` comment on a ``def`` pins a
+summary where inference is too weak (document the reason next to it).
 
 Every (function, atom) pair records *provenance* — the call edge or the
 local statement that introduced the atom — so rules can render a
@@ -57,6 +63,7 @@ ATOMS = (
     "mutates-self",
     "nondeterministic",
     "reads-global-mutable",
+    "store",
     "unknown",
 )
 
@@ -129,8 +136,8 @@ _PURE_METHODS = frozenset({
     "copy", "difference", "get", "intersection", "isdisjoint", "issubset",
     "issuperset", "items", "keys", "symmetric_difference", "union", "values",
     # misc read-only
-    "as_integer_ratio", "bit_length", "cache_info", "hex", "to_bytes",
-    "__contains__", "__len__",
+    "as_integer_ratio", "bit_length", "cache_info", "digest", "hex",
+    "hexdigest", "to_bytes", "__contains__", "__len__",
 })
 
 
@@ -225,6 +232,11 @@ class EffectAnalysis:
         counters = getattr(self.config, "counter_modules", ())
         if module in counters:
             declared = frozenset({"counter"})
+            self._declared[qualname] = declared
+            return declared
+        stores = getattr(self.config, "store_modules", ())
+        if module in stores:
+            declared = frozenset({"store"})
             self._declared[qualname] = declared
             return declared
         return None

@@ -334,13 +334,19 @@ class LintConfig:
     # Import layering, bottom layer first; packages in the same tuple may
     # import each other freely.
     layers: tuple[tuple[str, ...], ...] = (
-        ("words",),
+        # repro.store sits at the bottom with repro.words: the artifact
+        # store must be importable from every hydration site (kernel,
+        # fc, ef) and depends on nothing above it.
+        ("words", "store"),
         ("kernel",),
         ("fc", "fcreg"),
         ("ef", "foeq"),
         ("spanners", "semilinear"),
         ("core",),
         ("engine",),
+        # repro.serve rides on top of the engine (it warms via run_tasks
+        # and answers queries with the same task functions).
+        ("serve",),
         ("analysis",),
     )
     # Top-level modules below the whole DAG (importable from any layer,
@@ -387,14 +393,31 @@ class LintConfig:
         "repro.ef",
         "repro.engine",
         "repro.fc.sweep",
+        # Bounded decompositions flow into store-fingerprinted formulas;
+        # automaton construction order must not depend on string hashing.
+        "repro.fcreg",
         "repro.foeq",
         "repro.kernel",
+        # Artifact keys and payloads feed content-addressed hydration;
+        # any iteration-order leak here poisons records on disk.
+        "repro.store",
     )
     # Modules whose functions carry the trusted {counter} effect summary
     # (process-wide effort accounting, exempt from the purity rules).
     counter_modules: tuple[str, ...] = (
         "repro.cachestats",
         "repro.kernel.stats",
+        "repro.store.stats",
+    )
+    # Modules whose functions carry the trusted {store} effect summary —
+    # the artifact-store channel.  Hydration code may reach persistent
+    # storage only by calling into these; effects.worker-isolation flags
+    # inline ``effects[store]`` pins anywhere else.
+    store_modules: tuple[str, ...] = (
+        "repro.store",
+        "repro.store.backends",
+        "repro.store.core",
+        "repro.store.runtime",
     )
     # Modules whose get-then-store memo dicts must satisfy
     # effects.memo-key-completeness (family-wide caches).

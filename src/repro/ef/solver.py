@@ -39,8 +39,14 @@ from repro.kernel.interning import (
     intern_restricted_table,
     intern_table,
 )
+from repro.store import artifacts, runtime as store_runtime
 
 __all__ = ["GameSolver", "solve_equivalence"]
+
+#: Memo tables smaller than this are never persisted: tiny games (the
+#: E01 loops build hundreds of solvers) would flood the store with
+#: records cheaper to recompute than to load.
+_PERSIST_MIN_ENTRIES = 32
 
 Element = "str | object"
 Pair = tuple  # (a-side element, b-side element)
@@ -79,6 +85,55 @@ class GameSolver:
         self._core = KernelSolver(
             _table_for(self.structure_a), _table_for(self.structure_b)
         )
+        self._store_args = None
+        self._persisted_size = 0
+        if store_runtime.active() is not None:
+            table_a = self._core.table_a
+            table_b = self._core.table_b
+            # Universe fingerprints key restricted structures correctly:
+            # the same word pair with different allowed sets must not
+            # share memo entries.  Ids are stable across processes (the
+            # deterministic (len, text) assignment), so replayed
+            # positions mean the same elements.
+            self._store_args = {
+                "alphabet": "".join(table_a.alphabet),
+                "word_a": table_a.word,
+                "word_b": table_b.word,
+                "universe_a": artifacts.fingerprint_strings(
+                    table_a.elements[1:]
+                ),
+                "universe_b": artifacts.fingerprint_strings(
+                    table_b.elements[1:]
+                ),
+            }
+            payload = store_runtime.load(
+                artifacts.EF_MEMO_KIND,
+                artifacts.EF_MEMO_VERSION,
+                self._store_args,
+            )
+            if payload is not None:
+                self._core.preload_memo(artifacts.decode_memo(payload))
+                self._persisted_size = self._core.memo_size()
+
+    def _persist(self) -> None:
+        """Publish the transposition table when a query has grown it.
+
+        Runs after every public query; a no-op without an active store,
+        below :data:`_PERSIST_MIN_ENTRIES`, or when nothing new was
+        memoised since the last publish.
+        """
+        if self._store_args is None:
+            return
+        size = self._core.memo_size()
+        if size < _PERSIST_MIN_ENTRIES or size <= self._persisted_size:
+            return
+        store_runtime.publish(
+            artifacts.EF_MEMO_KIND,
+            artifacts.EF_MEMO_VERSION,
+            self._store_args,
+            artifacts.encode_memo(self._core.export_memo()),
+        )
+        self._persisted_size = size
 
     # -- element translation -------------------------------------------------
 
@@ -131,7 +186,9 @@ class GameSolver:
         ids = self._pair_ids(pairs)
         if ids is None:
             return False
-        return self._core.duplicator_wins(rounds, ids)
+        verdict = self._core.duplicator_wins(rounds, ids)
+        self._persist()
+        return verdict
 
     # -- strategy extraction ---------------------------------------------------
 
@@ -160,6 +217,7 @@ class GameSolver:
         response = self._core.winning_response(
             rounds, ids, move.side, element_id
         )
+        self._persist()
         if response is None:
             return None
         return self._element("B" if move.side == "A" else "A", response)
@@ -183,6 +241,7 @@ class GameSolver:
         if ids is None:
             return None
         found = self._core.spoiler_winning_move(rounds, ids, skip_bottom)
+        self._persist()
         if found is None:
             return None
         side, element_id = found

@@ -19,8 +19,30 @@ from typing import Any
 from repro.engine.cache import ResultCache, default_cache_dir
 from repro.engine.executor import EngineReport, run_tasks
 from repro.engine.experiments import build_default_registry
+from repro.store import open_backend
+from repro.store.core import ArtifactStore
+from repro.store.runtime import default_store_path
 
-__all__ = ["add_run_parser", "cmd_run", "write_engine_report"]
+__all__ = ["add_run_parser", "cmd_run", "resolve_store", "write_engine_report"]
+
+#: ``--store`` with no value: use the default path/env resolution.
+STORE_DEFAULT = "__default__"
+
+
+def resolve_store(spec: str | None) -> ArtifactStore | None:
+    """An :class:`ArtifactStore` from a ``--store`` argument, or ``None``.
+
+    ``None`` (flag absent) disables the store; the :data:`STORE_DEFAULT`
+    sentinel (bare ``--store``) resolves ``$REPRO_STORE_DIR`` /
+    ``.repro-store``; anything else is a backend spec (``memory``,
+    ``sqlite:PATH``, or a directory).
+    """
+    if spec is None:
+        return None
+    if spec == STORE_DEFAULT:
+        return ArtifactStore(open_backend(default_store_path()))
+    return ArtifactStore(open_backend(spec))
+
 
 DEFAULT_REPORT_PATH = "BENCH_engine.json"
 
@@ -82,6 +104,18 @@ def add_run_parser(commands: argparse._SubParsersAction) -> None:
         help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
     )
     run.add_argument(
+        "--store",
+        nargs="?",
+        const=STORE_DEFAULT,
+        default=None,
+        metavar="SPEC",
+        help=(
+            "enable the persistent artifact store (kernel warm-start); "
+            "bare --store uses $REPRO_STORE_DIR or .repro-store, or pass "
+            "a backend spec: memory, sqlite:PATH, or a directory"
+        ),
+    )
+    run.add_argument(
         "--clear-cache",
         action="store_true",
         help="delete all cached records before running",
@@ -139,15 +173,23 @@ def cmd_run(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"cleared {removed} cached record(s) from {cache.root}")
 
+    store = resolve_store(getattr(args, "store", None))
+    store_where = None
+    if store is not None:
+        info = store.describe()
+        store_where = info["path"] or info["backend"]
     selected = registry.closure(only) if only else registry.specs()
     print(
         f"running {len(selected)} task(s) with --jobs {args.jobs} "
-        f"(cache: {'off' if args.no_cache else cache.root})"
+        f"(cache: {'off' if args.no_cache else cache.root}"
+        + (f", store: {store_where}" if store_where else "")
+        + ")"
     )
     report = run_tasks(
         registry,
         jobs=args.jobs,
         cache=cache,
+        store=store,
         only=only,
         on_record=lambda record: print(_progress_line(record), flush=True),
     )
@@ -165,6 +207,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
         f"{stats['bypassed']} bypassed"
     )
+    if report.store.get("enabled"):
+        totals = report.store["totals"]
+        print(
+            f"store: {totals.get('store_hits', 0)} hit(s), "
+            f"{totals.get('store_misses', 0)} miss(es), "
+            f"{totals.get('store_stores', 0)} store(s), "
+            f"{totals.get('store_errors', 0)} error(s)"
+        )
     for record in report.records:
         if record["status"] == "error":
             print(

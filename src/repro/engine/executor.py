@@ -29,6 +29,9 @@ from typing import Any, Callable, Iterable, Mapping
 from repro.engine import cachestats
 from repro.engine.cache import ResultCache
 from repro.kernel import stats as solver_stats
+from repro.store import ArtifactStore
+from repro.store import runtime as store_runtime
+from repro.store import stats as store_stats
 from repro.engine.dag import dependents_of, topological_order, validate_dag
 from repro.engine.spec import (
     TaskRegistry,
@@ -53,6 +56,7 @@ class EngineReport:
     cache: dict[str, Any]
     lru_caches: dict[str, Any] = field(default_factory=dict)
     solver: dict[str, Any] = field(default_factory=dict)
+    store: dict[str, Any] = field(default_factory=dict)
     #: The pre-cap ``--jobs`` request; equals ``jobs`` unless the run
     #: was capped at the host's CPU count.
     jobs_requested: int = 0
@@ -89,6 +93,7 @@ class EngineReport:
             "cache": self.cache,
             "lru_caches": self.lru_caches,
             "solver": self.solver,
+            "store": self.store,
             "tasks": self.records,
         }
 
@@ -114,6 +119,7 @@ def _execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
     name = payload["task"]
     before = cachestats.snapshot()
     solver_before = solver_stats.snapshot()
+    store_before = store_stats.snapshot()
     start = time.perf_counter()
     try:
         fn = resolve_function(payload["fn"])
@@ -142,6 +148,7 @@ def _execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
         # these sites, so the record is the only place they surface.
         "lru_registered": cachestats.registered_names(),
         "solver_delta": solver_stats.diff(solver_before, solver_stats.snapshot()),
+        "store_delta": store_stats.diff(store_before, store_stats.snapshot()),
     }
     return record
 
@@ -163,6 +170,7 @@ def _skipped_record(name: str, failed_deps: list[str]) -> dict[str, Any]:
         "lru_delta": {},
         "lru_registered": [],
         "solver_delta": {},
+        "store_delta": {},
     }
 
 
@@ -179,6 +187,7 @@ def run_tasks(
     *,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    store: ArtifactStore | None = None,
     only: Iterable[str] | None = None,
     on_record: Callable[[dict[str, Any]], None] | None = None,
 ) -> EngineReport:
@@ -187,8 +196,12 @@ def run_tasks(
     ``only`` restricts the run to the named tasks plus their transitive
     dependencies.  ``cache`` defaults to a fresh :class:`ResultCache`
     over ``.repro-cache/``; pass ``ResultCache(enabled=False)`` for
-    ``--no-cache`` semantics.  ``on_record`` is invoked once per
-    finished task, in completion order (progress reporting).
+    ``--no-cache`` semantics.  ``store``, when given, is activated as
+    the process-global artifact store for the duration of the run —
+    *before* any worker pool forks, so workers inherit it and
+    warm-start from the same backend (the previous global store is
+    restored on exit).  ``on_record`` is invoked once per finished
+    task, in completion order (progress reporting).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -221,11 +234,15 @@ def run_tasks(
     solver_totals: dict[str, int] = {}
     pooled = jobs > 1
 
+    store_totals: dict[str, int] = {}
+
     def absorb(record: dict[str, Any]) -> None:
         """Fold one executed record's deltas into the run accumulators."""
         seen_registered.update(record.get("lru_registered", ()))
         for counter, amount in record.get("solver_delta", {}).items():
             solver_totals[counter] = solver_totals.get(counter, 0) + amount
+        for counter, amount in record.get("store_delta", {}).items():
+            store_totals[counter] = store_totals.get(counter, 0) + amount
         if not pooled:
             # Sequential execution happened in *this* process: the main
             # snapshot already contains these deltas; merging them again
@@ -268,6 +285,7 @@ def run_tasks(
             record["lru_delta"] = {}
             record["lru_registered"] = []
             record["solver_delta"] = {}
+            record["store_delta"] = {}
             finish(name, record)
             return None
         return {
@@ -288,36 +306,44 @@ def run_tasks(
             cache.store(keys[name], record)
         finish(name, record)
 
-    if jobs == 1:
-        for name in order:
-            payload = prepare(name)
-            if payload is not None:
-                seal(name, _execute_payload(payload))
-    else:
-        ctx = _pool_context()
-        with ctx.Pool(processes=jobs) as pool:
-            in_flight: dict[str, Any] = {}
-            submitted: set[str] = set()
-            while len(records) < len(specs):
-                for name in order:
-                    if name in records or name in submitted:
+    # Activate the artifact store in the parent *before* the pool
+    # forks: workers inherit the global and hydrate from the shared
+    # backend (sqlite connections re-open lazily per pid).
+    previous_store = store_runtime.activate(store) if store is not None else None
+    try:
+        if jobs == 1:
+            for name in order:
+                payload = prepare(name)
+                if payload is not None:
+                    seal(name, _execute_payload(payload))
+        else:
+            ctx = _pool_context()
+            with ctx.Pool(processes=jobs) as pool:
+                in_flight: dict[str, Any] = {}
+                submitted: set[str] = set()
+                while len(records) < len(specs):
+                    for name in order:
+                        if name in records or name in submitted:
+                            continue
+                        if any(dep not in records for dep in specs[name].dep_tasks):
+                            continue
+                        payload = prepare(name)
+                        if payload is None:
+                            continue
+                        submitted.add(name)
+                        in_flight[name] = pool.apply_async(
+                            _execute_payload, (payload,)
+                        )
+                    done_now = [n for n, a in in_flight.items() if a.ready()]
+                    if not done_now:
+                        if in_flight:
+                            time.sleep(_POLL_INTERVAL)
                         continue
-                    if any(dep not in records for dep in specs[name].dep_tasks):
-                        continue
-                    payload = prepare(name)
-                    if payload is None:
-                        continue
-                    submitted.add(name)
-                    in_flight[name] = pool.apply_async(
-                        _execute_payload, (payload,)
-                    )
-                done_now = [n for n, a in in_flight.items() if a.ready()]
-                if not done_now:
-                    if in_flight:
-                        time.sleep(_POLL_INTERVAL)
-                    continue
-                for name in sorted(done_now):
-                    seal(name, in_flight.pop(name).get())
+                    for name in sorted(done_now):
+                        seal(name, in_flight.pop(name).get())
+    finally:
+        if store is not None:
+            store_runtime.deactivate(previous_store)
 
     elapsed = time.perf_counter() - started
     ordered = [records[name] for name in sorted(records)]
@@ -346,6 +372,13 @@ def run_tasks(
         solver={
             "totals": {
                 name: solver_totals[name] for name in sorted(solver_totals)
+            },
+        },
+        store={
+            "enabled": store is not None,
+            "backend": store.describe() if store is not None else None,
+            "totals": {
+                name: store_totals[name] for name in sorted(store_totals)
             },
         },
     )

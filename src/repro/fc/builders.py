@@ -19,6 +19,8 @@ Every explicit formula appearing in the paper is constructed here:
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.fc.sugar import chain
 from repro.fc.syntax import (
     And,
@@ -39,6 +41,8 @@ from repro.fc.syntax import (
 )
 
 __all__ = [
+    "PAPER_FORMULAS",
+    "paper_formula",
     "phi_whole_word",
     "phi_ww",
     "phi_copy",
@@ -225,3 +229,29 @@ def phi_fib(separator: str = "c") -> Formula:
     )
 
     return Or(base_n0, Or(base_n1, And(phi_struc, recursion)))
+
+
+#: The named closed formulas the CLI and the serve daemon expose for
+#: membership queries: name → (builder, alphabet).
+PAPER_FORMULAS: dict[str, tuple[Callable[[], Formula], str]] = {
+    "ww": (phi_ww, "ab"),
+    "no-cube": (phi_no_cube, "ab"),
+    "vbv": (phi_vbv, "ab"),
+    "fib": (phi_fib, "abc"),
+}
+
+
+def paper_formula(name: str) -> tuple[Formula, str]:
+    """The named paper sentence and its alphabet.
+
+    Raises ``KeyError`` listing the valid names so CLI/daemon callers can
+    surface it verbatim.
+    """
+    try:
+        builder, alphabet = PAPER_FORMULAS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown paper formula {name!r}; choose from "
+            f"{sorted(PAPER_FORMULAS)}"
+        ) from None
+    return builder(), alphabet

@@ -23,6 +23,7 @@ from repro.fc.compiled import compiled_evaluator
 from repro.fc.optimizer import formula_pool
 from repro.fc.structures import BOTTOM, WordStructure, word_structure
 from repro.fc.sweep import LanguageSweep
+from repro.store import artifacts as store_artifacts, runtime as store_runtime
 from repro.fc.syntax import (
     And,
     Concat,
@@ -36,6 +37,7 @@ from repro.fc.syntax import (
     Or,
     Term,
     Var,
+    alpha_canonical,
     free_variables,
 )
 from repro.words.generators import words_up_to
@@ -236,7 +238,56 @@ def satisfying_assignments(
 
     Assignments are yielded as fresh dicts with domain exactly the free
     variables (matching the paper's convention for ⟦φ⟧).
+
+    With an active artifact store (``repro.store``), the full result set
+    is hydrated from the ``fc-assignments`` artifact — same assignments,
+    same enumeration order — and published after a cold enumeration is
+    exhausted (partial scans are never stored as ⟦φ⟧(w)).
     """
+    if store_runtime.active() is None:
+        yield from _enumerate_assignments(word, formula, alphabet)
+        return
+    args = {
+        "word": word,
+        "alphabet": alphabet,
+        # Formula nodes are frozen dataclasses, so repr is structural —
+        # but bound-variable names come from process-global gensym
+        # counters, so the fingerprint is taken over the alpha-canonical
+        # form (binder names replaced by preorder positions).
+        "formula": store_artifacts.fingerprint_text(
+            repr(alpha_canonical(formula))
+        ),
+    }
+    payload = store_runtime.load(
+        store_artifacts.FC_ASSIGNMENTS_KIND,
+        store_artifacts.FC_ASSIGNMENTS_VERSION,
+        args,
+    )
+    if payload is not None:
+        for row in store_artifacts.decode_assignments(payload):
+            yield {Var(name): value for name, value in row}
+        return
+    rows = []
+    for assignment in _enumerate_assignments(word, formula, alphabet):
+        rows.append(
+            [
+                (variable.name, assignment[variable])
+                for variable in sorted(assignment, key=lambda v: v.name)
+            ]
+        )
+        yield assignment
+    store_runtime.publish(
+        store_artifacts.FC_ASSIGNMENTS_KIND,
+        store_artifacts.FC_ASSIGNMENTS_VERSION,
+        args,
+        store_artifacts.encode_assignments(rows),
+    )
+
+
+def _enumerate_assignments(
+    word: str, formula: Formula, alphabet: str
+) -> Iterator[Assignment]:
+    """The cold ⟦φ⟧(w) enumeration behind :func:`satisfying_assignments`."""
     structure = word_structure(word, alphabet)
     evaluator = compiled_evaluator(structure)
     variables = sorted(free_variables(formula), key=lambda v: v.name)
@@ -277,8 +328,46 @@ def _require_sentence(sentence: Formula) -> None:
         )
 
 
+def _sweep_store_scope(family, alphabet: str, scope: int | None):
+    """Hydrate a sweep family's tables for ``Σ^{≤scope}`` from the store.
+
+    Returns a publish callback to invoke once the grid has been fully
+    enumerated (``None`` on a store hit, without a store, or without a
+    declared scope).  The artifact is the whole grid in enumeration
+    order — per-word records would cost a probe per word, which is more
+    than the incremental extension they replace.
+    """
+    if store_runtime.active() is None or scope is None:
+        return None
+    args = {"alphabet": alphabet, "max_length": scope}
+    payload = store_runtime.load(
+        store_artifacts.SWEEP_UNIVERSE_KIND,
+        store_artifacts.SWEEP_UNIVERSE_VERSION,
+        args,
+    )
+    if payload is not None:
+        for word, factor_texts in payload:
+            family.hydrate(word, factor_texts)
+        return None
+
+    def publish() -> None:
+        rows = [
+            [word, family.export(word)]
+            for word in words_up_to(alphabet, scope)
+        ]
+        store_runtime.publish(
+            store_artifacts.SWEEP_UNIVERSE_KIND,
+            store_artifacts.SWEEP_UNIVERSE_VERSION,
+            args,
+            rows,
+        )
+
+    return publish
+
+
 def defines_language_members(
-    sentence: Formula, alphabet: str, words: Iterable[str]
+    sentence: Formula, alphabet: str, words: Iterable[str],
+    scope: int | None = None,
 ) -> Iterator[tuple[str, bool]]:
     """Batched ``w ∈ L(φ)`` over a word family: yield ``(word, member)``.
 
@@ -290,6 +379,11 @@ def defines_language_members(
     sweep fragment fall back to per-word :func:`defines_language_member`
     with identical results — the differential suite checks the
     equivalence over full small grids.
+
+    ``scope`` declares that ``words`` is (a prefix of) ``Σ^{≤scope}`` in
+    enumeration order; with an active artifact store the family's
+    tables then hydrate from (or publish to) the grid's
+    ``sweep-universe`` artifact.
     """
     _require_sentence(sentence)
     sweep = LanguageSweep(alphabet)
@@ -301,21 +395,26 @@ def defines_language_members(
                 yield word, models(word, sentence, alphabet)
             return
         family = sweep.family
+        publish = _sweep_store_scope(family, alphabet, scope)
         for word in words:
             yield word, program.evaluate(family.table(word))
+        if publish is not None:
+            publish()
 
     return run()
 
 
 def language_signatures(
-    sentences: Iterable[Formula], alphabet: str, words: Iterable[str]
+    sentences: Iterable[Formula], alphabet: str, words: Iterable[str],
+    scope: int | None = None,
 ) -> Iterator[tuple[str, tuple[bool, ...]]]:
     """Membership signatures over a sentence pool: yield
     ``(word, (w ∈ L(φ_1), …, w ∈ L(φ_k)))``.
 
     All sentences share one sweep family (one id space, one table per
     word), so the E02-style signature computation interns each word's
-    factors once instead of once per sentence.
+    factors once instead of once per sentence.  ``scope`` is as in
+    :func:`defines_language_members`.
     """
     pool = tuple(sentences)
     for sentence in pool:
@@ -325,6 +424,9 @@ def language_signatures(
 
     def run() -> Iterator[tuple[str, tuple[bool, ...]]]:
         family = sweep.family
+        publish = None
+        if any(program is not None for program in programs):
+            publish = _sweep_store_scope(family, alphabet, scope)
         for word in words:
             table = None
             signature = []
@@ -336,6 +438,8 @@ def language_signatures(
                     table = family.table(word)
                 signature.append(program.evaluate(table))
             yield word, tuple(signature)
+        if publish is not None:
+            publish()
 
     return run()
 
@@ -347,7 +451,8 @@ def language_slice(
     return frozenset(
         word
         for word, member in defines_language_members(
-            sentence, alphabet, words_up_to(alphabet, max_length)
+            sentence, alphabet, words_up_to(alphabet, max_length),
+            scope=max_length,
         )
         if member
     )
@@ -364,7 +469,8 @@ def languages_agree(
     The finite agreement check used by the Lemma 5.4 rewriting experiments.
     """
     pair = language_signatures(
-        (sentence_a, sentence_b), alphabet, words_up_to(alphabet, max_length)
+        (sentence_a, sentence_b), alphabet, words_up_to(alphabet, max_length),
+        scope=max_length,
     )
     for _word, (in_a, in_b) in pair:
         if in_a != in_b:
@@ -398,7 +504,8 @@ class FCLanguage:
     ) -> bool:
         """Check agreement with an oracle supporting ``in`` up to length n."""
         members = defines_language_members(
-            self.sentence, self.alphabet, words_up_to(self.alphabet, max_length)
+            self.sentence, self.alphabet,
+            words_up_to(self.alphabet, max_length), scope=max_length,
         )
         for word, member in members:
             if member != (word in oracle):  # type: ignore[operator]
@@ -411,7 +518,8 @@ class FCLanguage:
         """Return the shortest word on which the language and oracle differ,
         or ``None`` if they agree up to ``max_length``."""
         members = defines_language_members(
-            self.sentence, self.alphabet, words_up_to(self.alphabet, max_length)
+            self.sentence, self.alphabet,
+            words_up_to(self.alphabet, max_length), scope=max_length,
         )
         for word, member in members:
             if member != (word in oracle):  # type: ignore[operator]

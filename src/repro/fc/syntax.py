@@ -42,6 +42,7 @@ __all__ = [
     "all_variables",
     "constants_used",
     "substitute",
+    "alpha_canonical",
     "conjunction",
     "disjunction",
     "exists_many",
@@ -334,6 +335,54 @@ def substitute(formula: Formula, mapping: dict[Var, Term]) -> Formula:
     if custom is not None:
         return custom(mapping)
     raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def alpha_canonical(formula: Formula) -> Formula:
+    """``formula`` with bound variables renamed to preorder positions.
+
+    Two alpha-equivalent formulas map to the identical tree (and hence
+    identical ``repr``), regardless of what gensym counters produced
+    their bound-variable names.  Content-addressed artifact keys
+    (``repro.store``) fingerprint this form, not the raw repr: fresh-name
+    allocation is process-global state, so the same sentence built in two
+    runs can differ in nothing but binder names.  Free variables keep
+    their names — they are part of the sentence's identity.
+
+    The canonical names use ``⟨⟩`` delimiters no builder or parser ever
+    produces, so they cannot collide with (and thus capture) free
+    variables.
+    """
+    counter = 0
+
+    def rename(node: Formula, env: dict[Var, Var]) -> Formula:
+        nonlocal counter
+        if isinstance(node, Concat):
+            def sub(t: Term) -> Term:
+                return env.get(t, t) if isinstance(t, Var) else t
+
+            return Concat(sub(node.x), sub(node.y), sub(node.z))
+        if isinstance(node, ConcatChain):
+            return node._substitute(env)
+        if isinstance(node, Not):
+            return Not(rename(node.inner, env))
+        if isinstance(node, And):
+            return And(rename(node.left, env), rename(node.right, env))
+        if isinstance(node, Or):
+            return Or(rename(node.left, env), rename(node.right, env))
+        if isinstance(node, Implies):
+            return Implies(rename(node.left, env), rename(node.right, env))
+        if isinstance(node, (Exists, Forall)):
+            fresh = Var(f"⟨q{counter}⟩")
+            counter += 1
+            inner = rename(node.inner, {**env, node.var: fresh})
+            kind = Exists if isinstance(node, Exists) else Forall
+            return kind(fresh, inner)
+        custom = getattr(node, "_substitute", None)
+        if custom is not None:
+            return custom(env)
+        raise TypeError(f"unknown formula node: {node!r}")
+
+    return rename(formula, {})
 
 
 def conjunction(formulas: list[Formula]) -> Formula:

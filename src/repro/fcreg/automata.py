@@ -158,7 +158,12 @@ class DFA:
         while worklist:
             subset = worklist.pop()
             source = index[subset]
-            for letter in alphabet:
+            # Sorted so state numbering and transition insertion order are
+            # process-independent: frozenset[str] iterates in string-hash
+            # order, which PYTHONHASHSEED randomises, and downstream
+            # consumers (bounded decomposition, store fingerprints) key on
+            # the resulting structure order.
+            for letter in sorted(alphabet):
                 target_subset = nfa.step(subset, letter)
                 if not target_subset:
                     continue

@@ -30,6 +30,7 @@ from functools import lru_cache
 from repro import cachestats
 from repro.kernel import stats
 from repro.kernel.interning import InternTable
+from repro.store import artifacts, runtime as store_runtime
 
 __all__ = ["automorphism_group"]
 
@@ -39,6 +40,9 @@ _MAX_UNIVERSE = 80
 _MAX_GROUP = 64
 #: Backtracking-node budget before falling back to identity.
 _MAX_NODES = 50_000
+#: Universes smaller than this never touch the artifact store: the
+#: backtracking search on a handful of ids is cheaper than a probe.
+_STORE_MIN_UNIVERSE = 16
 
 
 def _signatures(table: InternTable) -> list[tuple]:
@@ -177,10 +181,32 @@ def automorphism_group(table: InternTable) -> tuple[tuple[int, ...], ...]:
     if n > _MAX_UNIVERSE:
         stats.record("automorphism_cap_hits")
         return (identity,)
+    args = None
+    if store_runtime.active() is not None and n >= _STORE_MIN_UNIVERSE:
+        args = {
+            "word": table.word,
+            "alphabet": "".join(table.alphabet),
+            "universe": artifacts.fingerprint_strings(table.elements[1:]),
+        }
+        payload = store_runtime.load(
+            artifacts.AUTOMORPHISM_KIND, artifacts.AUTOMORPHISM_VERSION, args
+        )
+        if payload is not None:
+            stats.record("automorphism_groups_hydrated")
+            return artifacts.decode_permutations(payload)
     group = _enumerate(table)
     if group is None:
+        # The identity fallback is never persisted: it reflects this
+        # build's cap settings, not a property of the structure.
         stats.record("automorphism_cap_hits")
         return (identity,)
+    if args is not None:
+        store_runtime.publish(
+            artifacts.AUTOMORPHISM_KIND,
+            artifacts.AUTOMORPHISM_VERSION,
+            args,
+            artifacts.encode_permutations(group),
+        )
     return group
 
 

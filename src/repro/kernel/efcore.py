@@ -407,6 +407,34 @@ class KernelSolver:
         """Number of memoised canonical positions."""
         return len(self._memo)
 
+    # -- transposition-table persistence -------------------------------------
+
+    def export_memo(self) -> dict:
+        """A copy of the transposition table, for artifact persistence.
+
+        Keys are ``(rounds, canonical position)`` over interned ids,
+        which are stable across processes (ids follow the deterministic
+        ⊥-first ``(len, text)`` order), so the export can be replayed
+        into any solver over the same two universes.
+        """
+        return dict(self._memo)
+
+    def preload_memo(self, entries: dict) -> None:
+        """Seed the transposition table from a previous export.
+
+        Entries must come from a solver over the same (table_a, table_b)
+        universes — the store keys on universe fingerprints to guarantee
+        it.  Existing entries win (they were computed this process).
+        """
+        fresh = 0
+        memo = self._memo
+        for key, value in entries.items():
+            if key not in memo:
+                memo[key] = value
+                fresh += 1
+        if fresh:
+            _global_stats.record("ef_memo_entries_hydrated", fresh)
+
     def stats(self) -> dict[str, int]:
         """This instance's search-effort counters (a copy)."""
         return dict(self.counters)

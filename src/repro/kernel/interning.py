@@ -40,12 +40,17 @@ from functools import lru_cache
 
 from repro import cachestats
 from repro.kernel import stats
+from repro.store import artifacts, runtime as store_runtime
 from repro.words.factors import factors
 
 __all__ = ["BOTTOM_ID", "InternTable", "intern_restricted_table", "intern_table"]
 
 #: Reserved id of the undefined element ⊥ in every table.
 BOTTOM_ID = 0
+
+#: Words shorter than this never touch the artifact store: computing
+#: ``factors(word)`` outright is cheaper than a backend probe.
+_STORE_MIN_WORD = 12
 
 
 class LazyCat:
@@ -161,7 +166,33 @@ def _build(word: str, alphabet: tuple[str, ...], allowed: frozenset[str]) -> Int
 
 @lru_cache(maxsize=512)
 def intern_table(word: str, alphabet: tuple[str, ...]) -> InternTable:
-    """Interned view of the full word structure ``𝔄_word``."""
+    """Interned view of the full word structure ``𝔄_word``.
+
+    With an active artifact store (``repro.store``), long words hydrate
+    their factor universe from the ``intern-universe`` artifact instead
+    of recomputing ``factors(word)``, and publish it on first build.
+    The hydrated table is bit-identical to the cold one: ``_build``
+    re-sorts the universe into the same ⊥-first ``(len, text)`` order
+    either way.
+    """
+    if store_runtime.active() is not None and len(word) >= _STORE_MIN_WORD:
+        args = {"word": word, "alphabet": "".join(alphabet)}
+        payload = store_runtime.load(
+            artifacts.INTERN_UNIVERSE_KIND,
+            artifacts.INTERN_UNIVERSE_VERSION,
+            args,
+        )
+        if payload is not None:
+            stats.record("tables_hydrated")
+            return _build(word, alphabet, frozenset(payload))
+        universe = factors(word)
+        store_runtime.publish(
+            artifacts.INTERN_UNIVERSE_KIND,
+            artifacts.INTERN_UNIVERSE_VERSION,
+            args,
+            sorted(universe, key=lambda f: (len(f), f)),
+        )
+        return _build(word, alphabet, universe)
     return _build(word, alphabet, factors(word))
 
 

@@ -24,21 +24,28 @@ __all__ = ["COUNTER_NAMES", "diff", "record", "reset", "snapshot"]
 #: ``automorphism_cap_hits`` / ``symmetry_product_skips`` count the
 #: identity fallbacks of ``repro.kernel.automorphisms`` /
 #: ``KernelSolver._symmetries`` (data for the ROADMAP's "revisit caps
-#: with measurements" item).
+#: with measurements" item); the ``*_hydrated`` counters measure
+#: warm-start activity from the artifact store (``repro.store``) —
+#: universes, groups, sweep tables and EF memo entries that were loaded
+#: instead of rebuilt.
 COUNTER_NAMES = (
     "positions_explored",
     "table_hits",
     "symmetry_cuts",
     "consistency_checks",
     "tables_built",
+    "tables_hydrated",
     "sweep_words_interned",
     "sweep_tables_extended",
     "sweep_tables_rebuilt",
+    "sweep_tables_hydrated",
     "foeq_positions_explored",
     "foeq_table_hits",
     "foeq_consistency_checks",
     "automorphism_cap_hits",
+    "automorphism_groups_hydrated",
     "symmetry_product_skips",
+    "ef_memo_entries_hydrated",
 )
 
 _COUNTERS: dict[str, int] = {name: 0 for name in COUNTER_NAMES}

@@ -134,6 +134,35 @@ class SweepFamily:
             parent = self._extend(parent, word[:end])
         return parent
 
+    def hydrate(self, word: str, factor_texts: list) -> SweepTable:
+        """Install a word's table directly from its stored factor list.
+
+        ``factor_texts`` must be ``Facs(word)`` in ``(len, text)`` order —
+        exactly what :meth:`export` produced when the artifact was
+        published.  Gids are assigned by this family's intern pool, so
+        they may differ from an organically grown family's numbering;
+        that is sound because every consumer compares ids only within
+        one family and orders them via ``sort_key`` (strings/lengths),
+        never via the raw numbering.
+        """
+        table = self._tables.get(word)
+        if table is not None:
+            return table
+        intern = self.intern
+        # repro-lint: allow[effects.memo-key-completeness] factor_texts is the store-validated Facs(word) list, itself a pure function of the key word
+        universe = tuple(intern(text) for text in factor_texts)
+        table = SweepTable(word, intern(word), universe, frozenset(universe))
+        self._tables[word] = table
+        stats.record("sweep_tables_hydrated")
+        stats.record("sweep_words_interned")
+        return table
+
+    def export(self, word: str) -> list:
+        """The word's factor strings in ``(len, text)`` order (plain data
+        for artifact persistence; inverse of :meth:`hydrate`)."""
+        strings = self.strings
+        return [strings[gid] for gid in self.table(word).universe]
+
     def _root(self) -> SweepTable:
         table = self._tables.get("")
         if table is None:

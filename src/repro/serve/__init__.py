@@ -1,0 +1,30 @@
+"""The serving layer: a long-lived daemon over the warm kernel stack.
+
+``python -m repro serve`` keeps one process alive with the artifact
+store activated and the kernel's interning caches hot, answering
+membership, EF-equivalence, rank, and spanner queries over a JSON-lines
+TCP protocol — the amortisation story of ROADMAP's "millions of users
+hit warm tables instead of forking Python".
+
+* :mod:`repro.serve.protocol` — the wire schema (shared by both sides);
+* :mod:`repro.serve.service`  — socket-free query dispatch;
+* :mod:`repro.serve.daemon`   — the ThreadingTCPServer accept loop;
+* :mod:`repro.serve.client`   — a minimal client for tests and CI;
+* :mod:`repro.serve.cli`      — ``repro serve`` and ``repro warm``.
+"""
+
+from repro.serve.client import ServeClient, ServeError, query
+from repro.serve.daemon import ReproServer, serve_forever
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.service import QueryService
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueryService",
+    "ReproServer",
+    "ServeClient",
+    "ServeError",
+    "query",
+    "serve_forever",
+]

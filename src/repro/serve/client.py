@@ -1,0 +1,69 @@
+"""A minimal client for the serve daemon (tests, CI smoke, scripting).
+
+:class:`ServeClient` keeps one connection open and answers one request
+per call; :func:`query` is the connect–ask–close convenience wrapper.
+Both raise :class:`ServeError` when the daemon reports ``ok: false`` —
+callers that want the raw envelope can use :meth:`ServeClient.request`.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.serve import protocol
+
+__all__ = ["ServeClient", "ServeError", "query"]
+
+
+class ServeError(RuntimeError):
+    """The daemon answered, but with ``ok: false``."""
+
+
+class ServeClient:
+    """One open connection to a serve daemon."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7357, timeout: float = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def request(self, op: str, **args: Any) -> dict[str, Any]:
+        """Send one request and return the raw response envelope."""
+        self._sock.sendall(protocol.encode({"op": op, **args}))
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return protocol.decode_line(line)
+
+    def call(self, op: str, **args: Any) -> Any:
+        """Send one request and return ``result``, raising on errors."""
+        response = self.request(op, **args)
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "unknown daemon error"))
+        return response["result"]
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+
+def query(
+    op: str,
+    host: str = "127.0.0.1",
+    port: int = 7357,
+    timeout: float = 30.0,
+    **args: Any,
+) -> Any:
+    """Connect, send one request, return ``result``, close."""
+    with ServeClient(host, port, timeout) as client:
+        return client.call(op, **args)

@@ -1,0 +1,54 @@
+"""Persistent kernel-artifact store with pluggable backends.
+
+The engine's result cache (:mod:`repro.engine.cache`) persists *task
+outputs*; everything underneath it — interned factor universes,
+automorphism groups, sweep family tables, EF transposition tables — is
+rebuilt from scratch by every process and every worker pool.  That cold
+start dominates the heaviest remaining tasks (``prim/equiv/anbn-k2``,
+E16).  This package closes the gap with a second, lower persistence
+layer:
+
+* :mod:`repro.store.core` — :class:`ArtifactStore`, a content-addressed
+  record store keyed by the same salt ‖ kind ‖ version ‖ canonical-args
+  SHA-256 scheme the engine cache uses, so invalidation is purely by
+  salt/version and a corrupted or stale record is indistinguishable
+  from a miss;
+* :mod:`repro.store.backends` — the :class:`StoreBackend` byte-level
+  protocol with a sqlite backend (concurrent-writer safe, one file)
+  and an in-memory backend (tests, ephemeral daemons); LMDB/RocksDB/
+  DuckDB can slot in behind the same four methods;
+* :mod:`repro.store.runtime` — process-global activation: the engine
+  CLI, the executor and ``python -m repro serve`` activate a store
+  before any solver runs (and before worker pools fork), and the
+  kernel/fc hydration hooks consult :func:`runtime.active` on first
+  touch;
+* :mod:`repro.store.artifacts` — plain-data codecs for the four
+  artifact kinds.  This layer never imports the kernel: payloads are
+  JSON-shaped lists/dicts, and the domain modules (``repro.kernel``,
+  ``repro.ef.solver``, ``repro.fc.semantics``) do their own
+  encode/decode at the boundary.  Serialize → store → load round-trips
+  are bit-identical (differential tests in ``tests/store/``).
+
+Effect discipline: every function in this package carries the declared
+``store`` effect (the channel ``effects.worker-isolation`` and
+``effects.purity-propagation`` recognise) — a store probe either
+returns exactly the value a cold build would compute or reports a miss,
+so store-reaching code stays value-deterministic.
+"""
+
+from repro.store.backends import MemoryBackend, SqliteBackend, StoreBackend, open_backend
+from repro.store.core import STORE_SALT, ArtifactStore
+from repro.store.runtime import activate, active, deactivate, default_store_path
+
+__all__ = [
+    "ArtifactStore",
+    "MemoryBackend",
+    "STORE_SALT",
+    "SqliteBackend",
+    "StoreBackend",
+    "activate",
+    "active",
+    "deactivate",
+    "default_store_path",
+    "open_backend",
+]

@@ -1,0 +1,136 @@
+"""Artifact kinds, version salts, and plain-data codecs.
+
+This module is the vocabulary the domain layers and the store agree on.
+It deliberately imports nothing from the kernel: payloads are
+JSON-shaped lists of strings/ints/bools, and each domain module
+(:mod:`repro.kernel.interning`, :mod:`repro.ef.solver`,
+:mod:`repro.fc.semantics`) encodes its objects into that shape at the
+boundary and decodes on hydration.  All encoders are deterministic —
+the same in-memory object always produces the same payload (and hence
+the same stored bytes) — which is what makes the cold-vs-hydrated
+differential tests meaningful.
+
+Version constants are per-kind salts: bump one when that artifact's
+payload shape or producing semantics changes, and every stored record
+of the kind silently becomes a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "EF_MEMO_KIND",
+    "EF_MEMO_VERSION",
+    "AUTOMORPHISM_KIND",
+    "AUTOMORPHISM_VERSION",
+    "INTERN_UNIVERSE_KIND",
+    "INTERN_UNIVERSE_VERSION",
+    "SWEEP_UNIVERSE_KIND",
+    "SWEEP_UNIVERSE_VERSION",
+    "FC_ASSIGNMENTS_KIND",
+    "FC_ASSIGNMENTS_VERSION",
+    "decode_assignments",
+    "decode_memo",
+    "decode_permutations",
+    "encode_assignments",
+    "encode_memo",
+    "encode_permutations",
+    "fingerprint_strings",
+    "fingerprint_text",
+]
+
+#: EF transposition tables: ``{(rounds, position): bool}`` over interned
+#: ids, which are stable across processes (ids follow the deterministic
+#: ⊥-first ``(len, text)`` order).
+EF_MEMO_KIND = "ef-memo"
+EF_MEMO_VERSION = "1"
+
+#: Automorphism groups of interned universes, as id-permutation tuples.
+AUTOMORPHISM_KIND = "automorphism-group"
+AUTOMORPHISM_VERSION = "1"
+
+#: One word's factor universe in ``(len, text)`` order.
+INTERN_UNIVERSE_KIND = "intern-universe"
+INTERN_UNIVERSE_VERSION = "1"
+
+#: Whole-grid factor universes for a membership sweep: every word of
+#: ``Σ^{≤n}`` in enumeration order, each with its ordered factor list.
+SWEEP_UNIVERSE_KIND = "sweep-universe"
+SWEEP_UNIVERSE_VERSION = "1"
+
+#: ``⟦φ⟧(w)`` result sets: the satisfying assignments of one formula on
+#: one word, in enumeration (yield) order.
+FC_ASSIGNMENTS_KIND = "fc-assignments"
+FC_ASSIGNMENTS_VERSION = "1"
+
+
+def fingerprint_text(text: str) -> str:
+    """Content hash of one identifying string (e.g. a formula repr)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def fingerprint_strings(strings: Iterable[str]) -> str:
+    """Content hash of an ordered string sequence (e.g. a universe).
+
+    ``\\x1f`` separation keeps the encoding prefix-free over factor
+    strings (which never contain control characters).
+    """
+    hasher = hashlib.sha256()
+    for text in strings:
+        hasher.update(text.encode("utf-8"))
+        hasher.update(b"\x1f")
+    return hasher.hexdigest()
+
+
+# -- EF transposition tables ------------------------------------------------
+
+
+def encode_memo(memo: Mapping) -> list:
+    """``{(rounds, ((a, b), ...)): bool}`` → sorted plain lists."""
+    return [
+        [rounds, [[a, b] for a, b in position], bool(value)]
+        for (rounds, position), value in sorted(
+            memo.items(), key=lambda item: (item[0][0], item[0][1])
+        )
+    ]
+
+
+def decode_memo(payload: Sequence) -> dict:
+    """Inverse of :func:`encode_memo` (tuples restored for hashability)."""
+    return {
+        (rounds, tuple((a, b) for a, b in position)): bool(value)
+        for rounds, position, value in payload
+    }
+
+
+# -- automorphism groups ----------------------------------------------------
+
+
+def encode_permutations(group: Sequence[Sequence[int]]) -> list:
+    """Permutation tuples → lists (already deterministically sorted)."""
+    return [list(perm) for perm in group]
+
+
+def decode_permutations(payload: Sequence) -> tuple:
+    """Inverse of :func:`encode_permutations`."""
+    return tuple(tuple(int(x) for x in perm) for perm in payload)
+
+
+# -- FC assignment sets -----------------------------------------------------
+
+
+def encode_assignments(assignments: Sequence[Sequence[tuple[str, str]]]) -> list:
+    """Per-assignment ``(variable name, value)`` pairs → plain lists.
+
+    The caller passes pairs already sorted by variable name; enumeration
+    order across assignments is preserved (it is part of the contract —
+    hydrated generators must yield in the cold order).
+    """
+    return [[[name, value] for name, value in row] for row in assignments]
+
+
+def decode_assignments(payload: Sequence) -> list[list[tuple[str, str]]]:
+    """Inverse of :func:`encode_assignments`."""
+    return [[(name, value) for name, value in row] for row in payload]

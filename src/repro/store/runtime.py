@@ -1,0 +1,99 @@
+"""Process-global store activation.
+
+Hydration hooks in the kernel and FC layers are opt-in: they consult
+:func:`active` on first touch and do nothing when no store is active.
+Activation is explicit — the CLI boundary (``repro run --store``,
+``repro warm``, ``repro serve``) resolves a path/spec and calls
+:func:`activate` before any solver runs.  The engine executor activates
+the store in the parent *before* its worker pools fork, so every worker
+inherits the configured backend (sqlite connections re-open lazily per
+pid, see :mod:`repro.store.backends`).
+
+There is deliberately no lazy environment auto-configuration inside the
+hydration path: the single environment read lives here, mirroring
+``engine.cache.default_cache_dir``, and only picks where records live
+on disk — it never flows into keys or payloads.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.store.backends import open_backend
+from repro.store.core import ArtifactStore
+
+__all__ = [
+    "DEFAULT_STORE_DIR",
+    "activate",
+    "active",
+    "deactivate",
+    "default_store_path",
+    "load",
+    "open_store",
+    "publish",
+]
+
+#: Default store location, overridable via ``$REPRO_STORE_DIR``.
+DEFAULT_STORE_DIR = ".repro-store"
+
+_ACTIVE: ArtifactStore | None = None
+
+
+def default_store_path() -> Path:
+    # Config-only: the value picks where artifact records live, never
+    # what they contain — keys and payloads are independent of it.
+    # repro-lint: allow[determinism] config-only env read at the store boundary
+    return Path(os.environ.get("REPRO_STORE_DIR", DEFAULT_STORE_DIR))
+
+
+def open_store(spec: str | Path | None = None) -> ArtifactStore:
+    """Open an :class:`ArtifactStore` from a backend spec or path."""
+    return ArtifactStore(open_backend(spec if spec is not None else default_store_path()))
+
+
+def activate(store: ArtifactStore) -> ArtifactStore | None:
+    """Make ``store`` the process-global store; return the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = store
+    return previous
+
+
+def active() -> ArtifactStore | None:
+    """The currently-activated store, or ``None`` (hydration disabled)."""
+    return _ACTIVE
+
+
+def deactivate(previous: ArtifactStore | None = None) -> None:
+    """Clear the global store (or restore ``previous``, for nesting)."""
+    global _ACTIVE
+    _ACTIVE = previous
+
+
+def load(kind: str, version: str, args: dict) -> object | None:
+    """Load an artifact through the active store; ``None`` when inactive.
+
+    This (with :func:`publish`) is the *declared-effect channel*: the
+    only place hydration code is allowed to touch the store.  Functions
+    in this module carry the ``{store}`` effect summary, so callers
+    inherit a first-class ``store`` atom instead of ``unknown`` — and
+    ``effects.worker-isolation`` can verify nobody reaches the store
+    around the channel.
+    """
+    store = _ACTIVE
+    if store is None:
+        return None
+    return store.load(kind, version, args)
+
+
+def publish(kind: str, version: str, args: dict, payload: object) -> str | None:
+    """Write an artifact through the active store; no-op when inactive.
+
+    Returns the record key, or ``None`` without an active store.  See
+    :func:`load` for the channel discipline.
+    """
+    store = _ACTIVE
+    if store is None:
+        return None
+    return store.store(kind, version, args, payload)

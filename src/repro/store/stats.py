@@ -1,0 +1,58 @@
+"""Process-global counters for the artifact store.
+
+Mirrors the :mod:`repro.kernel.stats` protocol: the engine executor
+samples :func:`snapshot` around every task (inside the worker process
+that runs it) and merges per-task deltas into the ``store`` section of
+``BENCH_engine.json``, next to the ``cache``/``lru_caches``/``solver``
+sections.  Counters are cumulative per process; consumers work with
+deltas, so absolute values never need resetting outside of tests.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["COUNTER_NAMES", "diff", "record", "reset", "snapshot"]
+
+#: Every counter the store maintains.  ``hits``/``misses`` count
+#: :meth:`ArtifactStore.load` probes (a stale or corrupted record is a
+#: miss *and* an error), ``stores`` counts persisted records, and the
+#: byte counters measure encoded record sizes through the backend.
+COUNTER_NAMES = (
+    "store_hits",
+    "store_misses",
+    "store_stores",
+    "store_errors",
+    "store_bytes_read",
+    "store_bytes_written",
+)
+
+_COUNTERS: dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+
+
+def record(name: str, amount: int = 1) -> None:
+    """Increment one counter (unknown names raise ``KeyError``)."""
+    _COUNTERS[name] += amount
+
+
+def snapshot() -> dict[str, int]:
+    """Current value of every counter."""
+    return dict(_COUNTERS)
+
+
+def diff(
+    before: Mapping[str, int], after: Mapping[str, int]
+) -> dict[str, int]:
+    """Counter deltas between two snapshots; zero-delta entries omitted."""
+    deltas = {}
+    for name in COUNTER_NAMES:
+        delta = after.get(name, 0) - before.get(name, 0)
+        if delta:
+            deltas[name] = delta
+    return deltas
+
+
+def reset() -> None:
+    """Zero every counter (tests only — deltas never need this)."""
+    for name in COUNTER_NAMES:
+        _COUNTERS[name] = 0

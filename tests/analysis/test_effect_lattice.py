@@ -25,9 +25,10 @@ PINNED = {
     "repro.words.factors.factors": [],
     "repro.words.periodicity.smallest_period": [],
     "repro.words.primitivity.primitive_root": [],
-    # kernel/: interning is counter-accounted, families self-intern.
+    # kernel/: interning is counter-accounted, hydrates via the store
+    # channel, and families self-intern.
     "repro.kernel.interning.LazyCat.point": [],
-    "repro.kernel.interning.intern_table": ["counter"],
+    "repro.kernel.interning.intern_table": ["counter", "store"],
     "repro.kernel.stats.record": ["counter"],
     "repro.kernel.sweep.SweepFamily._merge": [],
     "repro.kernel.sweep.SweepFamily.intern": ["mutates-self"],
@@ -59,10 +60,15 @@ PINNED = {
     "repro.foeq.games.PositionGameSolver._wins": [
         "counter", "mutates-self",
     ],
-    # ef/ and engine/: solver memo owners and the io cache boundary.
+    # ef/ and engine/: solver memo owners (persisting their memo through
+    # the store channel) and the io cache boundary.
     "repro.ef.solver.GameSolver.duplicator_wins": [
-        "counter", "mutates-self",
+        "counter", "mutates-self", "store",
     ],
+    # store/: the channel itself is declared, its codecs infer pure.
+    "repro.store.runtime.load": ["store"],
+    "repro.store.artifacts.fingerprint_strings": [],
+    "repro.store.artifacts.encode_memo": [],
     "repro.engine.spec.canonical_json": [],
     "repro.engine.spec.TaskRegistry.register": ["mutates-self"],
     "repro.engine.cache.ResultCache.store": [
@@ -85,3 +91,12 @@ def test_counter_modules_are_declared_counter(analysis):
     for qualname, info in analysis.graph.functions.items():
         if info.module in analysis.config.counter_modules:
             assert analysis.summaries[qualname] == frozenset({"counter"})
+
+
+def test_store_modules_are_declared_store(analysis):
+    seen = 0
+    for qualname, info in analysis.graph.functions.items():
+        if info.module in analysis.config.store_modules:
+            assert analysis.summaries[qualname] == frozenset({"store"})
+            seen += 1
+    assert seen > 0, "store modules missing from the analysed codebase"

@@ -274,3 +274,80 @@ def test_counter_module_writes_are_exempt(tmp_path):
         counter_modules=("fixpkg.low.stats",),
     )
     assert found == []
+
+
+def test_store_channel_calls_are_exempt(tmp_path):
+    found = findings_of(
+        WorkerIsolationChecker(),
+        tmp_path,
+        {
+            "fixpkg/low/storemod.py": """\
+                _ACTIVE = None
+
+
+                def publish(kind, args, payload):
+                    if _ACTIVE is not None:
+                        _ACTIVE[kind, str(args)] = payload
+                """,
+            "fixpkg/low/base.py": """\
+                from fixpkg.low import storemod
+
+
+                def task_fn(n):
+                    storemod.publish("squares", n, n * n)
+                    return n
+                """,
+        },
+        task_roots=("fixpkg.low.base:task_fn",),
+        store_modules=("fixpkg.low.storemod",),
+    )
+    assert found == []
+
+
+def test_inline_store_pin_outside_channel_is_flagged(tmp_path):
+    found = findings_of(
+        WorkerIsolationChecker(),
+        tmp_path,
+        {
+            "fixpkg/low/base.py": """\
+                def sneaky(n):  # repro-lint: effects[store]
+                    with open("artifacts.json", "a") as fh:
+                        fh.write(str(n))
+
+
+                def task_fn(n):
+                    sneaky(n)
+                    return n
+                """,
+        },
+        task_roots=("fixpkg.low.base:task_fn",),
+        store_modules=("fixpkg.low.storemod",),
+    )
+    assert len(found) == 1
+    assert "sneaky()" in found[0].message
+    assert "store modules" in found[0].message
+
+
+def test_store_pin_inside_channel_module_is_allowed(tmp_path):
+    found = findings_of(
+        WorkerIsolationChecker(),
+        tmp_path,
+        {
+            "fixpkg/low/storemod.py": """\
+                def publish(kind, args, payload):  # repro-lint: effects[store]
+                    with open("artifacts.json", "a") as fh:
+                        fh.write(kind)
+                """,
+            "fixpkg/low/base.py": """\
+                from fixpkg.low import storemod
+
+
+                def task_fn(n):
+                    storemod.publish("squares", n, n * n)
+                    return n
+                """,
+        },
+        task_roots=("fixpkg.low.base:task_fn",),
+        store_modules=("fixpkg.low.storemod",),
+    )
+    assert found == []

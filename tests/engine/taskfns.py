@@ -45,6 +45,15 @@ def ef_probe(w: str, v: str, k: int) -> bool:
     return solver_for(w, v, "ab").duplicator_wins(k)
 
 
+def interned_probe(word: str) -> int:
+    # Long enough to cross the store hydration threshold, so a run with
+    # an active artifact store records store deltas for this task.
+    from repro.kernel.interning import intern_table
+
+    table = intern_table(word, ("a", "b"))
+    return table.n_factors
+
+
 def boom() -> None:
     raise RuntimeError("intentional failure")
 

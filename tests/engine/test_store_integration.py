@@ -1,0 +1,146 @@
+"""Executor ↔ artifact-store integration: activation scope, deltas, totals."""
+
+import pytest
+
+from repro.engine import ResultCache, TaskRegistry, run_tasks
+from repro.kernel.interning import intern_table
+from repro.store import runtime as store_runtime
+from repro.store.backends import MemoryBackend, SqliteBackend
+from repro.store.core import ArtifactStore
+
+TASKFNS = "tests.engine.taskfns"
+
+#: Crosses the interning hydration threshold (12 chars).
+LONG_WORD = "aabbab" * 2
+
+
+@pytest.fixture(autouse=True)
+def fresh_kernel_caches():
+    intern_table.cache_clear()
+    yield
+    intern_table.cache_clear()
+
+
+def _registry() -> TaskRegistry:
+    registry = TaskRegistry()
+    registry.add(
+        "interned", f"{TASKFNS}:interned_probe", args={"word": LONG_WORD}
+    )
+    registry.add("plain", f"{TASKFNS}:const", args={"value": 5})
+    return registry
+
+
+def _no_cache() -> ResultCache:
+    return ResultCache(enabled=False)
+
+
+class TestReportShape:
+    def test_store_disabled_by_default(self):
+        report = run_tasks(_registry(), cache=_no_cache())
+        assert report.store == {
+            "enabled": False,
+            "backend": None,
+            "totals": {},
+        }
+        assert report.to_json_dict()["store"]["enabled"] is False
+
+    def test_store_section_and_per_record_deltas(self):
+        store = ArtifactStore(MemoryBackend())
+        report = run_tasks(_registry(), cache=_no_cache(), store=store)
+        assert report.store["enabled"] is True
+        assert report.store["backend"]["backend"] == "memory"
+        totals = report.store["totals"]
+        assert totals.get("store_stores", 0) >= 1  # intern universe published
+        interned = report.record_for("interned")
+        assert interned["store_delta"].get("store_stores", 0) >= 1
+        # A task that never touches the kernel has an empty delta.
+        assert report.record_for("plain")["store_delta"] == {}
+
+    def test_totals_are_the_sum_of_record_deltas(self):
+        store = ArtifactStore(MemoryBackend())
+        report = run_tasks(_registry(), cache=_no_cache(), store=store)
+        summed: dict[str, int] = {}
+        for record in report.records:
+            for counter, amount in record["store_delta"].items():
+                summed[counter] = summed.get(counter, 0) + amount
+        assert report.store["totals"] == summed
+
+
+class TestActivationScope:
+    def test_global_store_is_restored_after_the_run(self):
+        sentinel = ArtifactStore(MemoryBackend())
+        previous = store_runtime.activate(sentinel)
+        try:
+            run_tasks(
+                _registry(),
+                cache=_no_cache(),
+                store=ArtifactStore(MemoryBackend()),
+            )
+            assert store_runtime.active() is sentinel
+        finally:
+            store_runtime.deactivate(previous)
+
+    def test_no_store_leaves_global_untouched(self):
+        previous = store_runtime.activate(None)
+        try:
+            run_tasks(_registry(), cache=_no_cache())
+            assert store_runtime.active() is None
+        finally:
+            store_runtime.deactivate(previous)
+
+
+class TestWarmStart:
+    def test_second_run_hydrates_from_the_first(self, tmp_path):
+        store = ArtifactStore(
+            SqliteBackend(tmp_path / "artifacts.sqlite")
+        )
+        cold = run_tasks(_registry(), cache=_no_cache(), store=store)
+        assert cold.store["totals"].get("store_stores", 0) >= 1
+        intern_table.cache_clear()
+        warm = run_tasks(_registry(), cache=_no_cache(), store=store)
+        assert warm.store["totals"].get("store_hits", 0) >= 1
+        assert warm.store["totals"].get("store_stores", 0) == 0
+        assert warm.record_for("interned")["result"] == cold.record_for(
+            "interned"
+        )["result"]
+
+    def test_cache_hit_records_have_empty_store_deltas(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        store = ArtifactStore(MemoryBackend())
+        run_tasks(_registry(), cache=cache, store=store)
+        intern_table.cache_clear()
+        second = run_tasks(_registry(), cache=cache, store=store)
+        interned = second.record_for("interned")
+        assert interned["cache"] == "hit"
+        assert interned["store_delta"] == {}
+        assert second.store["totals"] == {}
+
+
+class TestPooledWorkers:
+    def test_worker_deltas_flow_back_through_records(self, tmp_path):
+        # Forked workers inherit the activated store; their per-task
+        # store counters must come back in the records even though the
+        # workers' global counters die with the pool.
+        store = ArtifactStore(
+            SqliteBackend(tmp_path / "artifacts.sqlite")
+        )
+        registry = TaskRegistry()
+        registry.add(
+            "interned-a",
+            f"{TASKFNS}:interned_probe",
+            args={"word": LONG_WORD},
+        )
+        registry.add(
+            "interned-b",
+            f"{TASKFNS}:interned_probe",
+            args={"word": "ababab" * 2},
+        )
+        report = run_tasks(
+            registry, jobs=2, cache=_no_cache(), store=store
+        )
+        assert report.ok
+        totals = report.store["totals"]
+        assert totals.get("store_stores", 0) >= 2
+        for name in ("interned-a", "interned-b"):
+            delta = report.record_for(name)["store_delta"]
+            assert delta.get("store_stores", 0) >= 1

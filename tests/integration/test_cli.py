@@ -96,3 +96,54 @@ class TestCertifyCommand:
         bundle_path = tmp_path / "tampered.json"
         bundle_path.write_text(json.dumps(bundle), encoding="utf-8")
         assert main(["certify", str(bundle_path)]) == 1
+
+
+class TestPaperFormulaRegistry:
+    def test_main_choices_mirror_the_builders_registry(self):
+        from repro.__main__ import PAPER_FORMULA_NAMES
+        from repro.fc.builders import PAPER_FORMULAS
+
+        assert list(PAPER_FORMULA_NAMES) == sorted(PAPER_FORMULAS)
+
+    def test_every_named_formula_builds_closed(self):
+        from repro.fc.builders import PAPER_FORMULAS, paper_formula
+        from repro.fc.syntax import free_variables
+
+        for name in PAPER_FORMULAS:
+            phi, alphabet = paper_formula(name)
+            assert not free_variables(phi), name
+            assert alphabet
+
+    def test_unknown_name_raises_with_choices(self):
+        import pytest as _pytest
+
+        from repro.fc.builders import paper_formula
+
+        with _pytest.raises(KeyError, match="choose from"):
+            paper_formula("nonsense")
+
+
+class TestWarmCommand:
+    def test_warm_populates_and_rewarm_hits(self, capsys, tmp_path):
+        spec = f"sqlite:{tmp_path}/artifacts.sqlite"
+        word = "aabbab" * 2
+        assert main(["warm", "--store", spec, word, word[:-1] + "a"]) == 0
+        first = capsys.readouterr().out
+        assert "store(s)" in first
+        assert " 0 hit(s)" in first
+
+        from repro.ef.equivalence import solver_for
+        from repro.kernel.automorphisms import automorphism_group
+        from repro.kernel.interning import intern_table
+
+        intern_table.cache_clear()
+        automorphism_group.cache_clear()
+        solver_for.cache_clear()
+        assert main(["warm", "--store", spec, word, word[:-1] + "a"]) == 0
+        second = capsys.readouterr().out
+        assert " 0 miss(es)" in second
+        assert " 0 store(s)" in second
+
+    def test_warm_off_is_an_error(self, capsys):
+        assert main(["warm", "--store", "off"]) == 2
+        assert "no store" in capsys.readouterr().out

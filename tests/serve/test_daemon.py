@@ -1,0 +1,95 @@
+"""End-to-end daemon tests: real sockets, real threads, one process."""
+
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError, query
+from repro.serve.daemon import ReproServer
+from repro.store import runtime as store_runtime
+from repro.store.backends import MemoryBackend
+from repro.store.core import ArtifactStore
+
+
+@pytest.fixture
+def server():
+    with ReproServer(("127.0.0.1", 0)) as srv:
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield srv
+        finally:
+            srv.shutdown()
+            thread.join(timeout=10)
+
+
+class TestQueries:
+    def test_ping_and_membership_over_one_connection(self, server):
+        with ServeClient(port=server.port) as client:
+            assert client.call("ping")["protocol"] == 1
+            assert client.call("membership", word="abab", formula="ww")[
+                "member"
+            ]
+            assert client.call("equiv", w="aaa", v="aaaa", k=1)["equivalent"]
+
+    def test_one_shot_query_helper(self, server):
+        result = query("rank", port=server.port, w="aa", v="aaa", max_k=3)
+        assert result["rank"] == 1
+
+    def test_error_envelope_keeps_the_connection_usable(self, server):
+        with ServeClient(port=server.port) as client:
+            response = client.request("membership", word="ab")
+            assert response["ok"] is False
+            assert "exactly one" in response["error"]
+            with pytest.raises(ServeError):
+                client.call("equiv", w="a", v="a", k=-1)
+            # The daemon answered both errors without dropping us.
+            assert client.call("ping")["protocol"] == 1
+
+    def test_malformed_line_gets_an_error_response(self, server):
+        with ServeClient(port=server.port) as client:
+            client._sock.sendall(b"this is not json\n")
+            line = client._file.readline()
+            assert b'"ok": false' in line
+
+    def test_concurrent_connections(self, server):
+        results = []
+
+        def hit() -> None:
+            results.append(
+                query("equiv", port=server.port, w="aaa", v="aaaa", k=1)
+            )
+
+        threads = [threading.Thread(target=hit) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(results) == 4
+        assert all(r["equivalent"] for r in results)
+
+
+class TestLifecycle:
+    def test_shutdown_request_stops_the_loop(self):
+        srv = ReproServer(("127.0.0.1", 0))
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            result = query("shutdown", port=srv.port)
+            assert result == {"stopping": True}
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+        finally:
+            srv.server_close()
+
+    def test_store_activation_is_scoped_to_the_server(self):
+        sentinel = ArtifactStore(MemoryBackend())
+        previous = store_runtime.activate(sentinel)
+        try:
+            store = ArtifactStore(MemoryBackend())
+            srv = ReproServer(("127.0.0.1", 0), store=store)
+            assert store_runtime.active() is store
+            srv.server_close()
+            assert store_runtime.active() is sentinel
+        finally:
+            store_runtime.deactivate(previous)

@@ -1,0 +1,95 @@
+"""Wire-schema tests: encode/decode and request validation."""
+
+import pytest
+
+from repro.serve.protocol import (
+    OPS,
+    ProtocolError,
+    decode_line,
+    encode,
+    error_response,
+    ok_response,
+    validate_request,
+)
+
+
+class TestCodec:
+    def test_encode_is_one_newline_terminated_json_line(self):
+        raw = encode({"op": "ping"})
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+        assert decode_line(raw) == {"op": "ping"}
+
+    def test_encode_is_deterministic(self):
+        assert encode({"b": 1, "a": 2}) == encode({"a": 2, "b": 1})
+
+    def test_decode_accepts_str_and_bytes(self):
+        assert decode_line('{"op": "ping"}') == {"op": "ping"}
+        assert decode_line(b'{"op": "ping"}') == {"op": "ping"}
+
+    @pytest.mark.parametrize(
+        "line", [b"\xff\xfe", b"not json", b"[1, 2]", b'"just a string"']
+    )
+    def test_decode_rejects_garbage(self, line):
+        with pytest.raises(ProtocolError):
+            decode_line(line)
+
+
+class TestValidation:
+    def test_every_op_accepts_its_minimal_request(self):
+        minimal = {
+            "ping": {},
+            "stats": {},
+            "membership": {"word": "abab"},
+            "equiv": {"w": "a", "v": "aa", "k": 1},
+            "rank": {"w": "a", "v": "aa"},
+            "spanner": {"pattern": "x{a*}", "document": "aa"},
+            "shutdown": {},
+        }
+        assert set(minimal) == set(OPS)
+        for op, args in minimal.items():
+            assert validate_request({"op": op, **args})["op"] == op
+
+    def test_unknown_op_is_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            validate_request({"op": "frobnicate"})
+        with pytest.raises(ProtocolError, match="unknown op"):
+            validate_request({})
+
+    def test_missing_required_argument(self):
+        with pytest.raises(ProtocolError, match="missing required"):
+            validate_request({"op": "equiv", "w": "a", "v": "aa"})
+
+    def test_mistyped_argument(self):
+        with pytest.raises(ProtocolError, match="must be int"):
+            validate_request({"op": "equiv", "w": "a", "v": "aa", "k": "2"})
+        # bool is an int subclass but never a valid rank.
+        with pytest.raises(ProtocolError, match="must be int"):
+            validate_request({"op": "equiv", "w": "a", "v": "aa", "k": True})
+
+    def test_unexpected_argument(self):
+        with pytest.raises(ProtocolError, match="unexpected"):
+            validate_request({"op": "ping", "extra": 1})
+
+    def test_optional_arguments_are_type_checked(self):
+        with pytest.raises(ProtocolError, match="must be str"):
+            validate_request(
+                {"op": "membership", "word": "ab", "alphabet": 3}
+            )
+
+
+class TestEnvelopes:
+    def test_ok_response(self):
+        assert ok_response("ping", {"x": 1}) == {
+            "ok": True,
+            "op": "ping",
+            "result": {"x": 1},
+        }
+
+    def test_error_response_with_and_without_op(self):
+        assert error_response("boom") == {"ok": False, "error": "boom"}
+        assert error_response("boom", "equiv") == {
+            "ok": False,
+            "error": "boom",
+            "op": "equiv",
+        }
