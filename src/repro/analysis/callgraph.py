@@ -412,6 +412,7 @@ class _Scanner:
         self.imports = graph.codebase.import_table(self.module)
         self.param_types: dict[str, str] = {}
         self.locals: set[str] = set()
+        self.import_bound: set[str] = set()
         self.nested_defs: set[str] = set()
         self.declared_globals: set[str] = set()
         self.alias_root: dict[str, str] = {}
@@ -536,8 +537,15 @@ class _Scanner:
             elif isinstance(child, ast.Global):
                 self.declared_globals.update(child.names)
             elif isinstance(child, (ast.Import, ast.ImportFrom)):
+                # Function-local imports bind locals, but the bound name
+                # still *resolves* — the module import table covers every
+                # import statement in the file, so a deferred
+                # ``from repro.ef import equiv_k`` must not degrade its
+                # call sites to dynamic "local" dispatch.
                 for alias in child.names:
-                    self.locals.add(alias.asname or alias.name.split(".")[0])
+                    name = alias.asname or alias.name.split(".")[0]
+                    self.locals.add(name)
+                    self.import_bound.add(name)
         self.locals -= self.declared_globals
 
     def _alias_pass(self) -> None:
@@ -579,6 +587,10 @@ class _Scanner:
             return f"param:{name}", None
         if name in self.alias_root:
             return self.alias_root[name], self.alias_type.get(name)
+        if name in self.import_bound:
+            resolved = self._import_root(name)
+            if resolved is not None:
+                return resolved
         if name in self.locals:
             return "local", None
         graph = self.graph
@@ -591,20 +603,28 @@ class _Scanner:
             return f"func:{dotted}", None
         if dotted in graph.data_bindings:
             return f"global:{dotted}", None
-        imported = self.imports.get(name)
-        if imported is not None:
-            if imported in graph.codebase.modules:
-                return f"module:{imported}", None
-            if imported in graph.codebase.classes():
-                return f"class:{imported}", None
-            if imported in graph.functions:
-                return f"func:{imported}", None
-            if imported in graph.data_bindings:
-                return f"global:{imported}", None
-            return f"external:{imported}", None
+        resolved = self._import_root(name)
+        if resolved is not None:
+            return resolved
         if name in _BUILTIN_NAMES:
             return f"external:{name}", None
         return "unknown", None
+
+    def _import_root(self, name: str) -> tuple[str, str | None] | None:
+        """Resolve an import-table name to its root, if present."""
+        imported = self.imports.get(name)
+        if imported is None:
+            return None
+        graph = self.graph
+        if imported in graph.codebase.modules:
+            return f"module:{imported}", None
+        if imported in graph.codebase.classes():
+            return f"class:{imported}", None
+        if imported in graph.functions:
+            return f"func:{imported}", None
+        if imported in graph.data_bindings:
+            return f"global:{imported}", None
+        return f"external:{imported}", None
 
     def _resolve_chain(self, expr: ast.expr) -> tuple[str, str | None]:
         """(root, receiver class) for a Name/Attribute/Subscript chain."""
@@ -672,6 +692,20 @@ class _Scanner:
         site = self._call_site(call)
         if site is not None and site.constructor and site.target:
             return "fresh", site.target
+        if site is not None and site.target in self.graph.functions:
+            # A factory with a class-valued return annotation types its
+            # result: ``solver_for(w, v).duplicator_wins(...)`` resolves
+            # through ``-> GameSolver``.  The root stays "local", not
+            # "fresh" — a cached factory may hand back a shared object,
+            # so mutations through the result are not absorbed as
+            # construction-time initialisation.
+            info = self.graph.functions[site.target]
+            module = self.graph.codebase.modules[info.module]
+            returned = self.graph.resolve_annotation(
+                module, info.node.returns
+            )
+            if returned is not None:
+                return "local", returned
         return "local", None
 
     # -- extraction ---------------------------------------------------------

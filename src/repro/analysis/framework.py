@@ -429,6 +429,29 @@ class LintConfig:
     # Explicit worker-isolation roots (dotted ``pkg.mod:fn`` paths); when
     # empty, the registered engine tasks from ``registry_builder`` are used.
     task_roots: tuple[str, ...] = ()
+    # Entry points that may execute on two or more threads at once —
+    # the serve daemon's handler threads (one per connection, all running
+    # the same code) plus the lifecycle calls that race against them.
+    # Globs over function qualnames are allowed: the ``op_*`` handlers
+    # are reached through a ``getattr`` dispatch the call graph cannot
+    # resolve, so they are enumerated as roots of their own.
+    thread_roots: tuple[str, ...] = (
+        "repro.serve.daemon._Handler.handle",
+        "repro.serve.daemon.ReproServer.answer",
+        "repro.serve.daemon.ReproServer.begin_shutdown",
+        "repro.serve.daemon.ReproServer.server_close",
+        "repro.serve.service.QueryService.dispatch",
+        "repro.serve.service.QueryService.op_*",
+    )
+    # Classes whose instances are shared across the thread roots (the
+    # server/service singletons).  ``repro.analysis.concurrency`` closes
+    # this seed set over field annotations, subclasses, and the classes
+    # returned by lru_cached thread-reachable factories (an lru cache is
+    # itself process-global, so its cached objects are shared too).
+    thread_shared_classes: tuple[str, ...] = (
+        "repro.serve.daemon.ReproServer",
+        "repro.serve.service.QueryService",
+    )
     # Dotted path of the engine registry builder, and the version lock.
     registry_builder: str | None = "repro.engine.experiments:build_default_registry"
     lock_path: Path | None = None
@@ -481,6 +504,12 @@ class Checker:
 def all_checkers() -> list[Checker]:
     """Every registered rule, in stable name order."""
     from repro.analysis.cachesound import CacheSoundnessChecker
+    from repro.analysis.concurrency import (
+        AtomicCountersChecker,
+        ForkSafetyChecker,
+        GuardedByChecker,
+        SharedStateRaceChecker,
+    )
     from repro.analysis.determinism import DeterminismChecker
     from repro.analysis.dispatch import DispatchExhaustivenessChecker
     from repro.analysis.effectrules import (
@@ -494,12 +523,16 @@ def all_checkers() -> list[Checker]:
     from repro.analysis.purity import LruCachePurityChecker
 
     checkers = [
+        AtomicCountersChecker(),
         CacheSoundnessChecker(),
         DeterminismChecker(),
         DispatchExhaustivenessChecker(),
         EffectAssignmentPurityChecker(),
         EffectPurityPropagationChecker(),
+        ForkSafetyChecker(),
+        GuardedByChecker(),
         MemoKeyCompletenessChecker(),
+        SharedStateRaceChecker(),
         WorkerIsolationChecker(),
         FrozenAstChecker(),
         ImportLayeringChecker(),

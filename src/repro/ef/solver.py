@@ -133,6 +133,9 @@ class GameSolver:
             self._store_args,
             artifacts.encode_memo(self._core.export_memo()),
         )
+        # Monotone publish watermark: a racing stale value only triggers
+        # one redundant publish of an identical content-addressed record.
+        # repro-lint: allow[concurrency.shared-state-race] monotone watermark
         self._persisted_size = size
 
     # -- element translation -------------------------------------------------

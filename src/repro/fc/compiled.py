@@ -88,10 +88,17 @@ class CompiledEvaluator:
         key = id(node)
         cached = self._free.get(key)
         if cached is None:
+            # The id-keyed memos below are grow-only with values that are
+            # pure functions of the pinned node: concurrent daemon threads
+            # write identical entries, and each dict item assignment is
+            # atomic under the GIL.  Pin before value so a reader never
+            # sees a key whose node could have been recycled.
+            # repro-lint: allow[concurrency.shared-state-race] idempotent memo
             self._pin[key] = node
             cached = tuple(
                 sorted(free_variables(node), key=lambda v: v.name)
             )
+            # repro-lint: allow[concurrency.shared-state-race] idempotent memo
             self._free[key] = cached
         return cached
 
@@ -99,6 +106,8 @@ class CompiledEvaluator:
         key = id(node)
         cached = self._pure.get(key)
         if cached is None:
+            # Same grow-only idempotent-memo discipline as _free_of.
+            # repro-lint: allow[concurrency.shared-state-race] idempotent memo
             self._pin[key] = node
             if isinstance(node, (Concat, ConcatChain)):
                 cached = True
@@ -108,6 +117,7 @@ class CompiledEvaluator:
                 cached = self._pure_of(node.left) and self._pure_of(node.right)
             else:
                 cached = False  # extension atom: opaque semantics
+            # repro-lint: allow[concurrency.shared-state-race] idempotent memo
             self._pure[key] = cached
         return cached
 
@@ -193,7 +203,11 @@ class CompiledEvaluator:
             node_key = id(formula)
             projections = self._cache.get(node_key)
             if projections is None:
+                # Two threads may both install a fresh projection dict; the
+                # loser's entries are recomputed later with equal values.
+                # repro-lint: allow[concurrency.shared-state-race] idempotent memo
                 self._pin[node_key] = formula
+                # repro-lint: allow[concurrency.shared-state-race] idempotent memo
                 projections = self._cache[node_key] = {}
             projection = tuple(ids[v] for v in self._free_of(formula))
             result = projections.get(projection)

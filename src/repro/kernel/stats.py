@@ -8,10 +8,21 @@ lru_cache hit rates.
 
 Counters are cumulative per process; all consumers work with deltas, so
 the absolute values never need resetting outside of tests.
+
+Updates hold the module lock: the serve daemon's handler threads all
+funnel through :func:`record`, and ``_COUNTERS[name] += amount`` is a
+read-modify-write that loses increments when two threads interleave
+(``concurrency.atomic-counters``).  The lock is reached through
+:func:`_lock`, which re-arms it after a ``fork`` — an engine worker must
+not inherit a lock a parent thread happened to hold at fork time
+(``concurrency.fork-safety``).  Workers never contend: each engine
+process has its own counters and merges via the snapshot/delta protocol.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from typing import Mapping
 
 __all__ = ["COUNTER_NAMES", "diff", "record", "reset", "snapshot"]
@@ -50,15 +61,37 @@ COUNTER_NAMES = (
 
 _COUNTERS: dict[str, int] = {name: 0 for name in COUNTER_NAMES}
 
+_LOCK = threading.Lock()
+_LOCK_PID = os.getpid()
+
+
+def _lock() -> threading.Lock:
+    """The module lock, rebuilt in the child after a ``fork``.
+
+    A forked engine worker inherits the parent's lock object in whatever
+    state it was in at fork time; if any parent thread held it, the
+    child would deadlock on first :func:`record`.  Comparing pids and
+    re-arming gives every process a private, initially-released lock —
+    the same per-pid reconnect discipline as ``SqliteBackend._connection``.
+    """
+    global _LOCK, _LOCK_PID
+    pid = os.getpid()
+    if pid != _LOCK_PID:
+        _LOCK = threading.Lock()
+        _LOCK_PID = pid
+    return _LOCK
+
 
 def record(name: str, amount: int = 1) -> None:
     """Increment one counter (unknown names raise ``KeyError``)."""
-    _COUNTERS[name] += amount
+    with _lock():
+        _COUNTERS[name] += amount
 
 
 def snapshot() -> dict[str, int]:
-    """Current value of every counter."""
-    return dict(_COUNTERS)
+    """Current value of every counter (a consistent point-in-time copy)."""
+    with _lock():
+        return dict(_COUNTERS)
 
 
 def diff(
@@ -75,5 +108,6 @@ def diff(
 
 def reset() -> None:
     """Zero every counter (tests only — deltas never need this)."""
-    for name in COUNTER_NAMES:
-        _COUNTERS[name] = 0
+    with _lock():
+        for name in COUNTER_NAMES:
+            _COUNTERS[name] = 0

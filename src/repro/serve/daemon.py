@@ -9,9 +9,14 @@ forking a fresh Python.
 
 Connections are thread-per-client; queries from one connection are
 answered in order.  The kernel stack is safe under this model for the
-query mix the protocol admits: solver memo tables are only grown, and
-the store backend is concurrent-reader/writer safe (sqlite WAL or a
-lock-free in-memory dict).
+query mix the protocol admits: solver memo tables are only grown with
+idempotent entries, counter modules take their module lock, and the
+store backend is concurrent-reader/writer safe (sqlite WAL or a
+lock-free in-memory dict).  This claim is machine-checked, not asserted:
+the ``concurrency.*`` lint rules walk the call graph from this module's
+handler entry points and flag any unsynchronized write to thread-shared
+state — every surviving site is either guarded or carries a reasoned
+``allow`` pin at the write.
 
 ``shutdown`` stops the accept loop after the acknowledging response has
 been flushed to the requesting client.
@@ -64,6 +69,10 @@ class ReproServer(socketserver.ThreadingTCPServer):
         self.store = store
         self._previous_store: ArtifactStore | None = None
         self._stopping = False
+        # Guards the shutdown/teardown lifecycle state (_stopping, store):
+        # two handler threads can deliver `shutdown` concurrently, and
+        # server_close races against a late begin_shutdown.
+        self._lifecycle_lock = threading.Lock()
         if store is not None:
             self._previous_store = store_runtime.activate(store)
 
@@ -90,22 +99,31 @@ class ReproServer(socketserver.ThreadingTCPServer):
             )
 
     def begin_shutdown(self) -> None:
-        """Stop the accept loop (idempotent; safe from handler threads)."""
-        if self._stopping:
-            return
-        self._stopping = True
+        """Stop the accept loop (idempotent; safe from handler threads).
+
+        The check-then-set on ``_stopping`` holds the lifecycle lock:
+        without it, two concurrent ``shutdown`` requests both pass the
+        guard and spawn two ``shutdown()`` threads (the dogfood finding
+        of ``concurrency.shared-state-race``).
+        """
+        with self._lifecycle_lock:
+            if self._stopping:
+                return
+            self._stopping = True
         # shutdown() blocks until serve_forever() returns, so it must run
         # off the handler thread only if the handler IS the serving
         # thread; under ThreadingTCPServer handlers are always separate
         # threads, but a plain thread keeps this safe for direct calls
-        # from the serving thread in tests.
+        # from the serving thread in tests.  Started outside the lock:
+        # the loser of the race must not wait on the winner's join.
         threading.Thread(target=self.shutdown, daemon=True).start()
 
     def server_close(self) -> None:
         super().server_close()
-        if self.store is not None:
-            store_runtime.deactivate(self._previous_store)
-            self.store = None
+        with self._lifecycle_lock:
+            if self.store is not None:
+                store_runtime.deactivate(self._previous_store)
+                self.store = None
 
 
 def _announce(message: str) -> None:

@@ -18,6 +18,7 @@ on disk — it never flows into keys or payloads.
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
 
 from repro.store.backends import open_backend
@@ -39,6 +40,14 @@ DEFAULT_STORE_DIR = ".repro-store"
 
 _ACTIVE: ArtifactStore | None = None
 
+#: Guards ``_ACTIVE`` swaps: the serve daemon's lifecycle thread tears
+#: the store down (``server_close`` → :func:`deactivate`) while handler
+#: threads may still be re-activating in tests or nested CLI flows.
+#: Reads (:func:`active`, :func:`load`, :func:`publish`) stay lock-free:
+#: they snapshot the reference once, and a stale snapshot is identical
+#: to the read having happened just before the swap.
+_RUNTIME_LOCK = threading.Lock()
+
 
 def default_store_path() -> Path:
     # Config-only: the value picks where artifact records live, never
@@ -55,9 +64,10 @@ def open_store(spec: str | Path | None = None) -> ArtifactStore:
 def activate(store: ArtifactStore) -> ArtifactStore | None:
     """Make ``store`` the process-global store; return the previous one."""
     global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = store
-    return previous
+    with _RUNTIME_LOCK:
+        previous = _ACTIVE
+        _ACTIVE = store
+        return previous
 
 
 def active() -> ArtifactStore | None:
@@ -68,7 +78,8 @@ def active() -> ArtifactStore | None:
 def deactivate(previous: ArtifactStore | None = None) -> None:
     """Clear the global store (or restore ``previous``, for nesting)."""
     global _ACTIVE
-    _ACTIVE = previous
+    with _RUNTIME_LOCK:
+        _ACTIVE = previous
 
 
 def load(kind: str, version: str, args: dict) -> object | None:

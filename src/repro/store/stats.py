@@ -6,10 +6,17 @@ that runs it) and merges per-task deltas into the ``store`` section of
 ``BENCH_engine.json``, next to the ``cache``/``lru_caches``/``solver``
 sections.  Counters are cumulative per process; consumers work with
 deltas, so absolute values never need resetting outside of tests.
+
+Updates hold the module lock (see :mod:`repro.kernel.stats` for the
+rationale): daemon handler threads race on the ``+=`` read-modify-write,
+and the lock is reached through a pid-guarded :func:`_lock` accessor so
+forked engine workers never inherit a held lock.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from typing import Mapping
 
 __all__ = ["COUNTER_NAMES", "diff", "record", "reset", "snapshot"]
@@ -29,15 +36,30 @@ COUNTER_NAMES = (
 
 _COUNTERS: dict[str, int] = {name: 0 for name in COUNTER_NAMES}
 
+_LOCK = threading.Lock()
+_LOCK_PID = os.getpid()
+
+
+def _lock() -> threading.Lock:
+    """The module lock, rebuilt in the child after a ``fork``."""
+    global _LOCK, _LOCK_PID
+    pid = os.getpid()
+    if pid != _LOCK_PID:
+        _LOCK = threading.Lock()
+        _LOCK_PID = pid
+    return _LOCK
+
 
 def record(name: str, amount: int = 1) -> None:
     """Increment one counter (unknown names raise ``KeyError``)."""
-    _COUNTERS[name] += amount
+    with _lock():
+        _COUNTERS[name] += amount
 
 
 def snapshot() -> dict[str, int]:
-    """Current value of every counter."""
-    return dict(_COUNTERS)
+    """Current value of every counter (a consistent point-in-time copy)."""
+    with _lock():
+        return dict(_COUNTERS)
 
 
 def diff(
@@ -54,5 +76,6 @@ def diff(
 
 def reset() -> None:
     """Zero every counter (tests only — deltas never need this)."""
-    for name in COUNTER_NAMES:
-        _COUNTERS[name] = 0
+    with _lock():
+        for name in COUNTER_NAMES:
+            _COUNTERS[name] = 0

@@ -163,6 +163,10 @@ def test_list_rules(tmp_path, monkeypatch, capsys):
     out = capsys.readouterr().out
     for rule in (
         "cache-soundness",
+        "concurrency.atomic-counters",
+        "concurrency.fork-safety",
+        "concurrency.guarded-by",
+        "concurrency.shared-state-race",
         "determinism",
         "dispatch-exhaustiveness",
         "effects.assignment-purity",

@@ -70,6 +70,32 @@ class TestQueries:
 
 
 class TestLifecycle:
+    def test_concurrent_shutdown_requests_race_cleanly(self):
+        # Regression for the begin_shutdown check-then-set on _stopping:
+        # without the lifecycle lock, concurrent shutdown requests all
+        # passed the guard.  Every caller must return promptly (the loser
+        # never waits on the winner's join) and the loop must stop once.
+        srv = ReproServer(("127.0.0.1", 0))
+        serving = threading.Thread(target=srv.serve_forever, daemon=True)
+        serving.start()
+        try:
+            barrier = threading.Barrier(4)
+
+            def stop() -> None:
+                barrier.wait()
+                srv.begin_shutdown()
+
+            callers = [threading.Thread(target=stop) for _ in range(4)]
+            for thread in callers:
+                thread.start()
+            for thread in callers:
+                thread.join(timeout=10)
+            assert not any(thread.is_alive() for thread in callers)
+            serving.join(timeout=10)
+            assert not serving.is_alive()
+        finally:
+            srv.server_close()
+
     def test_shutdown_request_stops_the_loop(self):
         srv = ReproServer(("127.0.0.1", 0))
         thread = threading.Thread(target=srv.serve_forever, daemon=True)
