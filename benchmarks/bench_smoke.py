@@ -12,15 +12,25 @@ committed ``benchmarks/baselines.json``.  The run fails if
 The gated counters are machine-independent proxies for solver work —
 ``positions_explored`` (EF kernel transposition misses),
 ``foeq_positions_explored`` (the FO[EQ] position-game solver),
-and the sweep-layer effort counters (``sweep_words_interned``,
+the sweep-layer effort counters (``sweep_words_interned``,
 ``sweep_tables_extended`` vs ``sweep_tables_rebuilt`` — a rebuild where
-an extension should happen means the prefix sharing broke).  With a
-single job and a cold cache they are bit-deterministic, so an exact
-baseline with a small headroom band is meaningful where wall-clock time
-would flake.  Big *improvements* are reported but do not fail; refresh
-the baseline to lock them in:
+an extension should happen means the prefix sharing broke), and the
+relational-sweep counters (``sweep_relation_rows`` — total satisfying
+tuples emitted, a semantic invariant; ``sweep_bitset_ops`` — bitset
+mask operations, the effort proxy for the vectorised evaluation path).
+With a single job and a cold cache they are bit-deterministic, so an
+exact baseline with a small headroom band is meaningful where
+wall-clock time would flake.  Big *improvements* are reported but do
+not fail; refresh the baseline to lock them in:
 
     PYTHONPATH=src python benchmarks/bench_smoke.py --update
+
+Beyond the counter baselines, :func:`check_lru` asserts the
+no-eviction regime for workload-sized ``lru_cache`` sites (currently
+``ef.equivalence.solver_for``): every miss must still be resident and
+the memo must have produced at least some hits, so a workload growth
+that silently reintroduces cache thrash fails CI instead of costing
+minutes of rebuilt solver state.
 """
 
 from __future__ import annotations
@@ -36,8 +46,11 @@ BASELINE_PATH = Path(__file__).resolve().parent / "baselines.json"
 #: Solver-heavy but CI-fast entry points; deps (prim/*) ride along.
 #: E01/E02 drive full-structure games, E08 the restricted
 #: (symmetry-reduced) pseudo-congruence games, E05 the batched language
-#: sweep, E20 the FO[EQ] position games (its heavy FC dep rides along).
-SMOKE_TASKS = ("E01", "E02", "E05", "E08", "E20")
+#: sweep, E20 the FO[EQ] position games (its heavy FC dep rides along),
+#: E16 the ψ-rewriting equivalence check (its two formula batches run
+#: the bitset relation scan, so it pins ``sweep_relation_rows``), and
+#: prim/relation/Mult the heaviest ψ-reduction agreement grid.
+SMOKE_TASKS = ("E01", "E02", "E05", "E08", "E16", "E20", "prim/relation/Mult")
 
 #: Solver-delta counters the gate watches, per task.
 GATED_COUNTERS = (
@@ -46,9 +59,20 @@ GATED_COUNTERS = (
     "sweep_words_interned",
     "sweep_tables_extended",
     "sweep_tables_rebuilt",
+    "sweep_relation_rows",
+    "sweep_bitset_ops",
 )
 
 TOLERANCE = 0.20
+
+#: ``cachestats`` names whose lru_cache must hold its entire workload
+#: (no evictions) by the end of the smoke run, mapped to a minimum hit
+#: count proving the memo actually shares work.  ``solver_for`` was
+#: resized after the maxsize-512 thrash regression (2 087 misses vs 29
+#: hits on the full DAG); this gate keeps the no-eviction regime pinned.
+LRU_GATES = {
+    "ef.equivalence.solver_for": 1,
+}
 
 
 def run_smoke():
@@ -73,6 +97,38 @@ def counters_by_task(report) -> dict[str, dict[str, int]]:
         }
         for record in report.records
     }
+
+
+def check_lru(snapshot: dict) -> list[str]:
+    """No-eviction gates for workload-sized ``lru_cache`` sites.
+
+    For every cache in ``LRU_GATES``: an ``lru_cache`` inserts one entry
+    per miss, so ``misses - currsize`` is the number of evictions since
+    the last clear.  Any eviction means the cache no longer holds its
+    workload (the maxsize-512 ``solver_for`` failure mode: heavyweight
+    solvers rebuilt with their whole memo tables); too few hits means
+    the memo stopped sharing work at all.
+    """
+    failures = []
+    for name, min_hits in sorted(LRU_GATES.items()):
+        info = snapshot.get(name)
+        if info is None:
+            failures.append(f"lru gate: cache {name!r} is not registered")
+            continue
+        evictions = info["misses"] - info["currsize"]
+        if evictions > 0:
+            failures.append(
+                f"lru gate: {name} evicted {evictions} entries "
+                f"(misses {info['misses']}, resident {info['currsize']}, "
+                f"maxsize {info['maxsize']}) — resize it to hold the "
+                "workload"
+            )
+        elif info["hits"] < min_hits:
+            failures.append(
+                f"lru gate: {name} recorded {info['hits']} hits "
+                f"(< {min_hits}); the memo no longer shares work"
+            )
+    return failures
 
 
 def check(report, baseline: dict, tolerance: float) -> list[str]:
@@ -149,8 +205,11 @@ def main(argv: "list[str] | None" = None) -> int:
     if not BASELINE_PATH.exists():
         print(f"missing {BASELINE_PATH}; run with --update first")
         return 2
+    from repro import cachestats
+
     baseline = json.loads(BASELINE_PATH.read_text())
     failures = check(report, baseline, options.tolerance)
+    failures.extend(check_lru(cachestats.snapshot()))
     totals = report.solver.get("totals", {})
     print(
         f"bench-smoke: {len(report.records)} tasks, "

@@ -125,6 +125,7 @@ def relation_report(name: str, max_length: int = 8) -> RelationReport:
         psi,
         oracle_language.alphabet,
         words_up_to(oracle_language.alphabet, max_length),
+        scope=max_length,
     )
     for word, in_psi in memberships:
         if in_psi != (word in oracle_language):

@@ -35,9 +35,20 @@ def _infer_alphabet(w: str, v: str, alphabet: str | None) -> str:
     return "".join(sorted(set(w) | set(v)))
 
 
-@lru_cache(maxsize=512)
+@lru_cache(maxsize=4096)
 def solver_for(w: str, v: str, alphabet: str) -> GameSolver:
-    """Cached :class:`GameSolver` for the pair (𝔄_w, 𝔅_v)."""
+    """Cached :class:`GameSolver` for the pair (𝔄_w, 𝔅_v).
+
+    Sized from the workload, not from memory pressure: the full engine
+    DAG requests ~2 000 distinct pairs, dominated by E02's single-use
+    short pairs.  At maxsize 512 those evicted the handful of expensive
+    solvers (the a¹²b¹²-class heavyweights, re-requested by E06/E07/E15/
+    E20), which were then rebuilt with their whole memo tables —
+    2 087 misses vs 29 hits per ``BENCH_engine.json``.  4 096 holds the
+    entire workload's key set, making every re-request a hit; the
+    bench-smoke gate asserts the no-eviction regime
+    (``benchmarks/bench_smoke.py::check_lru``).
+    """
     return GameSolver(
         word_structure(w, alphabet), word_structure(v, alphabet)
     )

@@ -36,12 +36,24 @@ _ENGINE_VERSION = "2"
 #: E02/E05 membership loops route through repro.fc.sweep, E20 runs on
 #: the kernel-backed FO[EQ] solver + compiled position programs (and
 #: now consumes prim/equiv/anbn-k2 instead of recomputing it), and
-#: prim/relation/* evaluates ψ via the sweep.  The next bump marks the
-#: sweep soundness fix (quantifier scans restricted to the word's
-#: factor universe): results on these grids are unchanged, but entries
-#: computed by the unrestricted scan must not satisfy fixed runs.
-_TASK_VERSIONS = {"E02": "4", "E05": "5", "E20": "4"}
-_RELATION_TASK_VERSION = "4"
+#: prim/relation/* evaluates ψ via the sweep.  The following bump
+#: marked the sweep soundness fix (quantifier scans restricted to the
+#: word's factor universe).  The latest bump marks the relational-sweep
+#: generation: sweep pools/scans run on dense bitsets
+#: (repro.kernel.bitset), E16 routes ⟦φ⟧(d) through
+#: satisfying_tuples/SweepProgram.relation, E18/E23 evaluate extractors
+#: through the cross-call match_spans memo, and records gain the
+#: sweep_relation_* counter deltas — results are bit-identical, but
+#: entries from the frozenset-era paths must not satisfy bitset runs.
+_TASK_VERSIONS = {
+    "E02": "5",
+    "E05": "6",
+    "E16": "3",
+    "E18": "3",
+    "E20": "5",
+    "E23": "3",
+}
+_RELATION_TASK_VERSION = "5"
 
 
 # ---------------------------------------------------------------------------
@@ -641,7 +653,7 @@ _E16_UNBOUNDED = ["(a|b)*", "(ab|ba)*"]
 
 
 def run_e16(max_doc_length: int = 6) -> dict[str, Any]:
-    from repro.fc.semantics import satisfying_assignments
+    from repro.fc.semantics import satisfying_tuples
     from repro.fc.syntax import Var
     from repro.fcreg.automata import compile_regex
     from repro.fcreg.bounded import is_bounded_regular
@@ -658,14 +670,24 @@ def run_e16(max_doc_length: int = 6) -> dict[str, Any]:
         constraint = in_regex(x, pattern)
         rewritten = constraint_to_fc(constraint)
         mismatches = 0
-        for document in documents:
-            left = {
-                s[x] for s in satisfying_assignments(document, constraint, "ab")
-            }
-            right = {
-                s[x] for s in satisfying_assignments(document, rewritten, "ab")
-            }
-            mismatches += left != right
+        # Relational sweep on both sides: each formula compiles once and
+        # emits ⟦φ⟧(d) per document as pool-pruned bitset scans, instead
+        # of a per-document satisfying_assignments enumeration.  Both
+        # generators are drained fully (zip would leave the second one
+        # short of its end-of-scan publish, so its sweep-relation
+        # artifact would never persist).
+        left_grid = list(
+            satisfying_tuples(
+                constraint, "ab", iter(documents), scope=max_doc_length
+            )
+        )
+        right_grid = list(
+            satisfying_tuples(
+                rewritten, "ab", iter(documents), scope=max_doc_length
+            )
+        )
+        for (document, left), (_, right) in zip(left_grid, right_grid):
+            mismatches += set(left) != set(right)
         rows.append(
             {
                 "pattern": pattern,

@@ -12,9 +12,9 @@ experiments where a hypothetical defining formula is shown impossible.
 from __future__ import annotations
 
 from itertools import product
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
-from repro.fc.semantics import satisfying_assignments
+from repro.fc.semantics import satisfying_assignments, satisfying_tuples
 from repro.fc.structures import word_structure
 from repro.fc.syntax import Formula, Var, free_variables
 
@@ -47,11 +47,33 @@ class FCRelation:
         return len(self.variables)
 
     def evaluate(self, word: str) -> frozenset[tuple[str, ...]]:
-        """Return the relation slice selected on ``word``."""
+        """Return the relation slice selected on ``word``.
+
+        Per-word enumeration — kept as the differential oracle for
+        :meth:`evaluate_many` (the batched relational-sweep path).
+        """
         tuples = set()
         for sigma in satisfying_assignments(word, self.formula, self.alphabet):
             tuples.add(tuple(sigma[v] for v in self.variables))
         return frozenset(tuples)
+
+    def evaluate_many(
+        self, words: Iterable[str], scope: int | None = None
+    ) -> Iterator[tuple[str, frozenset[tuple[str, ...]]]]:
+        """Batched :meth:`evaluate` over a word family: yield
+        ``(word, tuples)`` via one compiled relational sweep
+        (:func:`repro.fc.semantics.satisfying_tuples`), sharing the
+        family's interned id space, pools and pure-atom memos across
+        all words.  ``scope`` is as in ``satisfying_tuples``."""
+        batch = satisfying_tuples(
+            self.formula,
+            self.alphabet,
+            words,
+            scope=scope,
+            variables=self.variables,
+        )
+        for word, rows in batch:
+            yield word, frozenset(rows)
 
     def __repr__(self) -> str:
         names = ", ".join(v.name for v in self.variables)
@@ -75,14 +97,17 @@ def defines_relation(
     relation: FCRelation,
     predicate: Callable[..., bool],
     words: Iterable[str],
+    scope: int | None = None,
 ) -> bool:
     """Check the paper's "φ_R defines R" condition on a finite word sample.
 
     For every ``w`` in ``words``: ``⟦φ_R⟧(w)`` (as variable tuples) must
-    equal ``R ∩ Facs(w)^k`` where ``R`` is given by ``predicate``.
+    equal ``R ∩ Facs(w)^k`` where ``R`` is given by ``predicate``.  The
+    formula side runs as one batched relational sweep over the sample
+    (``scope`` as in :meth:`FCRelation.evaluate_many`).
     """
-    for word in words:
+    for word, actual in relation.evaluate_many(words, scope=scope):
         expected = relation_slice(predicate, word, relation.arity, relation.alphabet)
-        if relation.evaluate(word) != expected:
+        if actual != expected:
             return False
     return True

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, Iterator
 
 from repro.fc.compiled import compiled_evaluator
 from repro.fc.optimizer import formula_pool
+from repro.kernel import stats as kernel_stats
 from repro.fc.structures import BOTTOM, WordStructure, word_structure
 from repro.fc.sweep import LanguageSweep
 from repro.store import artifacts as store_artifacts, runtime as store_runtime
@@ -48,6 +49,7 @@ __all__ = [
     "evaluate_naive",
     "models",
     "satisfying_assignments",
+    "satisfying_tuples",
     "defines_language_member",
     "defines_language_members",
     "language_signatures",
@@ -308,6 +310,117 @@ def _enumerate_assignments(
         del assignment[variable]
 
     yield from recurse(0, {})
+
+
+def satisfying_tuples(
+    formula: Formula,
+    alphabet: str,
+    words: Iterable[str],
+    scope: int | None = None,
+    variables: "tuple[Var, ...] | None" = None,
+) -> Iterator[tuple[str, list[tuple[str, ...]]]]:
+    """Batched ``⟦φ⟧`` over a word family: yield ``(word, rows)``.
+
+    ``rows`` lists the satisfying value tuples of ``formula`` on
+    ``word`` — one column per free variable, in sorted-name order by
+    default or in the order given by ``variables`` (a permutation of
+    the free variables) — in the same enumeration order
+    :func:`satisfying_assignments` yields.  For a sentence, ``rows`` is
+    ``[()]`` when the word models φ and ``[]`` otherwise.
+
+    Formulas in the sweep fragment compile once per family
+    (:meth:`repro.fc.sweep.SweepProgram.relation`): interning, pools
+    and pure-atom truth are shared across words and the per-word scan
+    is pool-pruned bitset algebra.  Formulas outside the fragment fall
+    back to per-word :func:`satisfying_assignments`, with identical
+    rows — the differential suite checks the row-for-row equality.
+
+    ``scope`` declares that ``words`` is exactly ``Σ^{≤scope}`` in
+    enumeration order; with an active artifact store the whole grid's
+    relation then hydrates from (or publishes to) one
+    ``sweep-relation`` artifact, and the family's factor tables go
+    through the ``sweep-universe`` artifact as in
+    :func:`defines_language_members`.
+    """
+    canonical = tuple(sorted(free_variables(formula), key=lambda v: v.name))
+    if variables is None:
+        order = None
+    else:
+        if sorted(variables, key=lambda v: v.name) != list(canonical):
+            raise ValueError(
+                "variables must be a permutation of the free variables"
+            )
+        picks = tuple(canonical.index(v) for v in variables)
+        order = None if picks == tuple(range(len(canonical))) else picks
+
+    def project(rows: list) -> list:
+        if order is None:
+            return rows
+        return [tuple(row[i] for i in order) for row in rows]
+
+    sweep = LanguageSweep(alphabet)
+    program = sweep.compile(formula)
+
+    def run() -> Iterator[tuple[str, list[tuple[str, ...]]]]:
+        if program is None:
+            for word in words:
+                rows = [
+                    tuple(assignment[v] for v in canonical)
+                    for assignment in satisfying_assignments(
+                        word, formula, alphabet
+                    )
+                ]
+                yield word, project(rows)
+            return
+        store_on = store_runtime.active() is not None and scope is not None
+        args = None
+        if store_on:
+            args = {
+                "alphabet": alphabet,
+                "max_length": scope,
+                # Alpha-canonical fingerprint, for the same reason as
+                # satisfying_assignments: binder names are gensym'd.
+                "formula": store_artifacts.fingerprint_text(
+                    repr(alpha_canonical(formula))
+                ),
+            }
+            payload = store_runtime.load(
+                store_artifacts.SWEEP_RELATION_KIND,
+                store_artifacts.SWEEP_RELATION_VERSION,
+                args,
+            )
+            if payload is not None:
+                grid = store_artifacts.decode_relation_rows(payload)
+                kernel_stats.record("sweep_relations_hydrated", len(grid))
+                for word, rows in grid:
+                    yield word, project(rows)
+                return
+        family = sweep.family
+        publish_universe = _sweep_store_scope(family, alphabet, scope)
+        texts = family.strings
+        grid = [] if store_on else None
+        for word in words:
+            table = family.table(word)
+            rows = [
+                tuple(texts[gid] for gid in row)
+                for row in program.relation(table)
+            ]
+            if grid is not None:
+                grid.append((word, rows))
+            yield word, project(rows)
+        if grid is not None:
+            # Published only after the full grid was enumerated, same
+            # partial-scan discipline as satisfying_assignments.
+            store_runtime.publish(
+                store_artifacts.SWEEP_RELATION_KIND,
+                store_artifacts.SWEEP_RELATION_VERSION,
+                args,
+                store_artifacts.encode_relation_rows(grid),
+            )
+        if publish_universe is not None:
+            publish_universe()
+
+    return run()
 
 
 def defines_language_member(word: str, sentence: Formula, alphabet: str) -> bool:

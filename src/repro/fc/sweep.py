@@ -43,9 +43,28 @@ Quantified subformulas *do* depend on the word (scans range over its
 factors), so projection caches stay per word, exactly as in the
 compiled evaluator.
 
-Differential tests (``tests/fc/test_sweep_differential.py``) prove the
-batched results equal per-word ``defines_language_member`` over full
-small grids and seeded longer samples, including regex- and
+Candidate pools, span/chain/scan memo entries and quantifier
+restrictions are all **dense bitsets over the family's id space**
+(big-int masks, :mod:`repro.kernel.bitset`): pool ∧/∨ chains are
+single C-level ``&``/``|`` operations, and the PR-4 soundness
+restriction "quantifiers range over the word's factors" is one
+``pool & table.mask``.  The ``sweep_bitset_ops`` counter measures the
+mask algebra per word.
+
+Beyond membership, a compiled program with free variables emits the
+full satisfying-assignment **relation** per word
+(:meth:`SweepProgram.relation`): free variables are scanned outermost,
+in sorted-name order, each restricted by a statically compiled pool
+(later free variables masked, exactly like a quantifier prefix), and
+rows are slot-indexed gid tuples in the family's deterministic
+``(len, text)`` enumeration order — the same order the per-word
+oracle (:func:`repro.fc.semantics.satisfying_assignments`) yields, so
+the two paths are comparable row-for-row, not just as sets.
+
+Differential tests (``tests/fc/test_sweep_differential.py``,
+``tests/fc/test_relation_sweep.py``) prove the batched results equal
+per-word ``defines_language_member`` / ``satisfying_assignments`` over
+full small grids and seeded longer samples, including regex- and
 oracle-bearing sentences.
 """
 
@@ -65,6 +84,8 @@ from repro.fc.syntax import (
     Var,
     free_variables,
 )
+from repro.kernel import stats
+from repro.kernel.bitset import iter_ids
 from repro.kernel.sweep import SweepFamily, SweepTable
 
 __all__ = ["LanguageSweep", "SweepProgram"]
@@ -139,11 +160,12 @@ class _Plan:
         self.ext_free: tuple = ()
 
 
-# Pool-expression nodes.  A pool expression evaluates to a frozenset of
-# gids that is guaranteed to contain every value of the pooled variable
-# under which the guarded subformula can reach the decisive truth value
-# (the formula_pool soundness invariant); ``None`` pool plans mean
-# "unconstrained — scan the word's universe".
+# Pool-expression nodes.  A pool expression evaluates to a bitset of
+# gids (a big-int mask, :mod:`repro.kernel.bitset`) that is guaranteed
+# to contain every value of the pooled variable under which the guarded
+# subformula can reach the decisive truth value (the formula_pool
+# soundness invariant); ``None`` pool plans mean "unconstrained — scan
+# the word's universe".
 
 
 class _PoolAtom:
@@ -197,7 +219,7 @@ class _PoolUnion:
 class _Ctx:
     """Per-word evaluation state."""
 
-    __slots__ = ("table", "env", "caches", "scan_memo", "view")
+    __slots__ = ("table", "env", "caches", "scan_memo", "view", "bitops")
 
     def __init__(
         self, table: SweepTable, n_slots: int, n_caches: int, view
@@ -210,10 +232,18 @@ class _Ctx:
         #: per-word memo for word-dependent candidate scans.
         self.scan_memo: dict = {}
         self.view = view
+        #: mask operations spent on this word (flushed to
+        #: ``sweep_bitset_ops`` once per evaluate/relation call — one
+        #: locked counter update per word, not per op).
+        self.bitops = 0
 
 
 class SweepProgram:
-    """One sentence compiled against one :class:`SweepFamily`."""
+    """One formula compiled against one :class:`SweepFamily`.
+
+    Sentences answer membership via :meth:`evaluate`; open formulas
+    emit their satisfying-assignment relation via :meth:`relation`.
+    """
 
     def __init__(
         self, sentence: Formula, family: SweepFamily, alphabet: str
@@ -233,6 +263,24 @@ class SweepProgram:
         self._filter_memo: dict = {}
         self._ext_memo: dict = {}
         self.root = self._compile(sentence)
+        #: free variables in sorted-name order — the relation's column
+        #: order, matching ``satisfying_assignments``' enumeration.
+        self.free_vars = tuple(
+            sorted(free_variables(sentence), key=lambda v: v.name)
+        )
+        self._free_slots = tuple(self._slot(v) for v in self.free_vars)
+        #: per-free-var candidate pools for the relation scan: variable
+        #: i is scanned with variables i+1.. still unknown, so they are
+        #: masked — the same known/masked discipline as a quantifier
+        #: prefix, reusing the formula_pool soundness invariant with
+        #: target=True (the pool contains every value under which the
+        #: formula can still be satisfied).
+        self._free_pools = tuple(
+            self._compile_pool(
+                sentence, var, True, frozenset(self.free_vars[i + 1 :])
+            )
+            for i, var in enumerate(self.free_vars)
+        )
         self._n_slots = len(self._slot_of)
         self._eps = family.epsilon_id
 
@@ -473,35 +521,48 @@ class SweepProgram:
             return ref
         return ctx.env[-1 - ref]
 
-    def _pool_eval(self, expr, ctx: _Ctx) -> frozenset:
+    def _pool_eval(self, expr, ctx: _Ctx) -> int:
+        """Evaluate a pool expression to a gid bitset (big-int mask)."""
         if isinstance(expr, _PoolAtom):
             return self._pool_atom_eval(expr, ctx)
         if isinstance(expr, _PoolInter):
             pool = None
             for child in expr.sets:
                 candidates = self._pool_eval(child, ctx)
-                pool = candidates if pool is None else pool & candidates
+                if pool is None:
+                    pool = candidates
+                else:
+                    pool &= candidates
+                    ctx.bitops += 1
                 if pool is not None and not pool:
-                    return pool
+                    return 0
             for flt in expr.filters:
-                source = ctx.table.universe if pool is None else pool
-                pool = frozenset(
-                    gid for gid in source if self._filter_ok(flt, gid, ctx)
-                )
+                if pool is None:
+                    source = ctx.table.universe
+                else:
+                    source = iter_ids(pool)
+                acc = 0
+                for gid in source:
+                    if self._filter_ok(flt, gid, ctx):
+                        acc |= 1 << gid
+                ctx.bitops += 1
+                pool = acc
                 if not pool:
-                    return pool
+                    return 0
             return pool
         if isinstance(expr, _PoolUnion):
-            merged: set = set()
+            merged = 0
             for child in expr.children:
                 merged |= self._pool_eval(child, ctx)
-            return frozenset(merged)
+                ctx.bitops += 1
+            return merged
         # _PoolFilter standing alone: filter the word's universe.
-        return frozenset(
-            gid
-            for gid in ctx.table.universe
-            if self._filter_ok(expr, gid, ctx)
-        )
+        acc = 0
+        for gid in ctx.table.universe:
+            if self._filter_ok(expr, gid, ctx):
+                acc |= 1 << gid
+        ctx.bitops += 1
+        return acc
 
     def _filter_ok(self, flt: _PoolFilter, gid: int, ctx: _Ctx) -> bool:
         key = (flt.index, gid)
@@ -514,7 +575,7 @@ class SweepProgram:
             self._filter_memo[key] = cached
         return cached
 
-    def _pool_atom_eval(self, pa: _PoolAtom, ctx: _Ctx) -> frozenset:
+    def _pool_atom_eval(self, pa: _PoolAtom, ctx: _Ctx) -> int:
         family = self.family
         texts = family.strings
         case = pa.case
@@ -523,15 +584,15 @@ class SweepProgram:
                 self._resolve(pa.refs[0], ctx), self._resolve(pa.refs[1], ctx)
             )
             if combined in ctx.table.members:
-                return frozenset((combined,))
-            return frozenset()
+                return 1 << combined
+            return 0
         if case == "fold":
             joined = family.epsilon_id
             for ref in pa.refs:
                 joined = family.cat(joined, self._resolve(ref, ctx))
             if joined in ctx.table.members:
-                return frozenset((joined,))
-            return frozenset()
+                return 1 << joined
+            return 0
         if case in ("xp", "xs"):
             # Whole-word scans are the only word-dependent candidates:
             # memoised per word (ctx), keyed by the known value.
@@ -564,26 +625,26 @@ class SweepProgram:
             self._span_memo[key] = cached
         return cached
 
-    def _word_scan(self, case: str, value: str, ctx: _Ctx) -> frozenset:
+    def _word_scan(self, case: str, value: str, ctx: _Ctx) -> int:
         """Factors of the current word with a given prefix/suffix."""
         word = ctx.table.word
         intern = self.family.intern
-        found: set[int] = set()
+        found = 0
         start = word.find(value)
         if case == "xp":
             while start != -1:
                 for end in range(start + len(value), len(word) + 1):
-                    found.add(intern(word[start:end]))
+                    found |= 1 << intern(word[start:end])
                 start = word.find(value, start + 1)
         else:
             while start != -1:
                 end = start + len(value)
                 for begin in range(0, start + 1):
-                    found.add(intern(word[begin:end]))
+                    found |= 1 << intern(word[begin:end])
                 start = word.find(value, start + 1)
-        return frozenset(found)
+        return found
 
-    def _span_candidates(self, case: str, values: tuple) -> frozenset:
+    def _span_candidates(self, case: str, values: tuple) -> int:
         """Candidates that are substrings of the known head value —
         factors of every word the value occurs in, hence family-global."""
         texts = self.family.strings
@@ -592,30 +653,31 @@ class SweepProgram:
         if case == "half":
             half, rem = divmod(len(x_val), 2)
             if rem == 0 and x_val[:half] == x_val[half:]:
-                return frozenset((intern(x_val[:half]),))
-            return frozenset()
+                return 1 << intern(x_val[:half])
+            return 0
         if case == "ycut":
             z_val = texts[values[1]]
             if x_val.endswith(z_val):
-                return frozenset(
-                    (intern(x_val[: len(x_val) - len(z_val)]),)
-                )
-            return frozenset()
+                return 1 << intern(x_val[: len(x_val) - len(z_val)])
+            return 0
         if case == "zcut":
             y_val = texts[values[1]]
             if x_val.startswith(y_val):
-                return frozenset((intern(x_val[len(y_val) :]),))
-            return frozenset()
+                return 1 << intern(x_val[len(y_val) :])
+            return 0
+        mask = 0
         if case == "yall":
-            return frozenset(
-                intern(x_val[:i]) for i in range(len(x_val) + 1)
-            )
+            for i in range(len(x_val) + 1):
+                mask |= 1 << intern(x_val[:i])
+            return mask
         # "zall"
-        return frozenset(intern(x_val[i:]) for i in range(len(x_val) + 1))
+        for i in range(len(x_val) + 1):
+            mask |= 1 << intern(x_val[i:])
+        return mask
 
     def _chain_backtrack(
         self, pa: _PoolAtom, head_gid: int, knowns: tuple
-    ) -> frozenset:
+    ) -> int:
         """Project the head's chain decompositions onto the pooled
         variable (the port of ``_chain_candidates``, on the global id
         space)."""
@@ -649,19 +711,89 @@ class SweepProgram:
                 del local[t]
 
         backtrack(0, 0, {})
-        return frozenset(family.intern(s) for s in results)
+        mask = 0
+        for s in results:
+            mask |= 1 << family.intern(s)
+        return mask
 
     # -- evaluation ----------------------------------------------------------
 
     def evaluate(self, table: SweepTable) -> bool:
         """Truth of the sentence on ``table``'s word."""
+        if self.free_vars:
+            raise ValueError(
+                "evaluate() requires a sentence; open formulas emit "
+                "their relation via relation()"
+            )
         ctx = _Ctx(
             table,
             self._n_slots,
             self._quant_count,
             _WordView(table.word, self.alphabet),
         )
-        return self._eval(self.root, ctx)
+        result = self._eval(self.root, ctx)
+        if ctx.bitops:
+            stats.record("sweep_bitset_ops", ctx.bitops)
+        return result
+
+    def relation(self, table: SweepTable) -> list:
+        """The satisfying-assignment relation of the formula on
+        ``table``'s word: slot-indexed gid tuples, one column per free
+        variable in sorted-name order (``self.free_vars``).
+
+        Rows come out in the deterministic nested ``(len, text)``
+        enumeration order — variable 1 outermost — which is exactly the
+        order the per-word oracle enumerates its (pool-sorted) factor
+        candidates, so a sound pool makes the sweep's row sequence a
+        pointwise match of the oracle's, enabling bit-identical
+        artifact persistence.
+        """
+        ctx = _Ctx(
+            table,
+            self._n_slots,
+            self._quant_count,
+            _WordView(table.word, self.alphabet),
+        )
+        rows: list = []
+        if not self.free_vars:
+            if self._eval(self.root, ctx):
+                rows.append(())
+        else:
+            self._relation_scan(0, ctx, rows)
+        if ctx.bitops:
+            stats.record("sweep_bitset_ops", ctx.bitops)
+        if rows:
+            stats.record("sweep_relation_rows", len(rows))
+        return rows
+
+    def _relation_scan(self, level: int, ctx: _Ctx, rows: list) -> None:
+        """Scan free variable ``level`` over its pool ∩ factor universe,
+        recursing to deeper columns; leaves evaluate the matrix."""
+        slots = self._free_slots
+        env = ctx.env
+        if level == len(slots):
+            if self._eval(self.root, ctx):
+                rows.append(tuple(env[s] for s in slots))
+            return
+        table = ctx.table
+        pool = self._free_pools[level]
+        if pool is None:
+            scan = table.universe
+        else:
+            # Same domain restriction as _quantifier: pools may contain
+            # globally-resolved non-factors (absent-letter Consts).
+            mask = self._pool_eval(pool, ctx) & table.mask
+            ctx.bitops += 1
+            if mask == table.mask:
+                scan = table.universe
+            else:
+                scan = sorted(iter_ids(mask), key=self.family.sort_key)
+        slot = slots[level]
+        next_level = level + 1
+        for gid in scan:
+            env[slot] = gid
+            self._relation_scan(next_level, ctx, rows)
+        env[slot] = None
 
     def _term_gid(self, code: int, ctx: _Ctx):
         """Truth-evaluation term value: gid, or ``None`` for a ⊥
@@ -757,10 +889,14 @@ class SweepProgram:
                 # without this, assignment-pure extension atoms
                 # (regex/oracle) can hold at non-domain values and flip
                 # the verdict.
-                pool = self._pool_eval(plan.pool, ctx)
-                scan = sorted(
-                    pool & ctx.table.members, key=self.family.sort_key
-                )
+                mask = self._pool_eval(plan.pool, ctx) & ctx.table.mask
+                ctx.bitops += 1
+                if mask == ctx.table.mask:
+                    # Unconstraining pool: the universe is already in
+                    # (len, text) order — skip extraction and sort.
+                    scan = ctx.table.universe
+                else:
+                    scan = sorted(iter_ids(mask), key=self.family.sort_key)
             want = plan.want
             inner = plan.children[0]
             result = not want
@@ -785,8 +921,10 @@ class LanguageSweep:
         self.family = SweepFamily(tuple(alphabet))
 
     def compile(self, sentence: Formula) -> "SweepProgram | None":
-        """Compile ``sentence``, or ``None`` when it falls outside the
-        sweep fragment (the caller then uses the per-word path)."""
+        """Compile a formula (closed for :meth:`SweepProgram.evaluate`,
+        open for :meth:`SweepProgram.relation`), or ``None`` when it
+        falls outside the sweep fragment (the caller then uses the
+        per-word path)."""
         try:
             return SweepProgram(sentence, self.family, self.alphabet)
         except _Unsupported:

@@ -1,0 +1,59 @@
+"""Dense bitsets over interned id spaces (big-int masks).
+
+The sweep layer (:mod:`repro.kernel.sweep`, :mod:`repro.fc.sweep`)
+assigns every string a dense global id, so any *set* of strings —
+a word's factor universe, a candidate pool, a per-slot assignment
+column — is a set of small ints.  This module fixes the representation
+of those sets as Python big-int bitmasks: bit ``g`` set ⟺ id ``g`` is
+a member.  ∧/∨ chains, pool intersections and quantifier-scan
+restrictions then become single C-level ``&``/``|`` operations instead
+of frozenset algebra, and membership is one shift-and-test.
+
+The API is deliberately tiny and value-based (masks are plain ints;
+``&``, ``|``, ``^``, ``==`` are used directly by callers) so that a
+numpy ``uint64``-block backend can slot in behind the same functions if
+a workload outgrows big ints.  Everything here is pure and
+deterministic: ``iter_ids`` enumerates in ascending id order, and
+``from_ids`` is order-insensitive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["EMPTY", "contains", "count", "from_ids", "iter_ids"]
+
+#: The empty bitset (no ids).  Masks are ordinary ints, so callers test
+#: emptiness with plain truthiness.
+EMPTY = 0
+
+
+def from_ids(ids: Iterable[int]) -> int:
+    """The mask with exactly the given ids set."""
+    mask = 0
+    for gid in ids:
+        mask |= 1 << gid
+    return mask
+
+
+def contains(mask: int, gid: int) -> bool:
+    """Membership test: is bit ``gid`` set?"""
+    return (mask >> gid) & 1 == 1
+
+
+def count(mask: int) -> int:
+    """Number of ids in the mask (popcount)."""
+    return mask.bit_count()
+
+
+def iter_ids(mask: int) -> Iterator[int]:
+    """Yield the set ids in ascending order.
+
+    Isolating the lowest set bit (``mask & -mask``) keeps each step a
+    C-level big-int operation; cost is O(popcount · words), which beats
+    scanning the full id range for the sparse masks pools produce.
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low

@@ -38,7 +38,12 @@ __all__ = ["COUNTER_NAMES", "diff", "record", "reset", "snapshot"]
 #: with measurements" item); the ``*_hydrated`` counters measure
 #: warm-start activity from the artifact store (``repro.store``) —
 #: universes, groups, sweep tables and EF memo entries that were loaded
-#: instead of rebuilt.
+#: instead of rebuilt.  The ``sweep_relation_*`` block measures the
+#: relational sweep (``SweepProgram.relation``): satisfying-assignment
+#: rows emitted, big-int bitset operations spent in pool/quantifier
+#: evaluation (``repro.kernel.bitset`` masks), and per-word relation
+#: tables hydrated from ``sweep-relation`` store artifacts instead of
+#: re-enumerated.
 COUNTER_NAMES = (
     "positions_explored",
     "table_hits",
@@ -57,6 +62,9 @@ COUNTER_NAMES = (
     "automorphism_groups_hydrated",
     "symmetry_product_skips",
     "ef_memo_entries_hydrated",
+    "sweep_relation_rows",
+    "sweep_bitset_ops",
+    "sweep_relations_hydrated",
 )
 
 _COUNTERS: dict[str, int] = {name: 0 for name in COUNTER_NAMES}

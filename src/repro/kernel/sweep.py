@@ -30,7 +30,7 @@ engine report, same as the EF solver's.
 
 from __future__ import annotations
 
-from repro.kernel import stats
+from repro.kernel import bitset, stats
 
 __all__ = ["SweepFamily", "SweepTable"]
 
@@ -40,19 +40,23 @@ class SweepTable:
 
     ``universe`` lists the word's factor ids sorted by ``(len, text)`` —
     the same deterministic enumeration order as
-    :class:`~repro.kernel.interning.InternTable` — and ``members`` is the
-    same set for O(1) membership probes.
+    :class:`~repro.kernel.interning.InternTable` — ``members`` is the
+    same set for O(1) membership probes, and ``mask`` is the same set as
+    a dense bitset over the family's id space
+    (:mod:`repro.kernel.bitset`), so candidate pools restrict to the
+    word's factor universe with one big-int ``&``.
     """
 
-    __slots__ = ("word", "gid", "universe", "members")
+    __slots__ = ("word", "gid", "universe", "members", "mask")
 
     def __init__(
-        self, word: str, gid: int, universe: tuple, members: frozenset
+        self, word: str, gid: int, universe: tuple, members: frozenset, mask: int
     ) -> None:
         self.word = word
         self.gid = gid
         self.universe = universe
         self.members = members
+        self.mask = mask
 
     def __repr__(self) -> str:
         return f"SweepTable({self.word!r}, {len(self.universe)} factors)"
@@ -151,7 +155,13 @@ class SweepFamily:
         intern = self.intern
         # repro-lint: allow[effects.memo-key-completeness] factor_texts is the store-validated Facs(word) list, itself a pure function of the key word
         universe = tuple(intern(text) for text in factor_texts)
-        table = SweepTable(word, intern(word), universe, frozenset(universe))
+        table = SweepTable(
+            word,
+            intern(word),
+            universe,
+            frozenset(universe),
+            bitset.from_ids(universe),
+        )
         self._tables[word] = table
         stats.record("sweep_tables_hydrated")
         stats.record("sweep_words_interned")
@@ -167,7 +177,7 @@ class SweepFamily:
         table = self._tables.get("")
         if table is None:
             eps = self.epsilon_id
-            table = SweepTable("", eps, (eps,), frozenset((eps,)))
+            table = SweepTable("", eps, (eps,), frozenset((eps,)), 1 << eps)
             self._tables[""] = table
             stats.record("sweep_tables_rebuilt")
             stats.record("sweep_words_interned")
@@ -183,15 +193,17 @@ class SweepFamily:
         intern = self.intern
         # repro-lint: allow[effects.memo-key-completeness] parent is the interned table of word[:-1], itself a pure function of the key word
         members = parent.members
+        mask = parent.mask
         fresh = []
         for begin in range(len(word) + 1):
             gid = intern(word[begin:])
             if gid not in members:
                 fresh.append(gid)
+                mask |= 1 << gid
         fresh.sort(key=lambda g: self.lengths[g])
         universe = self._merge(parent.universe, fresh)
         table = SweepTable(
-            word, intern(word), universe, members | frozenset(fresh)
+            word, intern(word), universe, members | frozenset(fresh), mask
         )
         self._tables[word] = table
         stats.record("sweep_tables_extended")

@@ -82,8 +82,17 @@ class RegexFormula:
 
     def match_spans(self, document: str) -> frozenset:
         """Evaluate on a full document: the set of span assignments of
-        complete matches (each a frozenset of (var, Span) pairs)."""
-        return self._matches(document, 0, len(document), {})
+        complete matches (each a frozenset of (var, Span) pairs).
+
+        Memoised across calls on ``(formula, document)`` — AST nodes are
+        frozen dataclasses, so equality is structural.  Spanner
+        expression trees re-evaluate shared subtrees (``pairs - equal``
+        walks ``pairs`` twice, and each ``evaluate`` recurses from the
+        leaves), so the same extractor hits the same document several
+        times per pipeline; the result is an immutable frozenset, safe
+        to share.
+        """
+        return _match_spans_cached(self, document)
 
 
 @dataclass(frozen=True)
@@ -335,6 +344,23 @@ class _FormulaParser:
         if ch == "ε":
             return REpsilon()
         return RTerminal(ch)
+
+
+@lru_cache(maxsize=4096)
+def _match_spans_cached(formula: RegexFormula, document: str) -> frozenset:
+    """The cross-call ``match_spans`` memo (see that method's docstring).
+
+    Sized for the engine workload: E18/E23 touch a few hundred distinct
+    (formula, document) pairs, so the working set fits without
+    evictions; entries are small frozensets of span assignments.
+    """
+    # repro-lint: allow[effects.purity-propagation] id() only keys the per-call memo dict; the result is structural in (formula, document)
+    return formula._matches(document, 0, len(document), {})
+
+
+cachestats.register(
+    "spanners.regex_formulas.match_spans", _match_spans_cached
+)
 
 
 @lru_cache(maxsize=256)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from repro.fc.semantics import satisfying_assignments
+from repro.fc.semantics import satisfying_assignments, satisfying_tuples
 from repro.fc.syntax import Formula, Var, free_variables
 from repro.spanners.spanner import RelationSelect, Spanner
 from repro.words.generators import words_up_to
@@ -49,7 +49,11 @@ def spanner_content_relation(
 def formula_content_relation(
     formula: Formula, document: str, alphabet: str, order: Sequence[Var]
 ) -> frozenset[tuple[str, ...]]:
-    """``⟦φ⟧(d)`` as a set of content tuples in variable ``order``."""
+    """``⟦φ⟧(d)`` as a set of content tuples in variable ``order``.
+
+    Per-document enumeration — kept as the differential oracle for the
+    batched sweep :func:`agree_extensionally` runs.
+    """
     return frozenset(
         tuple(sigma[v] for v in order)
         for sigma in satisfying_assignments(document, formula, alphabet)
@@ -80,12 +84,19 @@ def agree_extensionally(
             f"arity mismatch: spanner schema {names} vs formula free "
             f"variables {[v.name for v in free]}"
         )
-    for document in words_up_to(alphabet, max_length):
+    # The formula side is one batched relational sweep over the whole
+    # document grid: φ compiles once, and ⟦φ⟧(d) per document is a
+    # pool-pruned bitset scan sharing the family's interned tables
+    # (repro.fc.sweep) instead of a per-document enumeration.
+    formula_batch = satisfying_tuples(
+        formula,
+        alphabet,
+        words_up_to(alphabet, max_length),
+        scope=max_length,
+    )
+    for document, rows in formula_batch:
         from_spanner = spanner_content_relation(spanner, document, names)
-        from_formula = formula_content_relation(
-            formula, document, alphabet, free
-        )
-        if from_spanner != from_formula:
+        if from_spanner != frozenset(rows):
             return False, document
     return True, None
 

@@ -31,12 +31,16 @@ __all__ = [
     "SWEEP_UNIVERSE_VERSION",
     "FC_ASSIGNMENTS_KIND",
     "FC_ASSIGNMENTS_VERSION",
+    "SWEEP_RELATION_KIND",
+    "SWEEP_RELATION_VERSION",
     "decode_assignments",
     "decode_memo",
     "decode_permutations",
+    "decode_relation_rows",
     "encode_assignments",
     "encode_memo",
     "encode_permutations",
+    "encode_relation_rows",
     "fingerprint_strings",
     "fingerprint_text",
 ]
@@ -64,6 +68,16 @@ SWEEP_UNIVERSE_VERSION = "1"
 #: one word, in enumeration (yield) order.
 FC_ASSIGNMENTS_KIND = "fc-assignments"
 FC_ASSIGNMENTS_VERSION = "1"
+
+#: Whole-grid satisfying-assignment relations from the relational sweep
+#: (``SweepProgram.relation``): for every word of ``Σ^{≤n}`` in
+#: enumeration order, the rows of ⟦φ⟧(w) as value tuples over the
+#: formula's free variables in sorted-name order, rows in the sweep's
+#: deterministic nested ``(len, text)`` scan order (which equals the
+#: per-word oracle's yield order — the cold-vs-hydrated differential
+#: tests rely on it).
+SWEEP_RELATION_KIND = "sweep-relation"
+SWEEP_RELATION_VERSION = "1"
 
 
 def fingerprint_text(text: str) -> str:
@@ -134,3 +148,28 @@ def encode_assignments(assignments: Sequence[Sequence[tuple[str, str]]]) -> list
 def decode_assignments(payload: Sequence) -> list[list[tuple[str, str]]]:
     """Inverse of :func:`encode_assignments`."""
     return [[(name, value) for name, value in row] for row in payload]
+
+
+# -- relational sweep tables ------------------------------------------------
+
+
+def encode_relation_rows(
+    grid: Sequence[tuple[str, Sequence[Sequence[str]]]],
+) -> list:
+    """``(word, rows)`` pairs → plain lists, orders preserved.
+
+    Column names are not stored per row (unlike ``encode_assignments``):
+    the relation's column order is fixed by the artifact key's formula
+    (free variables in sorted-name order), so rows are bare value
+    tuples — the join-friendly shape the sweep emits.
+    """
+    return [
+        [word, [list(row) for row in rows]] for word, rows in grid
+    ]
+
+
+def decode_relation_rows(payload: Sequence) -> list[tuple[str, list[tuple[str, ...]]]]:
+    """Inverse of :func:`encode_relation_rows`."""
+    return [
+        (word, [tuple(row) for row in rows]) for word, rows in payload
+    ]

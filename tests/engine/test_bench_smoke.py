@@ -9,7 +9,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
 
-from benchmarks.bench_smoke import GATED_COUNTERS, check  # noqa: E402
+from benchmarks.bench_smoke import (  # noqa: E402
+    GATED_COUNTERS,
+    LRU_GATES,
+    check,
+    check_lru,
+)
 
 
 class _Report:
@@ -121,3 +126,48 @@ def test_every_gated_counter_is_checked():
         report = _Report([_record("T", **{name: 200})])
         failures = check(report, baseline, tolerance=0.2)
         assert any(name in f for f in failures), name
+
+
+# --- the lru no-eviction gate -------------------------------------------
+
+
+def _lru_snapshot(hits, misses, currsize, maxsize=4096):
+    return {
+        name: {
+            "hits": hits,
+            "misses": misses,
+            "currsize": currsize,
+            "maxsize": maxsize,
+        }
+        for name in LRU_GATES
+    }
+
+
+def test_lru_no_eviction_passes():
+    assert check_lru(_lru_snapshot(hits=50, misses=200, currsize=200)) == []
+
+
+def test_lru_eviction_fails():
+    failures = check_lru(_lru_snapshot(hits=29, misses=2087, currsize=512))
+    assert any("evicted 1575" in f for f in failures)
+
+
+def test_lru_zero_hits_fails():
+    failures = check_lru(_lru_snapshot(hits=0, misses=10, currsize=10))
+    assert any("no longer shares work" in f for f in failures)
+
+
+def test_lru_unregistered_cache_fails():
+    failures = check_lru({})
+    assert any("not registered" in f for f in failures)
+
+
+def test_solver_for_cache_holds_the_engine_workload():
+    # The maxsize-512 regression: the full DAG requests ~2 000 distinct
+    # (w, v, alphabet) pairs, and at 512 the heavyweight solvers were
+    # evicted and rebuilt (2 087 misses vs 29 hits).  Pin the size above
+    # the workload so the no-eviction regime can't silently regress.
+    from repro.ef.equivalence import solver_for
+
+    assert solver_for.cache_info().maxsize >= 4096
+    assert "ef.equivalence.solver_for" in LRU_GATES

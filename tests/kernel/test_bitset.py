@@ -1,0 +1,58 @@
+"""Unit tests for the dense bitset primitive (``repro.kernel.bitset``).
+
+Masks are plain Python ints over the interned gid space; the invariants
+the sweep layer leans on are: ``from_ids``/``iter_ids`` round-trip,
+``iter_ids`` ascends, and the usual set-algebra identities hold under
+``| & ^``.
+"""
+
+import random
+
+from repro.kernel import bitset
+
+SEED = 20260809
+
+
+def test_empty_mask():
+    assert bitset.EMPTY == 0
+    assert bitset.count(bitset.EMPTY) == 0
+    assert list(bitset.iter_ids(bitset.EMPTY)) == []
+    assert not bitset.contains(bitset.EMPTY, 0)
+
+
+def test_from_ids_round_trip_sorted():
+    ids = [7, 0, 63, 64, 65, 3, 1000]
+    mask = bitset.from_ids(ids)
+    assert list(bitset.iter_ids(mask)) == sorted(ids)
+    assert bitset.count(mask) == len(ids)
+    for gid in ids:
+        assert bitset.contains(mask, gid)
+    for gid in (2, 62, 66, 999, 1001):
+        assert not bitset.contains(mask, gid)
+
+
+def test_duplicates_collapse():
+    mask = bitset.from_ids([5, 5, 5, 9])
+    assert bitset.count(mask) == 2
+    assert list(bitset.iter_ids(mask)) == [5, 9]
+
+
+def test_set_algebra_matches_frozenset():
+    rng = random.Random(SEED)
+    for _ in range(50):
+        a = frozenset(rng.randrange(300) for _ in range(rng.randrange(40)))
+        b = frozenset(rng.randrange(300) for _ in range(rng.randrange(40)))
+        ma, mb = bitset.from_ids(a), bitset.from_ids(b)
+        assert list(bitset.iter_ids(ma | mb)) == sorted(a | b)
+        assert list(bitset.iter_ids(ma & mb)) == sorted(a & b)
+        assert list(bitset.iter_ids(ma & ~mb)) == sorted(a - b)
+        assert bitset.count(ma) == len(a)
+
+
+def test_iter_ids_is_ascending_and_consumes_once():
+    mask = bitset.from_ids(range(0, 200, 7))
+    seen = list(bitset.iter_ids(mask))
+    assert seen == sorted(seen)
+    # iter_ids must not mutate the caller's mask (ints are immutable,
+    # but guard the contract anyway: a second pass sees the same ids).
+    assert list(bitset.iter_ids(mask)) == seen
