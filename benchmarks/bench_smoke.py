@@ -1,13 +1,22 @@
 """CI bench-smoke: guard solver search effort against silent regressions.
 
 Runs a small, fast subset of the experiment DAG (``SMOKE_TASKS`` plus
-their dependency closure) with ``jobs=1`` and the result cache disabled,
-then compares each record's gated solver-delta counters against the
-committed ``benchmarks/baselines.json``.  The run fails if
+their dependency closure) with ``jobs=1``, ``shards=SMOKE_SHARDS`` and
+the result cache disabled, then compares each record's gated
+solver-delta counters against the committed
+``benchmarks/baselines.json``.  The run fails if
 
-* any task errors, or
+* any task errors, or no task executed through a shard plan (the
+  smoke subset includes several sharded tasks on purpose — sharding
+  silently disabled would un-gate the shard/merge path), or
 * any gated counter grows more than ``TOLERANCE`` (20%) over its
   baseline, or is nonzero where the baseline has zero.
+
+Sharded tasks report their counters on the merge record as
+Σ(shard deltas) + merge delta, with duplicated stem/sweep work
+rerouted to ``shard_overhead_ops`` — so the *real* gated counters are
+directly comparable to a monolithic run, and the overhead counter is
+gated like any other so lane duplication cannot grow unnoticed.
 
 The gated counters are machine-independent proxies for solver work —
 ``positions_explored`` (EF kernel transposition misses),
@@ -52,6 +61,10 @@ BASELINE_PATH = Path(__file__).resolve().parent / "baselines.json"
 #: prim/relation/Mult the heaviest ψ-reduction agreement grid.
 SMOKE_TASKS = ("E01", "E02", "E05", "E08", "E16", "E20", "prim/relation/Mult")
 
+#: Intra-task shard width for the smoke run: 2 keeps the run fast while
+#: exercising the planner → shards → ordered-merge path end to end.
+SMOKE_SHARDS = 2
+
 #: Solver-delta counters the gate watches, per task.
 GATED_COUNTERS = (
     "positions_explored",
@@ -61,6 +74,7 @@ GATED_COUNTERS = (
     "sweep_tables_rebuilt",
     "sweep_relation_rows",
     "sweep_bitset_ops",
+    "shard_overhead_ops",
 )
 
 TOLERANCE = 0.20
@@ -84,7 +98,11 @@ def run_smoke():
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as scratch:
         cache = ResultCache(root=Path(scratch), enabled=False)
         return run_tasks(
-            registry, jobs=1, cache=cache, only=list(SMOKE_TASKS)
+            registry,
+            jobs=1,
+            shards=SMOKE_SHARDS,
+            cache=cache,
+            only=list(SMOKE_TASKS),
         )
 
 
@@ -137,6 +155,11 @@ def check(report, baseline: dict, tolerance: float) -> list[str]:
     errored = [r["task"] for r in report.records if r["status"] != "ok"]
     if errored:
         failures.append(f"tasks did not finish ok: {', '.join(errored)}")
+    if not report.shards.get("tasks"):
+        failures.append(
+            "no task executed through a shard plan — the smoke subset "
+            "must exercise the shard/merge path"
+        )
 
     baseline_tasks = baseline.get("counters", {})
     for task, counters in sorted(counters_by_task(report).items()):

@@ -1,0 +1,106 @@
+"""CI shard-smoke: sharded execution must be bit-identical to the
+committed monolithic results.
+
+Runs the sharded experiment subset (``SHARD_TASKS``) with ``--jobs 2
+--shards 2`` and the result cache disabled, then compares every result
+payload — canonical JSON, byte for byte — against the committed
+``BENCH_engine.json`` (which is generated monolithically).  This is the
+deterministic-merge contract of the shard plans as a CI gate:
+
+* every task in the subset must actually execute through its shard
+  plan (planner → shard nodes → ordered merge), not fall back to the
+  monolithic path;
+* the merged result must equal the committed monolithic result
+  exactly; any drift — ordering, float formatting, a lost row — fails.
+
+Exit codes: 0 ok, 1 mismatch or task failure, 2 missing reference.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+REFERENCE_PATH = REPO_ROOT / "BENCH_engine.json"
+
+#: Every shard-plan archetype: the i-grid round-robin (E01), the pair
+#: lanes (E02), the prefix-subtree sweep (E05) and the heaviest
+#: ψ-reduction agreement grid (prim/relation/Mult).
+SHARD_TASKS = ("E01", "E02", "E05", "prim/relation/Mult")
+
+JOBS = 2
+SHARDS = 2
+
+
+def run_sharded():
+    from repro.engine import ResultCache, run_tasks
+    from repro.engine.experiments import build_default_registry
+
+    registry = build_default_registry()
+    with tempfile.TemporaryDirectory(prefix="repro-shard-smoke-") as scratch:
+        cache = ResultCache(root=Path(scratch), enabled=False)
+        return run_tasks(
+            registry,
+            jobs=JOBS,
+            shards=SHARDS,
+            cache=cache,
+            only=list(SHARD_TASKS),
+        )
+
+
+def main() -> int:
+    from repro.engine.spec import canonical_json
+
+    if not REFERENCE_PATH.exists():
+        print(f"missing reference report {REFERENCE_PATH}", file=sys.stderr)
+        return 2
+    reference = {
+        record["task"]: record
+        for record in json.loads(REFERENCE_PATH.read_text())["tasks"]
+    }
+
+    report = run_sharded()
+    failures = []
+    errored = [r["task"] for r in report.records if r["status"] != "ok"]
+    if errored:
+        failures.append(f"tasks did not finish ok: {', '.join(errored)}")
+
+    sharded = report.shards.get("tasks", {})
+    for task in SHARD_TASKS:
+        summary = sharded.get(task)
+        if summary is None or summary.get("count", 0) < 2:
+            failures.append(
+                f"{task}: did not execute through its shard plan "
+                f"(shard summary: {summary})"
+            )
+    for task in SHARD_TASKS:
+        if task not in reference:
+            failures.append(f"{task}: no record in {REFERENCE_PATH.name}")
+            continue
+        got = canonical_json(report.record_for(task)["result"])
+        want = canonical_json(reference[task]["result"])
+        if got != want:
+            failures.append(
+                f"{task}: sharded result differs from the committed "
+                f"monolithic result ({len(got)} vs {len(want)} bytes "
+                "canonical JSON)"
+            )
+
+    width = report.shards.get("width")
+    print(
+        f"shard-smoke: {len(report.records)} tasks at jobs={JOBS} "
+        f"shards={width}, {len(sharded)} executed sharded"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("shard-smoke: ok — sharded results bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -84,14 +84,32 @@ class ResultCache:
     # -- keys ----------------------------------------------------------
 
     def key_for(
-        self, spec: TaskSpec, dep_keys: Mapping[str, str] | None = None
+        self,
+        spec: TaskSpec,
+        dep_keys: Mapping[str, str] | None = None,
+        *,
+        extra: str | None = None,
     ) -> str:
+        """The content key for ``spec`` given its dependencies' keys.
+
+        ``extra`` salts additional execution shape into the key — the
+        executor passes the canonical shard-plan fingerprint for shard
+        and merge *storage* keys, while dependents keep hashing the
+        plain (``extra=None``) key because a sharded task's committed
+        result is bit-identical to the monolithic one by contract.
+        """
         hasher = hashlib.sha256()
         for part in (self.salt, spec.name, spec.version, spec.canonical_args()):
             hasher.update(part.encode("utf-8"))
             hasher.update(b"\x00")
         for param, dep_key in sorted((dep_keys or {}).items()):
             hasher.update(f"{param}={dep_key}".encode("utf-8"))
+            hasher.update(b"\x00")
+        if extra is not None:
+            # \x01 domain-separates salted keys from the unsalted form —
+            # no choice of ``extra`` can collide with a plain key.
+            hasher.update(b"\x01")
+            hasher.update(extra.encode("utf-8"))
             hasher.update(b"\x00")
         return hasher.hexdigest()
 

@@ -81,6 +81,16 @@ def add_run_parser(commands: argparse._SubParsersAction) -> None:
         help="worker processes (default: CPU count)",
     )
     run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "intra-task shard width for tasks that declare a shard plan "
+            "(default: auto — the CPU count; 1 disables sharding)"
+        ),
+    )
+    run.add_argument(
         "--only",
         default=None,
         help="comma-separated task names, e.g. E12,E14 "
@@ -188,6 +198,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     report = run_tasks(
         registry,
         jobs=args.jobs,
+        shards=getattr(args, "shards", None),
         cache=cache,
         store=store,
         only=only,
@@ -215,6 +226,21 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"{totals.get('store_stores', 0)} store(s), "
             f"{totals.get('store_errors', 0)} error(s)"
         )
+    sharded = report.shards.get("tasks", {})
+    if sharded:
+        print(f"shards (width {report.shards['width']}):")
+        for task, summary in sharded.items():
+            if summary.get("cache") == "hit":
+                print(f"  {task:<22s} {summary['count']} shard(s) [hit]")
+                continue
+            walls = ", ".join(
+                f"{wall:.2f}s" for wall in summary.get("shard_walls_s", ())
+            )
+            merge_wall = summary.get("merge_wall_s", 0.0)
+            print(
+                f"  {task:<22s} {summary['count']} shard(s) "
+                f"[{walls}] + merge {merge_wall:.2f}s"
+            )
     for record in report.records:
         if record["status"] == "error":
             print(

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.engine.spec import TaskRegistry
+from repro.engine.spec import ShardPlan, TaskRegistry
 
 __all__ = ["build_default_registry", "EXPERIMENT_NAMES"]
 
@@ -45,44 +45,85 @@ _ENGINE_VERSION = "2"
 #: through the cross-call match_spans memo, and records gain the
 #: sweep_relation_* counter deltas — results are bit-identical, but
 #: entries from the frozenset-era paths must not satisfy bitset runs.
+#: The latest E01/E02/E05 (and relation-task) bumps mark the sharding
+#: generation: those tasks declare shard plans, so their records can
+#: now carry per-shard attribution and live under plan-salted keys —
+#: results stay bit-identical, but pre-shard entries must not satisfy
+#: post-shard monolithic runs whose task functions were refactored
+#: around the shared shard helpers.
 _TASK_VERSIONS = {
-    "E02": "5",
-    "E05": "6",
+    "E01": "3",
+    "E02": "6",
+    "E05": "7",
     "E16": "3",
     "E18": "3",
     "E20": "5",
     "E23": "3",
 }
-_RELATION_TASK_VERSION = "5"
+_RELATION_TASK_VERSION = "6"
 
 
 # ---------------------------------------------------------------------------
 # E01 — Example 3.3: Spoiler wins the 2-round game on a^{2i} vs a^{2i-1}.
 
 
-def run_e01(max_i: int = 6) -> dict[str, Any]:
+def _e01_row(i: int) -> dict[str, Any]:
+    """One grid row of E01; pairs for distinct ``i`` share no solver
+    state, so any ``i``-partition reproduces the monolithic counters."""
     from repro.ef.equivalence import distinguishing_rank, equiv_k
     from repro.ef.game import Move
     from repro.ef.solver import GameSolver
     from repro.fc.structures import word_structure
 
-    rows = []
-    for i in range(1, max_i + 1):
-        w, v = "a" * (2 * i), "a" * (2 * i - 1)
-        not_equiv_2 = not equiv_k(w, v, 2, alphabet="a")
-        rank = distinguishing_rank(w, v, 2, alphabet="a")
-        solver = GameSolver(word_structure(w, "a"), word_structure(v, "a"))
-        opening_kills = (
-            solver.winning_response(2, frozenset(), Move("A", w)) is None
-        )
-        rows.append(
-            {
-                "pair": f"a^{2 * i} vs a^{2 * i - 1}",
-                "not_equiv_2": not_equiv_2,
-                "rank": rank,
-                "opening_wins": opening_kills,
-            }
-        )
+    w, v = "a" * (2 * i), "a" * (2 * i - 1)
+    not_equiv_2 = not equiv_k(w, v, 2, alphabet="a")
+    rank = distinguishing_rank(w, v, 2, alphabet="a")
+    solver = GameSolver(word_structure(w, "a"), word_structure(v, "a"))
+    opening_kills = (
+        solver.winning_response(2, frozenset(), Move("A", w)) is None
+    )
+    return {
+        "pair": f"a^{2 * i} vs a^{2 * i - 1}",
+        "not_equiv_2": not_equiv_2,
+        "rank": rank,
+        "opening_wins": opening_kills,
+    }
+
+
+def run_e01(max_i: int = 6) -> dict[str, Any]:
+    rows = [_e01_row(i) for i in range(1, max_i + 1)]
+    return {
+        "rows": rows,
+        "passed": all(r["not_equiv_2"] and r["opening_wins"] for r in rows),
+    }
+
+
+def plan_e01(max_i: int = 6, *, width: int) -> list[dict[str, Any]]:
+    """Shard plan for E01: round-robin the exponent grid.
+
+    Solver cost grows with ``i``, so dealing (rather than chunking)
+    balances the lanes; see :func:`repro.engine.shards.round_robin`.
+    """
+    from repro.engine.shards import round_robin
+
+    return [
+        {"i_values": lane}
+        for lane in round_robin(list(range(1, max_i + 1)), width)
+    ]
+
+
+def run_e01_shard(max_i: int = 6, *, shard: dict[str, Any]) -> dict[str, Any]:
+    return {"rows": [[i, _e01_row(i)] for i in shard["i_values"]]}
+
+
+def run_e01_merge(
+    max_i: int = 6, *, shards: list[dict[str, Any]]
+) -> dict[str, Any]:
+    indexed = sorted(
+        (pair for part in shards for pair in part["rows"]),
+        key=lambda pair: pair[0],
+    )
+    rows = [row for _i, row in indexed]
     return {
         "rows": rows,
         "passed": all(r["not_equiv_2"] and r["opening_wins"] for r in rows),
@@ -93,20 +134,28 @@ def run_e01(max_i: int = 6) -> dict[str, Any]:
 # E02 — Theorem 3.4: ≡_k ⟺ agreement on an FC(k) sentence pool.
 
 
-def run_e02(max_length: int = 5, pool_rank: int = 1) -> dict[str, Any]:
-    from repro.ef.equivalence import equiv_k
+def _e02_pool_words(max_length: int, pool_rank: int):
     from repro.fc.enumeration import sentence_pool
-    from repro.fc.semantics import language_signatures
     from repro.words.generators import words_up_to
 
     pool = list(sentence_pool(pool_rank, "ab", max_atoms=1))
     words = list(words_up_to("ab", max_length))
-    # One sweep family for the whole pool: every sentence shares the
-    # word tables and the global candidate/atom memos (repro.fc.sweep).
-    signatures = dict(language_signatures(pool, "ab", words))
+    return pool, words
+
+
+def _e02_scan(words, signatures, pool_rank, outer_indices):
+    """The ≡_k-vs-signature pair loop over the given outer rows.
+
+    Pairs for distinct outer words share no solver state (``solver_for``
+    memoises per pair), so any partition of the outer indices reproduces
+    the monolithic counters exactly.
+    """
+    from repro.ef.equivalence import equiv_k
+
     pairs = consistent = separated_confirmed = 0
     violations = []
-    for i, w in enumerate(words):
+    for i in outer_indices:
+        w = words[i]
         for v in words[i + 1 :]:
             pairs += 1
             same_sig = signatures[w] == signatures[v]
@@ -117,12 +166,92 @@ def run_e02(max_length: int = 5, pool_rank: int = 1) -> dict[str, Any]:
                     violations.append([w, v])
             elif not same_sig:
                 separated_confirmed += 1
+    return pairs, consistent, separated_confirmed, violations
+
+
+def run_e02(max_length: int = 5, pool_rank: int = 1) -> dict[str, Any]:
+    from repro.fc.semantics import language_signatures
+
+    pool, words = _e02_pool_words(max_length, pool_rank)
+    # One sweep family for the whole pool: every sentence shares the
+    # word tables and the global candidate/atom memos (repro.fc.sweep).
+    signatures = dict(language_signatures(pool, "ab", words))
+    pairs, consistent, separated_confirmed, violations = _e02_scan(
+        words, signatures, pool_rank, range(len(words))
+    )
     return {
         "pool_size": len(pool),
         "words": len(words),
         "pairs": pairs,
         "consistent": consistent,
         "separated_confirmed": separated_confirmed,
+        "violations": violations,
+        "passed": not violations,
+    }
+
+
+def plan_e02(
+    max_length: int = 5, pool_rank: int = 1, *, width: int
+) -> list[dict[str, Any]]:
+    """Shard plan for E02: deal the pair loop's outer rows into lanes.
+
+    The ≡_k pair loop dominates E02's wall (the signature sweep is an
+    order of magnitude cheaper), so the lanes partition the pairs and
+    every lane repeats the sweep — lane 0 as real work, the others
+    attributed to ``shard_overhead_ops``.  Capped at 8 lanes: each
+    extra lane duplicates one full sweep.
+    """
+    words = 2 ** (max_length + 1) - 1  # |{a,b}^{≤max_length}|
+    lanes = max(1, min(width, 8, words))
+    return [{"lane": lane, "lanes": lanes} for lane in range(lanes)]
+
+
+def run_e02_shard(
+    max_length: int = 5, pool_rank: int = 1, *, shard: dict[str, Any]
+) -> dict[str, Any]:
+    from repro.fc.semantics import language_signatures
+    from repro.kernel import stats as kernel_stats
+
+    pool, words = _e02_pool_words(max_length, pool_rank)
+    if shard["lane"] == 0:
+        signatures = dict(language_signatures(pool, "ab", words))
+    else:
+        # Every lane needs the full signature table; only lane 0 owns
+        # it, so the other lanes' sweeps are attributed as duplication.
+        with kernel_stats.shard_overhead():
+            signatures = dict(language_signatures(pool, "ab", words))
+    pairs, consistent, separated_confirmed, violations = _e02_scan(
+        words,
+        signatures,
+        pool_rank,
+        range(shard["lane"], len(words), shard["lanes"]),
+    )
+    return {
+        "pool_size": len(pool),
+        "words": len(words),
+        "pairs": pairs,
+        "consistent": consistent,
+        "separated_confirmed": separated_confirmed,
+        "violations": violations,
+    }
+
+
+def run_e02_merge(
+    max_length: int = 5, pool_rank: int = 1, *, shards: list[dict[str, Any]]
+) -> dict[str, Any]:
+    from repro.fc.semantics import merge_shard_rows
+
+    # Each outer word lives in exactly one lane, so merging violation
+    # rows on the outer word restores the monolithic (i, j) order.
+    violations = merge_shard_rows([part["violations"] for part in shards])
+    return {
+        "pool_size": shards[0]["pool_size"],
+        "words": shards[0]["words"],
+        "pairs": sum(part["pairs"] for part in shards),
+        "consistent": sum(part["consistent"] for part in shards),
+        "separated_confirmed": sum(
+            part["separated_confirmed"] for part in shards
+        ),
         "violations": violations,
         "passed": not violations,
     }
@@ -218,6 +347,100 @@ def run_e05(
             mismatches.append(word)
     # Each L_fib word is a prefix of the next, so one batched sweep
     # shares every factor table along the chain.
+    long_words = [l_fib_word(n) for n in range(long_members_up_to)]
+    long_members = [
+        {"n": n, "length": len(word), "accepted": accepted}
+        for n, (word, accepted) in enumerate(
+            defines_language_members(phi, "abc", long_words)
+        )
+    ]
+    power_free = [
+        {"n": n, "fourth_power_free": is_fourth_power_free(fibonacci_word(n))}
+        for n in range(power_free_up_to)
+    ]
+    return {
+        "words_checked": total,
+        "members": members,
+        "mismatches": mismatches,
+        "long_members": long_members,
+        "fourth_power_free": power_free,
+        "passed": (
+            not mismatches
+            and members >= 2
+            and all(row["accepted"] for row in long_members)
+            and all(row["fourth_power_free"] for row in power_free)
+        ),
+    }
+
+
+def plan_e05(
+    max_length: int = 8,
+    long_members_up_to: int = 8,
+    power_free_up_to: int = 14,
+    *,
+    width: int,
+) -> list[dict[str, Any]]:
+    """Shard plan for E05: prefix-tree subtrees of the {a,b,c} grid.
+
+    The 9 841-word membership sweep is the task's critical path; the
+    long-member chain and the power-free probes ride on the merge.
+    """
+    from repro.engine.shards import subtree_plan
+
+    return subtree_plan("abc", max_length, width)
+
+
+def run_e05_shard(
+    max_length: int = 8,
+    long_members_up_to: int = 8,
+    power_free_up_to: int = 14,
+    *,
+    shard: dict[str, Any],
+) -> dict[str, Any]:
+    from repro.fc.builders import phi_fib
+    from repro.fc.semantics import defines_language_members_shard
+    from repro.words.fibonacci import is_l_fib
+
+    mismatches = []
+    total = members = 0
+    memberships = defines_language_members_shard(
+        phi_fib(), "abc", max_length, shard
+    )
+    for word, predicted in memberships:
+        total += 1
+        actual = is_l_fib(word)
+        members += actual
+        if predicted != actual:
+            mismatches.append(word)
+    return {
+        "words_checked": total,
+        "members": members,
+        "mismatches": mismatches,
+    }
+
+
+def run_e05_merge(
+    max_length: int = 8,
+    long_members_up_to: int = 8,
+    power_free_up_to: int = 14,
+    *,
+    shards: list[dict[str, Any]],
+) -> dict[str, Any]:
+    from repro.fc.builders import phi_fib
+    from repro.fc.semantics import defines_language_members, merge_shard_rows
+    from repro.words.fibonacci import (
+        fibonacci_word,
+        is_fourth_power_free,
+        l_fib_word,
+    )
+
+    total = sum(part["words_checked"] for part in shards)
+    members = sum(part["members"] for part in shards)
+    mismatches = merge_shard_rows([part["mismatches"] for part in shards])
+    # The long-member chain and power-free probes run here exactly as in
+    # the monolithic task (a separate sweep family in both cases), so
+    # the merge's real counters match the monolithic tail's.
+    phi = phi_fib()
     long_words = [l_fib_word(n) for n in range(long_members_up_to)]
     long_members = [
         {"n": n, "length": len(word), "accepted": accepted}
@@ -1189,6 +1412,11 @@ def build_default_registry() -> TaskRegistry:
             args={"name": relation, "max_length": 7},
             version=_RELATION_TASK_VERSION,
             description=f"core.relations — ψ-reduction agreement for {relation}",
+            shards=ShardPlan(
+                f"{prim}:plan_relation",
+                f"{prim}:relation_agreement_shard",
+                f"{prim}:relation_agreement_merge",
+            ),
         )
 
     experiment_deps: dict[str, dict[str, str]] = {
@@ -1212,6 +1440,17 @@ def build_default_registry() -> TaskRegistry:
         "E20": {"heavy_fc": "prim/equiv/anbn-k2"},
         "E21": {"spot": "prim/synth/aaaa-aaa-k2"},
     }
+    # Grid experiments whose word/exponent universes shard cleanly;
+    # every other task stays monolithic (their critical paths are
+    # single solver calls, not enumerations).
+    experiment_shards = {
+        name: ShardPlan(
+            f"{here}:plan_{name.lower()}",
+            f"{here}:run_{name.lower()}_shard",
+            f"{here}:run_{name.lower()}_merge",
+        )
+        for name in ("E01", "E02", "E05")
+    }
     for name in EXPERIMENT_NAMES:
         registry.add(
             name,
@@ -1219,5 +1458,6 @@ def build_default_registry() -> TaskRegistry:
             deps=experiment_deps.get(name, {}),
             version=_TASK_VERSIONS.get(name, _ENGINE_VERSION),
             description=_EXPERIMENT_DESCRIPTIONS[name],
+            shards=experiment_shards.get(name),
         )
     return registry

@@ -16,11 +16,14 @@ from typing import Any
 __all__ = [
     "equivalence",
     "distinguishing_rank",
+    "plan_relation",
     "solver_openings",
     "synthesize",
     "unary_minimal_pairs",
     "witness_report",
     "relation_agreement",
+    "relation_agreement_shard",
+    "relation_agreement_merge",
     "serialize_language_report",
 ]
 
@@ -168,5 +171,85 @@ def relation_agreement(name: str, max_length: int = 7) -> dict[str, Any]:
         "reduction_agrees": report.reduction_agrees,
         "first_disagreement": report.first_disagreement,
         "note": report.note,
+        "max_length": max_length,
+    }
+
+
+def plan_relation(
+    name: str, max_length: int = 7, *, width: int
+) -> list[dict[str, Any]]:
+    """Shard plan for a ψ-reduction check: subtrees of the target grid."""
+    from repro.core.relations import PSI_REDUCTIONS
+    from repro.engine.shards import subtree_plan
+    from repro.words.generators import PAPER_LANGUAGES
+
+    language = PAPER_LANGUAGES[PSI_REDUCTIONS[name].target_language]
+    return subtree_plan(language.alphabet, max_length, width)
+
+
+def relation_agreement_shard(
+    name: str, max_length: int = 7, *, shard: dict[str, Any]
+) -> dict[str, Any]:
+    """One shard of the ψ-reduction grid: the (len, text)-least
+    disagreement among the shard's words, or None.
+
+    Two deliberate departures from the monolithic
+    :func:`repro.core.inexpressibility.relation_report` path, neither
+    observable on the committed data (every reduction agrees):
+
+    * the shard scans its full slice instead of breaking at the first
+      disagreement — the least disagreement over a subtree chunk is not
+      the first in shard-local order, and the merged minimum must equal
+      the monolithic first hit;
+    * no ``scope`` is declared, so shards never hydrate or publish the
+      grid's ``sweep-universe`` artifact (a per-subtree slice is not the
+      grid the artifact describes).
+
+    When every shard agrees — the committed case — work and counters
+    match the monolithic full scan exactly.
+    """
+    from repro.core.relations import PSI_REDUCTIONS, oracle_for
+    from repro.fc.semantics import defines_language_members_shard
+    from repro.words.generators import PAPER_LANGUAGES
+
+    reduction = PSI_REDUCTIONS[name]
+    oracle_language = PAPER_LANGUAGES[reduction.target_language]
+    psi = reduction.build(oracle_for(name))
+    first_bad: str | None = None
+    memberships = defines_language_members_shard(
+        psi, oracle_language.alphabet, max_length, shard
+    )
+    for word, in_psi in memberships:
+        if in_psi != (word in oracle_language):
+            if first_bad is None or (len(word), word) < (
+                len(first_bad),
+                first_bad,
+            ):
+                first_bad = word
+    return {"first_disagreement": first_bad}
+
+
+def relation_agreement_merge(
+    name: str, max_length: int = 7, *, shards: list[dict[str, Any]]
+) -> dict[str, Any]:
+    from repro.core.relations import PSI_REDUCTIONS
+
+    disagreements = [
+        part["first_disagreement"]
+        for part in shards
+        if part["first_disagreement"] is not None
+    ]
+    first_bad = (
+        min(disagreements, key=lambda word: (len(word), word))
+        if disagreements
+        else None
+    )
+    reduction = PSI_REDUCTIONS[name]
+    return {
+        "relation": name,
+        "target_language": reduction.target_language,
+        "reduction_agrees": first_bad is None,
+        "first_disagreement": first_bad,
+        "note": reduction.note,
         "max_length": max_length,
     }

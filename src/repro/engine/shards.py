@@ -1,0 +1,116 @@
+"""Shard-plan builders: partition a task's word universe declaratively.
+
+A *shard plan* (:class:`repro.engine.spec.ShardPlan`) names three
+module-level functions; the *planner* runs in the engine parent at
+schedule time and returns a list of JSON **shard descriptors**, one per
+shard node.  This module provides the descriptor grammar and the
+generic partitioners the experiment planners compose:
+
+* ``{"stems": [...], "prefixes": [...]}`` — a prefix-tree subtree
+  shard: the stem words (every word shorter than the cut depth, owned
+  by shard 0 so the partition covers the grid exactly once) plus a
+  chunk of depth-``d`` subtrees.  The kernel's incremental factor
+  tables make subtree = shard the natural boundary: inside a subtree
+  every table extends its parent, and only the short stem path below
+  the root is duplicated (attributed to ``shard_overhead_ops``).
+* ``{"lengths": [...]}`` — a unary length band: ``a^l`` for each listed
+  length.  Unary universes are chains, not trees, so subtrees degenerate;
+  balanced length bands shard the work instead.
+* task-specific descriptors (``{"i_values": [...]}``,
+  ``{"lane": k, "lanes": n}``) built with :func:`round_robin`.
+
+Planners are pure functions of ``(args, width)`` — they run in the
+parent and their output is salted into the merge node's cache key, so
+a plan-shape change invalidates exactly the merge node.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Sequence
+
+__all__ = ["length_band_plan", "round_robin", "subtree_plan"]
+
+
+def round_robin(values: Sequence[Any], width: int) -> list[list[Any]]:
+    """Deal ``values`` into ``min(width, len(values))`` lanes, round-robin.
+
+    Round-robin (not contiguous chunks) because grid costs are usually
+    monotone in the value — pair loops shrink with the start index,
+    solver pairs grow with the exponent — so dealing balances the lanes
+    without cost modelling.  Deterministic; lanes preserve value order.
+    """
+    lanes = max(1, min(width, len(values)))
+    dealt: list[list[Any]] = [[] for _ in range(lanes)]
+    for index, value in enumerate(values):
+        dealt[index % lanes].append(value)
+    return dealt
+
+
+def subtree_plan(
+    alphabet: str, max_length: int, width: int
+) -> list[dict[str, Any]]:
+    """Partition ``Σ^{≤max_length}`` into at most ``width`` subtree shards.
+
+    Picks the smallest cut depth ``d`` with ``|Σ|^d ≥ 3·width`` (at
+    least three subtrees per shard keeps the contiguous chunks within
+    ~⅓ of each other in size; subtrees of equal depth carry equal word
+    counts), deals the depth-``d`` subtree roots into contiguous
+    lexicographic chunks (adjacent roots share stem paths), and assigns
+    every stem word (length < d, including ε) to shard 0.  For unary
+    alphabets this degenerates (one subtree per depth), so the plan
+    falls through to :func:`length_band_plan`.
+    """
+    if len(alphabet) < 2:
+        return length_band_plan(alphabet, max_length, width)
+    if width < 2 or max_length < 1:
+        return [{"stems": [], "prefixes": [""]}]
+    depth = 1
+    while len(alphabet) ** depth < 3 * width and depth < max_length:
+        depth += 1
+    roots = [
+        "".join(letters) for letters in product(alphabet, repeat=depth)
+    ]
+    lanes = min(width, len(roots))
+    base, extra = divmod(len(roots), lanes)
+    stems = [
+        "".join(letters)
+        for length in range(depth)
+        for letters in product(alphabet, repeat=length)
+    ]
+    descriptors = []
+    start = 0
+    for lane in range(lanes):
+        size = base + (1 if lane < extra else 0)
+        descriptors.append(
+            {
+                "stems": stems if lane == 0 else [],
+                "prefixes": roots[start : start + size],
+            }
+        )
+        start += size
+    return descriptors
+
+
+def length_band_plan(
+    alphabet: str, max_length: int, width: int
+) -> list[dict[str, Any]]:
+    """Partition a unary grid ``{a^0 … a^max_length}`` into length bands.
+
+    Longest-processing-time assignment with a quadratic cost model
+    (per-word factor work grows ~quadratically with length): lengths
+    are dealt longest-first onto the currently lightest lane, then each
+    lane's band is sorted ascending so the shard enumerates in
+    ``(len, text)`` order.  Ties break on the lane index, so the plan
+    is deterministic.
+    """
+    lanes = max(1, min(width, max_length + 1))
+    if lanes < 2:
+        return [{"lengths": list(range(max_length + 1))}]
+    bands: list[list[int]] = [[] for _ in range(lanes)]
+    loads = [0] * lanes
+    for length in range(max_length, -1, -1):
+        lane = min(range(lanes), key=lambda index: (loads[index], index))
+        bands[lane].append(length)
+        loads[lane] += (length + 1) ** 2
+    return [{"lengths": sorted(band)} for band in bands]

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping
 
 __all__ = [
+    "ShardPlan",
     "TaskRegistry",
     "TaskSpec",
     "canonical_json",
@@ -73,6 +74,41 @@ def resolve_function(path: str, *, task: str | None = None) -> Callable[..., Any
 
 
 @dataclass(frozen=True)
+class ShardPlan:
+    """How to split one task's work into independent shard nodes.
+
+    All three fields are dotted paths to module-level functions, same
+    contract as :attr:`TaskSpec.fn`:
+
+    * ``planner(**args, width=N) -> list[descriptor]`` runs in the
+      engine parent at schedule time and partitions the task's word
+      universe into JSON *shard descriptors* (see
+      :mod:`repro.engine.shards` for the grammar).  Returning a list of
+      length < 2 keeps the task monolithic.
+    * ``shard_fn(**args, **deps, shard=descriptor)`` computes one
+      shard's partial result in a worker, exactly like a task function
+      but restricted to the descriptor's slice of the universe.
+    * ``merge_fn(**args, **deps, shards=[partials...])`` combines the
+      partial results — in descriptor order — into a value that must be
+      bit-identical (canonical JSON) to what ``TaskSpec.fn`` returns.
+
+    The planner output is salted into the merge node's *storage* key,
+    so changing the shard width or plan shape re-runs only the shards
+    and the merge; dependents keep hashing the monolithic key and stay
+    cached (sound because of the bit-identity contract, which the
+    differential test suite and the CI shard-smoke gate enforce).
+    """
+
+    planner: str
+    shard_fn: str
+    merge_fn: str
+
+    def paths(self) -> tuple[str, str, str]:
+        """The three dotted paths (worker-isolation lint roots)."""
+        return (self.planner, self.shard_fn, self.merge_fn)
+
+
+@dataclass(frozen=True)
 class TaskSpec:
     """One declarative task of the experiment DAG.
 
@@ -91,6 +127,7 @@ class TaskSpec:
     deps: Mapping[str, str] = field(default_factory=dict)
     version: str = "1"
     description: str = ""
+    shards: ShardPlan | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -104,6 +141,16 @@ class TaskSpec:
                 f"task {self.name!r}: parameters {sorted(overlap)} are both "
                 "literal args and dependency injections"
             )
+        if self.shards is not None:
+            # shard_fn receives the descriptor as ``shard=`` and merge_fn
+            # the partials as ``shards=``; a task that already binds those
+            # names would shadow the injection.
+            reserved = {"shard", "shards"} & (set(self.args) | set(self.deps))
+            if reserved:
+                raise ValueError(
+                    f"task {self.name!r}: parameters {sorted(reserved)} are "
+                    "reserved for shard execution"
+                )
 
     @property
     def dep_tasks(self) -> tuple[str, ...]:
@@ -140,9 +187,12 @@ class TaskRegistry:
         deps: Mapping[str, str] | None = None,
         version: str = "1",
         description: str = "",
+        shards: ShardPlan | None = None,
     ) -> TaskSpec:
         return self.register(
-            TaskSpec(name, fn, args or {}, deps or {}, version, description)
+            TaskSpec(
+                name, fn, args or {}, deps or {}, version, description, shards
+            )
         )
 
     def get(self, name: str) -> TaskSpec:
@@ -155,12 +205,21 @@ class TaskRegistry:
         return sorted(self._specs)
 
     def fn_paths(self) -> list[str]:
-        """Sorted unique dotted ``fn`` paths of every registered task.
+        """Sorted unique dotted function paths of every registered task.
 
         These are the entry points executed inside engine workers — the
-        root set of the ``effects.worker-isolation`` lint rule.
+        root set of the ``effects.worker-isolation`` lint rule.  Shard
+        plans contribute their planner/shard/merge paths: shard and
+        merge functions run in workers exactly like task functions, and
+        the planner runs in the parent before the pool forks, where a
+        stray effect would leak into every worker.
         """
-        return sorted({spec.fn for spec in self._specs.values()})
+        paths = set()
+        for spec in self._specs.values():
+            paths.add(spec.fn)
+            if spec.shards is not None:
+                paths.update(spec.shards.paths())
+        return sorted(paths)
 
     def specs(self) -> dict[str, TaskSpec]:
         return dict(self._specs)

@@ -52,9 +52,12 @@ __all__ = [
     "satisfying_tuples",
     "defines_language_member",
     "defines_language_members",
+    "defines_language_members_shard",
     "language_signatures",
     "language_slice",
     "languages_agree",
+    "merge_shard_rows",
+    "shard_words",
     "FCLanguage",
 ]
 
@@ -515,6 +518,99 @@ def defines_language_members(
             publish()
 
     return run()
+
+
+def shard_words(alphabet: str, max_length: int, shard: dict) -> Iterator[str]:
+    """The words one shard descriptor owns, in per-group ``(len, text)``
+    order.
+
+    ``shard`` follows the engine's shard-plan grammar
+    (:mod:`repro.engine.shards`):
+
+    * ``{"stems": [...], "prefixes": [...]}`` — the listed stem words
+      (the below-the-cut layers, owned by shard 0) followed by every
+      word of each listed prefix subtree up to ``max_length``;
+    * ``{"lengths": [...]}`` — unary length bands: ``alphabet[0] ** l``
+      for each listed length.
+
+    A full shard partition yields every word of ``Σ^{≤max_length}``
+    exactly once; :func:`merge_shard_rows` restores the global
+    enumeration order.
+    """
+    yield from shard.get("stems", ())
+    for prefix in shard.get("prefixes", ()):
+        tail = max_length - len(prefix)
+        if tail < 0:
+            continue
+        for suffix in words_up_to(alphabet, tail):
+            yield prefix + suffix
+    for length in shard.get("lengths", ()):
+        yield alphabet[0] * length
+
+
+def defines_language_members_shard(
+    sentence: Formula, alphabet: str, max_length: int, shard: dict
+) -> Iterator[tuple[str, bool]]:
+    """One shard of the :func:`defines_language_members` grid over
+    ``Σ^{≤max_length}``: yield ``(word, member)`` for exactly the words
+    of ``shard`` (see :func:`shard_words` for the descriptor grammar).
+
+    Verdicts are bit-identical to the monolithic sweep — the compiled
+    program and the per-word factor tables do not depend on which other
+    words the family has seen.  Factor tables the shard needs but does
+    not own (the stem path below a subtree root, the chain below a
+    unary band) are built under
+    :func:`repro.kernel.stats.shard_overhead`, so summed across a full
+    partition the real sweep counters equal the monolithic run's and
+    the duplicated stem work is measured in ``shard_overhead_ops``.
+    """
+    _require_sentence(sentence)
+    sweep = LanguageSweep(alphabet)
+    program = sweep.compile(sentence)
+
+    def run() -> Iterator[tuple[str, bool]]:
+        if program is None:
+            for word in shard_words(alphabet, max_length, shard):
+                yield word, models(word, sentence, alphabet)
+            return
+        family = sweep.family
+        for word in shard.get("stems", ()):
+            yield word, program.evaluate(family.table(word))
+        for prefix in shard.get("prefixes", ()):
+            view = sweep.subtree(prefix)
+            for word in view.words(max_length):
+                yield word, program.evaluate(view.table(word))
+        previous = None
+        for length in shard.get("lengths", ()):
+            word = alphabet[0] * length
+            if length and previous != length - 1:
+                # The band's below-the-floor chain belongs to another
+                # shard; build it as attributed overhead, then extend.
+                with kernel_stats.shard_overhead():
+                    family.table(word[:-1])
+            yield word, program.evaluate(family.table(word))
+            previous = length
+
+    return run()
+
+
+def merge_shard_rows(parts: "Iterable[Iterable]") -> list:
+    """Merge per-shard result rows back into the global ``(len, text)``
+    enumeration order (the ``words_up_to`` order).
+
+    Rows are either plain words or ``(word, payload)`` sequences with
+    the word first.  A shard part is a concatenation of sorted *runs*
+    (the stems, then one run per prefix subtree), not a globally sorted
+    sequence, so this is a full sort on ``(len, word)`` — a total order
+    over any exact partition, hence deterministic: the committed result
+    of a sharded task is bit-identical to the monolithic enumeration.
+    """
+
+    def key(row):
+        word = row if isinstance(row, str) else row[0]
+        return (len(word), word)
+
+    return sorted((row for part in parts for row in part), key=key)
 
 
 def language_signatures(

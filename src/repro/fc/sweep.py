@@ -929,3 +929,13 @@ class LanguageSweep:
             return SweepProgram(sentence, self.family, self.alphabet)
         except _Unsupported:
             return None
+
+    def subtree(self, prefix: str):
+        """A shard view over one prefix subtree of the enumeration tree.
+
+        Compiled programs evaluate subtree tables exactly as whole-grid
+        tables — the candidate pools, chain decompositions and filter
+        memos all key on family-global ids, so shards of the same
+        family share them (see :class:`repro.kernel.sweep.SweepSubtree`).
+        """
+        return self.family.subtree(prefix)

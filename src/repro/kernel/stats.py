@@ -23,9 +23,18 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Mapping
+from contextlib import contextmanager
+from typing import Iterator, Mapping
 
-__all__ = ["COUNTER_NAMES", "diff", "record", "reset", "snapshot"]
+__all__ = [
+    "COUNTER_NAMES",
+    "OVERHEAD_COUNTER",
+    "diff",
+    "record",
+    "reset",
+    "shard_overhead",
+    "snapshot",
+]
 
 #: Every counter the kernel maintains.  The first block is the FC EF
 #: solver; ``sweep_*`` is the language-sweep layer (``repro.kernel.sweep``);
@@ -65,9 +74,26 @@ COUNTER_NAMES = (
     "sweep_relation_rows",
     "sweep_bitset_ops",
     "sweep_relations_hydrated",
+    "shard_overhead_ops",
 )
 
+#: Where increments land while a :func:`shard_overhead` scope is active.
+#: Intra-task shards duplicate a small amount of enumeration work (the
+#: prefix-path factor tables below a subtree root, a signature sweep
+#: repeated per pair-lane); attributing it to one aggregate counter
+#: keeps the *real* counters exactly conserved — Σ(per-shard deltas)
+#: equals the monolithic task's deltas — so the bench_smoke gates stay
+#: meaningful, while the duplication itself stays measured and gated.
+OVERHEAD_COUNTER = "shard_overhead_ops"
+
 _COUNTERS: dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+
+#: Thread-local overhead-scope depth.  Thread-local by construction:
+#: a shard task sets it only for its own execution thread, so the serve
+#: daemon's handler threads (which never shard) are unaffected, and a
+#: forked worker starts with whatever the forking thread held — depth 0,
+#: since the engine parent never records inside an overhead scope.
+_OVERHEAD = threading.local()
 
 _LOCK = threading.Lock()
 _LOCK_PID = os.getpid()
@@ -90,8 +116,35 @@ def _lock() -> threading.Lock:
     return _LOCK
 
 
+@contextmanager
+def shard_overhead() -> Iterator[None]:
+    """Attribute counter increments inside the scope to
+    :data:`OVERHEAD_COUNTER` instead of their own names.
+
+    Used by intra-task shards around work a monolithic run would do
+    once but a shard partition repeats (stem-path table builds, a
+    non-primary lane's signature sweep).  Re-entrant; restores the
+    previous depth even on exceptions.
+    """
+    depth = getattr(_OVERHEAD, "depth", 0)
+    _OVERHEAD.depth = depth + 1
+    try:
+        yield
+    finally:
+        _OVERHEAD.depth = depth
+
+
 def record(name: str, amount: int = 1) -> None:
-    """Increment one counter (unknown names raise ``KeyError``)."""
+    """Increment one counter (unknown names raise ``KeyError``).
+
+    Inside a :func:`shard_overhead` scope the increment is rerouted to
+    :data:`OVERHEAD_COUNTER` (after the name check, so typos still fail
+    loudly in shard code paths).
+    """
+    if name not in _COUNTERS:
+        raise KeyError(name)
+    if getattr(_OVERHEAD, "depth", 0) and name != OVERHEAD_COUNTER:
+        name = OVERHEAD_COUNTER
     with _lock():
         _COUNTERS[name] += amount
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from repro.kernel import bitset, stats
 
-__all__ = ["SweepFamily", "SweepTable"]
+__all__ = ["SweepFamily", "SweepSubtree", "SweepTable"]
 
 
 class SweepTable:
@@ -173,6 +173,18 @@ class SweepFamily:
         strings = self.strings
         return [strings[gid] for gid in self.table(word).universe]
 
+    def subtree(self, prefix: str) -> "SweepSubtree":
+        """A view of this family restricted to the subtree at ``prefix``.
+
+        The view shares the global intern pool, the concatenation cache
+        and every table already built; it only changes *attribution*:
+        the prefix-path tables below the subtree root (which another
+        shard owns) are built under :func:`repro.kernel.stats.shard_overhead`,
+        so a shard partition's real sweep counters stay exactly
+        conserved against the monolithic run.
+        """
+        return SweepSubtree(self, prefix)
+
     def _root(self) -> SweepTable:
         table = self._tables.get("")
         if table is None:
@@ -227,3 +239,60 @@ class SweepFamily:
         merged.extend(old[i:])
         merged.extend(fresh[j:])
         return tuple(merged)
+
+
+class SweepSubtree:
+    """A :class:`SweepFamily` view over one prefix-tree subtree.
+
+    Intra-task shards walk disjoint subtrees of the same enumeration
+    prefix tree (subtree = shard, ordered concatenation = merge).  Each
+    shard still needs the factor tables of the subtree root's strict
+    ancestors — ``table(prefix)`` extends from ε — but those words
+    belong to another shard, so :meth:`prepare` builds them inside a
+    :func:`repro.kernel.stats.shard_overhead` scope: the duplicated stem
+    work lands in ``shard_overhead_ops`` and the per-word counters
+    (``sweep_words_interned``, ``sweep_tables_extended``, …) count every
+    word of the grid exactly once across a full shard partition.
+
+    Everything else is shared with the backing family: the global
+    intern table, the concatenation cache, and (through the compiled
+    :class:`repro.fc.sweep.SweepProgram`) the span/chain/filter memos.
+    """
+
+    __slots__ = ("family", "prefix", "_prepared")
+
+    def __init__(self, family: SweepFamily, prefix: str) -> None:
+        self.family = family
+        self.prefix = prefix
+        self._prepared = not prefix
+
+    def prepare(self) -> None:
+        """Build the stem path (ε … prefix[:-1]) as shard overhead."""
+        if self._prepared:
+            return
+        self._prepared = True
+        with stats.shard_overhead():
+            self.family.table(self.prefix[:-1])
+
+    def table(self, word: str) -> SweepTable:
+        """The word's factor view; ``word`` must lie in the subtree."""
+        if not word.startswith(self.prefix):
+            raise ValueError(
+                f"{word!r} is outside the {self.prefix!r} subtree"
+            )
+        self.prepare()
+        return self.family.table(word)
+
+    def words(self, max_length: int):
+        """The subtree's words up to ``max_length`` in ``(len, text)``
+        order — prefix first, so each table extends its parent with one
+        incremental step (same enumeration contract as ``words_up_to``).
+        """
+        if len(self.prefix) > max_length:
+            return
+        alphabet = self.family.alphabet
+        level = [self.prefix]
+        yield self.prefix
+        for _ in range(max_length - len(self.prefix)):
+            level = [word + letter for word in level for letter in alphabet]
+            yield from level

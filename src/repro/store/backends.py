@@ -83,6 +83,17 @@ class SqliteBackend:
         self._conn: sqlite3.Connection | None = None
         self._pid = -1
 
+    def __getstate__(self) -> dict:
+        # Spawn-based worker pools pickle the backend to re-open it in
+        # the child; the live sqlite handle must never travel.
+        state = self.__dict__.copy()
+        state["_conn"] = None
+        state["_pid"] = -1
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def _connection(self) -> sqlite3.Connection:
         # A connection must never cross a fork: worker pools inherit the
         # object but open their own handle on first use.

@@ -58,6 +58,51 @@ def boom() -> None:
     raise RuntimeError("intentional failure")
 
 
+# -- sharded tasks -----------------------------------------------------------
+#
+# range_sum is the monolithic reference; (plan_range, range_part,
+# range_merge) is its shard plan.  The merge must be bit-identical to the
+# monolithic result for every width — that contract is what the sharding
+# tests gate.
+
+
+def range_sum(n: int) -> dict[str, Any]:
+    values = list(range(n))
+    return {"n": n, "total": sum(values), "values": values}
+
+
+def plan_range(n: int, *, width: int) -> list[dict[str, Any]]:
+    from repro.engine.shards import round_robin
+
+    return [{"values": lane} for lane in round_robin(list(range(n)), width)]
+
+
+def range_part(n: int, *, shard: dict[str, Any]) -> dict[str, Any]:
+    values = list(shard["values"])
+    return {"total": sum(values), "values": values}
+
+
+def range_merge(n: int, *, shards: list[dict[str, Any]]) -> dict[str, Any]:
+    values = sorted(v for part in shards for v in part["values"])
+    return {"n": n, "total": sum(values), "values": values}
+
+
+def double_total(part: dict[str, Any]) -> int:
+    return 2 * part["total"]
+
+
+def shard_boom(n: int, *, shard: dict[str, Any]) -> dict[str, Any]:
+    # Round-robin puts value 1 on lane 1, so exactly one shard fails at
+    # width >= 2 while its siblings succeed.
+    if 1 in shard["values"]:
+        raise RuntimeError("shard exploded")
+    return {"total": sum(shard["values"]), "values": list(shard["values"])}
+
+
+def plan_boom(n: int, *, width: int) -> list[dict[str, Any]]:
+    raise RuntimeError("planner exploded")
+
+
 def not_json() -> Any:
     return {1, 2, 3}
 

@@ -18,8 +18,15 @@ from benchmarks.bench_smoke import (  # noqa: E402
 
 
 class _Report:
-    def __init__(self, records):
+    def __init__(self, records, shards=None):
         self.records = records
+        # The real EngineReport always carries a shard summary; the
+        # default here mimics a run where some task executed sharded.
+        self.shards = (
+            shards
+            if shards is not None
+            else {"width": 2, "tasks": {"E01": {"count": 2}}}
+        )
 
 
 def _record(task, status="ok", **counters):
@@ -105,6 +112,14 @@ def test_new_solver_work_on_zero_baseline_fails():
     records[3] = _record("prim", positions_explored=7)
     failures = check(_Report(records), BASELINE, tolerance=0.2)
     assert any("prim" in f for f in failures)
+
+
+def test_run_without_sharded_tasks_fails():
+    # Sharding silently disabled (e.g. every planner degenerating to one
+    # descriptor) would un-gate the shard/merge path.
+    report = _Report(_ok_records(), shards={"width": 2, "tasks": {}})
+    failures = check(report, BASELINE, tolerance=0.2)
+    assert any("shard plan" in f for f in failures)
 
 
 def test_unbaselined_task_fails_loudly():
