@@ -86,6 +86,12 @@ TOLERANCE = 0.20
 #: hits on the full DAG); this gate keeps the no-eviction regime pinned.
 LRU_GATES = {
     "ef.equivalence.solver_for": 1,
+    # The cross-call match_spans memo (bounded at 4096 after the
+    # unbounded-growth fix).  The smoke subset does not drive spanner
+    # evaluation, so min_hits stays 0: the gate checks registration and
+    # the no-eviction regime, and tightens automatically if a spanner
+    # task ever joins SMOKE_TASKS.
+    "spanners.regex_formulas.match_spans": 0,
 }
 
 
@@ -229,6 +235,11 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"missing {BASELINE_PATH}; run with --update first")
         return 2
     from repro import cachestats
+
+    # Caches register at module import; no smoke task imports the
+    # spanner layer, so pull it in explicitly to keep the "is not
+    # registered" arm of check_lru meaningful for its gate.
+    import repro.spanners.regex_formulas  # noqa: F401
 
     baseline = json.loads(BASELINE_PATH.read_text())
     failures = check(report, baseline, options.tolerance)

@@ -32,7 +32,7 @@ from repro.analysis.framework import (
     write_baseline,
 )
 
-__all__ = ["add_lint_parser", "cmd_lint"]
+__all__ = ["add_lint_parser", "check_rule_fixtures", "cmd_lint"]
 
 
 def add_lint_parser(commands: argparse._SubParsersAction) -> None:
@@ -74,6 +74,29 @@ def add_lint_parser(commands: argparse._SubParsersAction) -> None:
         ),
     )
     lint.add_argument(
+        "--domains-json",
+        dest="domains_json_path",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also write the id-domain flow summary (pins, inferred "
+            "signatures, events) to PATH"
+        ),
+    )
+    lint.add_argument(
+        "--check-rule-fixtures",
+        dest="rule_fixture_dir",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "verify every registered rule has a seeded-violation fixture "
+            "test (checker class referenced under DIR, default "
+            "tests/analysis) and exit"
+        ),
+    )
+    lint.add_argument(
         "--baseline",
         nargs="?",
         const="",
@@ -105,12 +128,57 @@ def _default_baseline_path(config) -> Path:
     return config.src_root / config.package / "analysis" / "baseline.json"
 
 
+def check_rule_fixtures(fixture_dir: Path) -> list[str]:
+    """Rules registered without a seeded-violation fixture test.
+
+    Every checker must be exercised by at least one test module under
+    ``fixture_dir`` that references its class by name (the convention
+    throughout ``tests/analysis``: instantiate the checker against a
+    seeded fixture package and assert it fires, plus a clean twin).
+    A rule nobody can demonstrate firing is a rule that may have
+    silently stopped working.
+    """
+    corpus = "\n".join(
+        path.read_text(encoding="utf-8")
+        for path in sorted(fixture_dir.glob("test_*.py"))
+    )
+    failures = []
+    for checker in all_checkers():
+        cls = type(checker).__name__
+        if cls not in corpus:
+            failures.append(
+                f"rule {checker.name} ({cls}) has no fixture test under "
+                f"{fixture_dir} — add a seeded violation + clean twin"
+            )
+    return failures
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     config = default_config()
 
     if args.list_rules:
         for checker in all_checkers():
             print(f"{checker.name:<24s} {checker.description}")
+        return 0
+
+    if args.rule_fixture_dir is not None:
+        fixture_dir = (
+            Path(args.rule_fixture_dir)
+            if args.rule_fixture_dir
+            else config.src_root.parent / "tests" / "analysis"
+        )
+        if not fixture_dir.is_dir():
+            print(f"error: no such fixture dir: {fixture_dir}", file=sys.stderr)
+            return 2
+        failures = check_rule_fixtures(fixture_dir)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"ok: every rule has a fixture test under {fixture_dir} "
+            f"({len(all_checkers())} rule(s))"
+        )
         return 0
 
     if args.update_lock:
@@ -209,5 +277,15 @@ def cmd_lint(args: argparse.Namespace) -> int:
             encoding="utf-8",
         )
         print(f"effect summaries written to {args.effects_json_path}")
+
+    if args.domains_json_path:
+        from repro.analysis.domains import domains_for
+
+        payload = domains_for(codebase, config).summary_payload()
+        Path(args.domains_json_path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"domain summaries written to {args.domains_json_path}")
 
     return 1 if new else 0

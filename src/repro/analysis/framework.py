@@ -452,6 +452,12 @@ class LintConfig:
         "repro.serve.daemon.ReproServer",
         "repro.serve.service.QueryService",
     )
+    # Modules the ``domains.*`` rules report on (empty = whole package);
+    # the flow analysis itself only walks pin-reachable modules either way.
+    domain_modules: tuple[str, ...] = ()
+    # Modules providing the trusted bitset primitives the id-domain flow
+    # models natively (iter_ids / from_ids / contains / declare_universe).
+    bitset_modules: tuple[str, ...] = ("repro.kernel.bitset",)
     # Dotted path of the engine registry builder, and the version lock.
     registry_builder: str | None = "repro.engine.experiments:build_default_registry"
     lock_path: Path | None = None
@@ -512,6 +518,12 @@ def all_checkers() -> list[Checker]:
     )
     from repro.analysis.determinism import DeterminismChecker
     from repro.analysis.dispatch import DispatchExhaustivenessChecker
+    from repro.analysis.domainrules import (
+        DomainsBitsetUniverseChecker,
+        DomainsNoCrossMixChecker,
+        DomainsSlotDisciplineChecker,
+        DomainsUniverseEscapeChecker,
+    )
     from repro.analysis.effectrules import (
         EffectAssignmentPurityChecker,
         EffectPurityPropagationChecker,
@@ -527,6 +539,10 @@ def all_checkers() -> list[Checker]:
         CacheSoundnessChecker(),
         DeterminismChecker(),
         DispatchExhaustivenessChecker(),
+        DomainsBitsetUniverseChecker(),
+        DomainsNoCrossMixChecker(),
+        DomainsSlotDisciplineChecker(),
+        DomainsUniverseEscapeChecker(),
         EffectAssignmentPurityChecker(),
         EffectPurityPropagationChecker(),
         ForkSafetyChecker(),

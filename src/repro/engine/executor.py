@@ -512,7 +512,12 @@ def run_tasks(
         cached = cache.load(storage_key)
         if cached is not None and cached.get("status") == "ok":
             finish(name, _zeroed_hit(cached))
-            shard_summary[name] = {"count": len(descriptors), "cache": "hit"}
+            shard_summary[name] = {
+                "count": len(descriptors),
+                "cache": "hit",
+                "effective_width": len(descriptors),
+                "clamped": len(descriptors) < shard_width,
+            }
             return []
         state = _ShardState(descriptors, dep_results, storage_key, shard_keys)
         shard_states[name] = state
@@ -560,6 +565,8 @@ def run_tasks(
         record["shards"] = state.attribution()
         shard_summary[name] = {
             "count": len(state.descriptors),
+            "effective_width": len(state.descriptors),
+            "clamped": len(state.descriptors) < shard_width,
             "merge_wall_s": record["wall_time_s"],
             "shard_walls_s": [row["wall_time_s"] for row in record["shards"]],
             "shard_cache": [row["cache"] for row in record["shards"]],
@@ -603,6 +610,8 @@ def run_tasks(
         record["shards"] = state.attribution()
         shard_summary[name] = {
             "count": len(state.descriptors),
+            "effective_width": len(state.descriptors),
+            "clamped": len(state.descriptors) < shard_width,
             "failed": failed,
             "shard_walls_s": [row["wall_time_s"] for row in record["shards"]],
         }
@@ -720,6 +729,7 @@ def run_tasks(
         },
         shards={
             "width": shard_width,
+            "requested": shards,
             "tasks": {
                 name: shard_summary[name] for name in sorted(shard_summary)
             },

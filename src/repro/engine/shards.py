@@ -29,7 +29,20 @@ from __future__ import annotations
 from itertools import product
 from typing import Any, Sequence
 
-__all__ = ["length_band_plan", "round_robin", "subtree_plan"]
+__all__ = ["clamp_width", "length_band_plan", "round_robin", "subtree_plan"]
+
+
+def clamp_width(width: int, available: int) -> int:
+    """The effective lane count: ``width`` clamped to ``[1, available]``.
+
+    Planners never emit more shards than the universe has independent
+    chunks: requesting ``--shards 64`` over ten subtree roots yields ten
+    lanes.  Every partitioner routes its lane count through this helper,
+    and the executor reports the per-task effective width
+    (``shards.tasks.<name>.effective_width``) so the clamp is visible in
+    the report instead of silent.
+    """
+    return max(1, min(width, available))
 
 
 def round_robin(values: Sequence[Any], width: int) -> list[list[Any]]:
@@ -40,7 +53,7 @@ def round_robin(values: Sequence[Any], width: int) -> list[list[Any]]:
     solver pairs grow with the exponent — so dealing balances the lanes
     without cost modelling.  Deterministic; lanes preserve value order.
     """
-    lanes = max(1, min(width, len(values)))
+    lanes = clamp_width(width, len(values))
     dealt: list[list[Any]] = [[] for _ in range(lanes)]
     for index, value in enumerate(values):
         dealt[index % lanes].append(value)
@@ -71,7 +84,7 @@ def subtree_plan(
     roots = [
         "".join(letters) for letters in product(alphabet, repeat=depth)
     ]
-    lanes = min(width, len(roots))
+    lanes = clamp_width(width, len(roots))
     base, extra = divmod(len(roots), lanes)
     stems = [
         "".join(letters)
@@ -104,12 +117,13 @@ def length_band_plan(
     ``(len, text)`` order.  Ties break on the lane index, so the plan
     is deterministic.
     """
-    lanes = max(1, min(width, max_length + 1))
+    lanes = clamp_width(width, max_length + 1)
     if lanes < 2:
         return [{"lengths": list(range(max_length + 1))}]
-    bands: list[list[int]] = [[] for _ in range(lanes)]
-    loads = [0] * lanes
+    bands: list[list[int]] = [[] for _ in range(lanes)]  # repro-lint: domain[map[shard-lane, iter[plain]]] one length band per lane
+    loads = [0] * lanes  # repro-lint: domain[map[shard-lane, plain]] quadratic cost model per lane
     for length in range(max_length, -1, -1):
+        # repro-lint: domain[shard-lane] LPT pick: the currently lightest lane
         lane = min(range(lanes), key=lambda index: (loads[index], index))
         bands[lane].append(length)
         loads[lane] += (length + 1) ** 2

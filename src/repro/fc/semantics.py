@@ -353,8 +353,9 @@ def satisfying_tuples(
             raise ValueError(
                 "variables must be a permutation of the free variables"
             )
+        # repro-lint: domain[iter[slot]] the declared slot map — relation rows are reindexed only through it
         picks = tuple(canonical.index(v) for v in variables)
-        order = None if picks == tuple(range(len(canonical))) else picks
+        order = None if picks == tuple(range(len(canonical))) else picks  # repro-lint: domain[iter[slot]] same slot map, or None for the identity projection
 
     def project(rows: list) -> list:
         if order is None:

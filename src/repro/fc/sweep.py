@@ -150,10 +150,10 @@ class _Plan:
         self.cost = 1
         #: term codes: gid for a Const (≥ 0), ``-(slot + 1)`` for a Var.
         self.codes: tuple = ()
-        self.var_slot = -1
+        self.var_slot = -1  # repro-lint: domain[slot] the quantified variable's environment slot
         self.want = True
         #: environment slots of the node's free variables (projection).
-        self.free: tuple = ()
+        self.free: tuple = ()  # repro-lint: domain[iter[slot]]
         self.pool = None
         self.cache_index = -1
         self.ext_index = -1
@@ -226,7 +226,7 @@ class _Ctx:
     ) -> None:
         self.table = table
         #: slot → gid of the current (partial) assignment.
-        self.env: list = [None] * n_slots
+        self.env: list = [None] * n_slots  # repro-lint: domain[map[slot, intern:sweep]]
         #: per-quantifier projection caches (projection tuple → bool).
         self.caches = [dict() for _ in range(n_caches)]
         #: per-word memo for word-dependent candidate scans.
@@ -256,7 +256,7 @@ class SweepProgram:
         #: Var → environment-slot index.  Rebinding a variable reuses
         #: its slot; the quantifier's save/restore gives shadowing the
         #: same semantics the assignment dict had.
-        self._slot_of: dict = {}
+        self._slot_of: dict = {}  # repro-lint: domain[map[plain, slot]]
         #: family-global memos (all gid-keyed, hence word-independent).
         self._span_memo: dict = {}
         self._chain_memo: dict = {}
@@ -268,7 +268,7 @@ class SweepProgram:
         self.free_vars = tuple(
             sorted(free_variables(sentence), key=lambda v: v.name)
         )
-        self._free_slots = tuple(self._slot(v) for v in self.free_vars)
+        self._free_slots = tuple(self._slot(v) for v in self.free_vars)  # repro-lint: domain[iter[slot]]
         #: per-free-var candidate pools for the relation scan: variable
         #: i is scanned with variables i+1.. still unknown, so they are
         #: masked — the same known/masked discipline as a quantifier
@@ -282,10 +282,11 @@ class SweepProgram:
             for i, var in enumerate(self.free_vars)
         )
         self._n_slots = len(self._slot_of)
-        self._eps = family.epsilon_id
+        self._eps = family.epsilon_id  # repro-lint: domain[intern:sweep]
 
     # -- compilation ---------------------------------------------------------
 
+    # repro-lint: domain[returns=slot] the slot mint: every environment index originates here
     def _slot(self, var: Var) -> int:
         return self._slot_of.setdefault(var, len(self._slot_of))
 
@@ -515,12 +516,15 @@ class SweepProgram:
 
     # -- pool evaluation -----------------------------------------------------
 
+    # repro-lint: domain[returns=intern:sweep] the declared term-code → gid translator
     def _resolve(self, ref: int, ctx: _Ctx) -> int:
         """Runtime value of a compiled ref (gid or outer-bound slot)."""
         if ref >= 0:
             return ref
+        # repro-lint: allow[domains.slot-discipline] term codes encode Var slots as -(slot+1); this is the declared decoding
         return ctx.env[-1 - ref]
 
+    # repro-lint: domain[returns=bitset-pool:sweep] pools may contain gids that are not factors of the current word — intersect with ctx.table.mask before witnessing
     def _pool_eval(self, expr, ctx: _Ctx) -> int:
         """Evaluate a pool expression to a gid bitset (big-int mask)."""
         if isinstance(expr, _PoolAtom):
@@ -540,6 +544,7 @@ class SweepProgram:
                 if pool is None:
                     source = ctx.table.universe
                 else:
+                    # repro-lint: allow[domains.universe-escape] filter refinement inside the pool evaluator: the result stays a pool, and every caller intersects with the member mask before witnessing
                     source = iter_ids(pool)
                 acc = 0
                 for gid in source:
@@ -564,6 +569,7 @@ class SweepProgram:
         ctx.bitops += 1
         return acc
 
+    # repro-lint: domain[gid=intern:sweep] filters test one candidate gid at a time
     def _filter_ok(self, flt: _PoolFilter, gid: int, ctx: _Ctx) -> bool:
         key = (flt.index, gid)
         cached = self._filter_memo.get(key)
@@ -575,6 +581,7 @@ class SweepProgram:
             self._filter_memo[key] = cached
         return cached
 
+    # repro-lint: domain[returns=bitset-pool:sweep] atom pools are minted over the family's id space, unrestricted by the current word
     def _pool_atom_eval(self, pa: _PoolAtom, ctx: _Ctx) -> int:
         family = self.family
         texts = family.strings
@@ -607,6 +614,7 @@ class SweepProgram:
             env = ctx.env
             head = self._resolve(pa.refs[0], ctx)
             knowns = tuple(
+                # repro-lint: allow[domains.slot-discipline] inlined term-code decoding (see _resolve), kept local to preserve the memo-key fast path
                 ref if ref is None or ref >= 0 else env[-1 - ref]
                 for ref in pa.refs[1:]
             )
@@ -625,6 +633,7 @@ class SweepProgram:
             self._span_memo[key] = cached
         return cached
 
+    # repro-lint: domain[returns=bitset-pool:sweep] every candidate here IS a factor of the word, but the pool contract stays uniform: callers intersect before witnessing
     def _word_scan(self, case: str, value: str, ctx: _Ctx) -> int:
         """Factors of the current word with a given prefix/suffix."""
         word = ctx.table.word
@@ -644,6 +653,7 @@ class SweepProgram:
                 start = word.find(value, start + 1)
         return found
 
+    # repro-lint: domain[returns=bitset-pool:sweep, values=iter[intern:sweep]] substring candidates of a known value may be absent from the current word's factor set
     def _span_candidates(self, case: str, values: tuple) -> int:
         """Candidates that are substrings of the known head value —
         factors of every word the value occurs in, hence family-global."""
@@ -675,6 +685,7 @@ class SweepProgram:
             mask |= 1 << intern(x_val[i:])
         return mask
 
+    # repro-lint: domain[returns=bitset-pool:sweep, head_gid=intern:sweep, knowns=iter[intern:sweep]] chain projections intern fresh decomposition parts on demand
     def _chain_backtrack(
         self, pa: _PoolAtom, head_gid: int, knowns: tuple
     ) -> int:
@@ -736,6 +747,7 @@ class SweepProgram:
             stats.record("sweep_bitset_ops", ctx.bitops)
         return result
 
+    # repro-lint: domain[returns=iter[map[slot, intern:sweep]]] rows are slot-indexed gid tuples; reindex them only through declared slot maps
     def relation(self, table: SweepTable) -> list:
         """The satisfying-assignment relation of the formula on
         ``table``'s word: slot-indexed gid tuples, one column per free
@@ -795,12 +807,14 @@ class SweepProgram:
             self._relation_scan(next_level, ctx, rows)
         env[slot] = None
 
+    # repro-lint: domain[returns=intern:sweep] term-code → gid translator for truth evaluation (None for ⊥)
     def _term_gid(self, code: int, ctx: _Ctx):
         """Truth-evaluation term value: gid, or ``None`` for a ⊥
         constant (a letter absent from the word).  Out-of-alphabet
         constants never compile, so every gid code here is ε or a
         letter of Σ."""
         if code < 0:
+            # repro-lint: allow[domains.slot-discipline] term codes encode Var slots as -(slot+1); this is the declared decoding
             return ctx.env[-1 - code]
         if code == self._eps:
             return code

@@ -142,9 +142,9 @@ class DFA:
     implicit dead state.
     """
 
-    start: int
-    accepting: frozenset[int]
-    transitions: dict[tuple[int, str], int]
+    start: int  # repro-lint: domain[dfa-state] index into the subset numbering
+    accepting: frozenset[int]  # repro-lint: domain[iter[dfa-state]]
+    transitions: dict[tuple[int, str], int]  # repro-lint: domain[map[plain, dfa-state]] (state, letter) → state
     alphabet: frozenset[str]
     state_count: int = field(default=0)
 
@@ -152,9 +152,9 @@ class DFA:
     def from_nfa(cls, nfa: NFA) -> "DFA":
         alphabet = nfa.alphabet()
         initial = nfa.epsilon_closure({nfa.start})
-        index: dict[frozenset[int], int] = {initial: 0}
+        index: dict[frozenset[int], int] = {initial: 0}  # repro-lint: domain[map[plain, dfa-state]] the dfa-state mint: subset → dense state id
         worklist = [initial]
-        transitions: dict[tuple[int, str], int] = {}
+        transitions: dict[tuple[int, str], int] = {}  # repro-lint: domain[map[plain, dfa-state]]
         while worklist:
             subset = worklist.pop()
             source = index[subset]

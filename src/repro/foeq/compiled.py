@@ -76,19 +76,19 @@ class _WordState:
         self.n = len(word)
         n = self.n
         fid = []
-        pool: dict = {}
+        pool: dict = {}  # repro-lint: domain[map[plain, interval]] factor text → dense interval id
         for i in range(n + 1):
-            row = [-1] * (n + 1)
+            row = [-1] * (n + 1)  # repro-lint: domain[map[plain, interval]] -1 = "no interval" sentinel for j < i
             if i >= 1:
                 for j in range(i, n + 1):
                     text = word[i - 1 : j]
                     value = pool.get(text)
                     if value is None:
-                        value = len(pool)
+                        value = len(pool)  # repro-lint: domain[interval] the interval-id mint — dense per word, never compared across words
                         pool[text] = value
                     row[j] = value
             fid.append(tuple(row))
-        self.fid = tuple(fid)
+        self.fid = tuple(fid)  # repro-lint: domain[map[plain, map[plain, interval]]] fid[i][j] — position-indexed, interval-valued
         self.caches = [dict() for _ in range(n_caches)]
 
 

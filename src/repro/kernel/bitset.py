@@ -21,7 +21,14 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-__all__ = ["EMPTY", "contains", "count", "from_ids", "iter_ids"]
+__all__ = [
+    "EMPTY",
+    "contains",
+    "count",
+    "declare_universe",
+    "from_ids",
+    "iter_ids",
+]
 
 #: The empty bitset (no ids).  Masks are ordinary ints, so callers test
 #: emptiness with plain truthiness.
@@ -33,6 +40,23 @@ def from_ids(ids: Iterable[int]) -> int:
     mask = 0
     for gid in ids:
         mask |= 1 << gid
+    return mask
+
+
+def declare_universe(mask: int, role: str) -> int:
+    """Declare ``mask`` to be a *member universe* over table ``role``.
+
+    A runtime identity — the mask is returned unchanged — but the one
+    trusted mint in the id-domain flow analysis
+    (:mod:`repro.analysis.domains`): the result carries
+    ``bitset-universe:<role>``, the domain that makes witnessing ids
+    out of a mask legal.  Candidate pools (``bitset-pool:<role>``) must
+    be ``&``-ed with a universe mask before ``iter_ids`` — the PR-4
+    sweep escape, where pool candidates left the word's factor
+    universe, is exactly the pattern this gate rejects.  ``role`` must
+    be a string literal at the call site so the analysis can read it.
+    """
+    del role  # documentation for the static analysis, not the runtime
     return mask
 
 

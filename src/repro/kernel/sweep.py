@@ -49,14 +49,15 @@ class SweepTable:
 
     __slots__ = ("word", "gid", "universe", "members", "mask")
 
+    # repro-lint: domain[gid=intern:sweep, universe=iter[intern:sweep], members=iter[intern:sweep], mask=bitset-universe:sweep] a table's mask is the word's complete member set by construction — the only legal witness source
     def __init__(
         self, word: str, gid: int, universe: tuple, members: frozenset, mask: int
     ) -> None:
         self.word = word
-        self.gid = gid
-        self.universe = universe
-        self.members = members
-        self.mask = mask
+        self.gid = gid  # repro-lint: domain[intern:sweep] the word's own global id
+        self.universe = universe  # repro-lint: domain[iter[intern:sweep]] Facs(word) in (len, text) order
+        self.members = members  # repro-lint: domain[iter[intern:sweep]] Facs(word) as a set
+        self.mask = mask  # repro-lint: domain[bitset-universe:sweep] Facs(word) as a declared member universe
 
     def __repr__(self) -> str:
         return f"SweepTable({self.word!r}, {len(self.universe)} factors)"
@@ -82,17 +83,18 @@ class SweepFamily:
     def __init__(self, alphabet: tuple[str, ...]) -> None:
         self.alphabet = alphabet
         #: string → global id (total over all strings ever seen).
-        self.id_of: dict[str, int] = {}
+        self.id_of: dict[str, int] = {}  # repro-lint: domain[map[plain, intern:sweep]]
         #: global id → string.
-        self.strings: list[str] = []
+        self.strings: list[str] = []  # repro-lint: domain[map[intern:sweep, plain]]
         #: global id → length.
-        self.lengths: list[int] = []
+        self.lengths: list[int] = []  # repro-lint: domain[map[intern:sweep, plain]]
         #: global concatenation cache: (id, id) → id.
-        self._cat: dict[tuple[int, int], int] = {}
+        self._cat: dict[tuple[int, int], int] = {}  # repro-lint: domain[map[iter[intern:sweep], intern:sweep]]
         #: word → SweepTable, one entry per enumerated word.
         self._tables: dict[str, SweepTable] = {}
-        self.epsilon_id = self.intern("")
+        self.epsilon_id = self.intern("")  # repro-lint: domain[intern:sweep]
 
+    # repro-lint: domain[returns=intern:sweep] the family's id mint — every sweep gid originates here
     def intern(self, text: str) -> int:
         """The global id of ``text`` (assigned on first sight)."""
         gid = self.id_of.get(text)
@@ -103,6 +105,7 @@ class SweepFamily:
             self.lengths.append(len(text))
         return gid
 
+    # repro-lint: domain[returns=intern:sweep, left=intern:sweep, right=intern:sweep] global concatenation stays inside the family's id space
     def cat(self, left: int, right: int) -> int:
         """Id of ``strings[left] + strings[right]`` (total, cached)."""
         key = (left, right)
@@ -112,6 +115,7 @@ class SweepFamily:
             self._cat[key] = gid
         return gid
 
+    # repro-lint: domain[gid=intern:sweep] ordering is defined via strings/lengths, never the raw numbering
     def sort_key(self, gid: int):
         """The deterministic ``(len, text)`` enumeration key for an id."""
         return (self.lengths[gid], self.strings[gid])
@@ -160,7 +164,7 @@ class SweepFamily:
             intern(word),
             universe,
             frozenset(universe),
-            bitset.from_ids(universe),
+            bitset.declare_universe(bitset.from_ids(universe), "sweep"),
         )
         self._tables[word] = table
         stats.record("sweep_tables_hydrated")
@@ -189,7 +193,13 @@ class SweepFamily:
         table = self._tables.get("")
         if table is None:
             eps = self.epsilon_id
-            table = SweepTable("", eps, (eps,), frozenset((eps,)), 1 << eps)
+            table = SweepTable(
+                "",
+                eps,
+                (eps,),
+                frozenset((eps,)),
+                bitset.declare_universe(1 << eps, "sweep"),
+            )
             self._tables[""] = table
             stats.record("sweep_tables_rebuilt")
             stats.record("sweep_words_interned")
@@ -215,13 +225,20 @@ class SweepFamily:
         fresh.sort(key=lambda g: self.lengths[g])
         universe = self._merge(parent.universe, fresh)
         table = SweepTable(
-            word, intern(word), universe, members | frozenset(fresh), mask
+            word,
+            intern(word),
+            universe,
+            members | frozenset(fresh),
+            # Facs(w·a) is complete by construction: parent mask plus
+            # every suffix of w·a.
+            bitset.declare_universe(mask, "sweep"),
         )
         self._tables[word] = table
         stats.record("sweep_tables_extended")
         stats.record("sweep_words_interned")
         return table
 
+    # repro-lint: domain[returns=iter[intern:sweep], old=iter[intern:sweep]] both inputs carry this family's gids
     def _merge(self, old: tuple, fresh: list) -> tuple:
         """Merge two (len, text)-sorted id sequences into one tuple."""
         if not fresh:

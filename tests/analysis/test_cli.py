@@ -1,6 +1,7 @@
 """Exit codes and report output of ``python -m repro lint``."""
 
 import argparse
+import dataclasses
 import json
 import os
 import subprocess
@@ -32,6 +33,8 @@ def namespace(**overrides) -> argparse.Namespace:
         rule=None,
         json_path=None,
         effects_json_path=None,
+        domains_json_path=None,
+        rule_fixture_dir=None,
         baseline=None,
         write_baseline=False,
         update_lock=False,
@@ -144,6 +147,54 @@ def test_effects_json_dump(tmp_path, monkeypatch):
     assert payload["totals"]["mutates-arg"] == 1
 
 
+def test_domains_json_dump(tmp_path, monkeypatch):
+    _, config = build(
+        tmp_path,
+        {
+            "fixpkg/high/ids.py": """\
+                # repro-lint: domain[returns=intern:demo] the mint
+                def intern(text):
+                    return 0
+
+
+                def consumer():
+                    return intern("ab")
+                """,
+        },
+    )
+    point_at(monkeypatch, config)
+    dump = tmp_path / "domains.json"
+    assert cmd_lint(namespace(domains_json_path=str(dump))) == 0
+    payload = json.loads(dump.read_text(encoding="utf-8"))
+    assert payload["pins"] == 1
+    assert payload["pin_errors"] == []
+    by_name = {f["function"]: f for f in payload["functions"]}
+    assert by_name["fixpkg.high.ids.intern"]["returns"] == "intern:demo"
+    # The consumer's return domain is inferred, not pinned.
+    assert by_name["fixpkg.high.ids.consumer"]["returns"] == "intern:demo"
+
+
+def test_check_rule_fixtures_passes_on_this_repo(tmp_path, monkeypatch, capsys):
+    _, config = build(tmp_path, CLEAN)
+    config = dataclasses.replace(config, src_root=REPO_ROOT / "src")
+    point_at(monkeypatch, config)
+    assert cmd_lint(namespace(rule_fixture_dir="")) == 0
+    assert "every rule has a fixture test" in capsys.readouterr().out
+
+
+def test_check_rule_fixtures_flags_untested_rules(
+    tmp_path, monkeypatch, capsys
+):
+    _, config = build(tmp_path, CLEAN)
+    point_at(monkeypatch, config)
+    empty = tmp_path / "no-tests"
+    empty.mkdir()
+    assert cmd_lint(namespace(rule_fixture_dir=str(empty))) == 1
+    err = capsys.readouterr().err
+    assert "has no fixture test" in err
+    assert "domains.universe-escape" in err
+
+
 def test_baseline_roundtrip(tmp_path, monkeypatch, capsys):
     _, config = build(tmp_path, SEEDED)
     point_at(monkeypatch, config)
@@ -169,6 +220,10 @@ def test_list_rules(tmp_path, monkeypatch, capsys):
         "concurrency.shared-state-race",
         "determinism",
         "dispatch-exhaustiveness",
+        "domains.bitset-universe",
+        "domains.no-cross-mix",
+        "domains.slot-discipline",
+        "domains.universe-escape",
         "effects.assignment-purity",
         "effects.memo-key-completeness",
         "effects.purity-propagation",

@@ -1,0 +1,269 @@
+"""Seeded-violation and clean-pass fixtures for the domains.* rules."""
+
+from repro.analysis.domainrules import (
+    DomainsBitsetUniverseChecker,
+    DomainsNoCrossMixChecker,
+    DomainsSlotDisciplineChecker,
+    DomainsUniverseEscapeChecker,
+)
+
+from tests.analysis.test_domains import BITSET
+from tests.analysis.util import build
+
+
+def findings_of(checker, tmp_path, files, **overrides):
+    overrides.setdefault("bitset_modules", ("fixpkg.low.bits",))
+    codebase, config = build(tmp_path, files, **overrides)
+    return list(checker.check(codebase, config))
+
+
+# -- domains.no-cross-mix ----------------------------------------------------
+
+
+def test_comparing_ids_across_domains_is_flagged(tmp_path):
+    found = findings_of(DomainsNoCrossMixChecker(), tmp_path, {
+        "fixpkg/low/base.py": """\
+            # repro-lint: domain[returns=intern:sweep] the gid mint
+            def gid(text):
+                return 0
+
+
+            # repro-lint: domain[returns=interval] the interval mint
+            def fid(i, j):
+                return 0
+
+
+            def broken(text, i, j):
+                return gid(text) == fid(i, j)
+            """,
+    })
+    assert len(found) == 1
+    assert "compares a intern:sweep id with a interval id" in found[0].message
+    assert "broken" in found[0].message
+
+
+def test_comparing_ids_inside_one_domain_passes(tmp_path):
+    found = findings_of(DomainsNoCrossMixChecker(), tmp_path, {
+        "fixpkg/low/base.py": """\
+            # repro-lint: domain[returns=intern:sweep] the gid mint
+            def gid(text):
+                return 0
+
+
+            def fine(left, right):
+                return gid(left) == gid(right)
+            """,
+    })
+    assert found == []
+
+
+def test_argument_against_declared_param_is_flagged(tmp_path):
+    found = findings_of(DomainsNoCrossMixChecker(), tmp_path, {
+        "fixpkg/low/base.py": """\
+            # repro-lint: domain[returns=interval] the interval mint
+            def fid(i, j):
+                return 0
+
+
+            # repro-lint: domain[gid=intern:sweep] reads the intern table
+            def lookup(gid):
+                return gid
+
+
+            def broken(i, j):
+                return lookup(fid(i, j))
+            """,
+    })
+    assert len(found) == 1
+    assert "passes a interval id" in found[0].message
+    assert "gid=intern:sweep" in found[0].message
+
+
+def test_malformed_pin_is_a_no_cross_mix_finding(tmp_path):
+    found = findings_of(DomainsNoCrossMixChecker(), tmp_path, {
+        "fixpkg/low/base.py": """\
+            # repro-lint: domain[banana] a typo'd declaration
+            VALUE = 3
+            """,
+    })
+    assert len(found) == 1
+    assert "malformed domain pin 'banana'" in found[0].message
+    assert "pin grammar" in found[0].hint
+
+
+# -- domains.bitset-universe -------------------------------------------------
+
+
+def test_mask_algebra_across_tables_is_flagged(tmp_path):
+    found = findings_of(DomainsBitsetUniverseChecker(), tmp_path, {
+        "fixpkg/low/base.py": """\
+            # repro-lint: domain[returns=bitset-universe:alpha] alpha mask
+            def alpha_mask():
+                return 3
+
+
+            # repro-lint: domain[returns=bitset-universe:beta] beta mask
+            def beta_mask():
+                return 5
+
+
+            def broken():
+                return alpha_mask() & beta_mask()
+            """,
+    })
+    assert len(found) == 1
+    assert "bitset-universe:alpha" in found[0].message
+    assert "bitset-universe:beta" in found[0].message
+
+
+def test_mask_algebra_over_one_table_passes(tmp_path):
+    found = findings_of(DomainsBitsetUniverseChecker(), tmp_path, {
+        "fixpkg/low/base.py": """\
+            # repro-lint: domain[returns=bitset-universe:alpha] alpha mask
+            def alpha_mask():
+                return 3
+
+
+            def fine():
+                return alpha_mask() & alpha_mask()
+            """,
+    })
+    assert found == []
+
+
+# -- domains.universe-escape -------------------------------------------------
+
+# The PR-4 sweep bug, replicated in miniature: a quantifier scan builds
+# its candidate pool from pure producers (ids minted over the family's
+# whole intern table) and witnesses ids without first intersecting with
+# the current word's member mask — candidates that are not factors of
+# the word escape into the result.
+POOL_ESCAPE = {
+    "fixpkg/low/bits.py": BITSET,
+    "fixpkg/low/sweepish.py": """\
+        from fixpkg.low import bits
+
+
+        class Family:
+            # repro-lint: domain[returns=intern:sweep] the family mint
+            def intern(self, text):
+                return len(text)
+
+
+        class Table:
+            # repro-lint: domain[mask=bitset-universe:sweep] member mask
+            def __init__(self, mask):
+                self.mask = mask  # repro-lint: domain[bitset-universe:sweep] the word's factor set
+
+
+        def pool_for(family: Family, words):
+            mask = 0
+            for word in words:
+                mask |= 1 << family.intern(word)
+            return mask
+
+
+        def quantifier_scan(family: Family, table: Table, words):
+            pool = pool_for(family, words)
+            return list(bits.iter_ids(pool))
+        """,
+}
+
+
+def test_pr4_pool_escape_replica_is_flagged(tmp_path):
+    found = findings_of(DomainsUniverseEscapeChecker(), tmp_path, POOL_ESCAPE)
+    assert len(found) == 1
+    assert "quantifier_scan" in found[0].message
+    assert "bitset-pool:sweep" in found[0].message
+    assert "bitset-universe:sweep" in found[0].message
+
+
+def test_pool_intersected_with_member_mask_passes(tmp_path):
+    fixed = dict(POOL_ESCAPE)
+    fixed["fixpkg/low/sweepish.py"] = fixed["fixpkg/low/sweepish.py"].replace(
+        "return list(bits.iter_ids(pool))",
+        "return list(bits.iter_ids(pool & table.mask))",
+    )
+    found = findings_of(DomainsUniverseEscapeChecker(), tmp_path, fixed)
+    assert found == []
+
+
+# -- domains.slot-discipline -------------------------------------------------
+
+SLOT_FILES = {
+    "fixpkg/low/base.py": """\
+        class Ctx:
+            def __init__(self, n):
+                self.env = [None] * n  # repro-lint: domain[map[slot, intern:sweep]] relation environment
+
+
+        # repro-lint: domain[returns=slot] the slot mint
+        def slot_of(name):
+            return 0
+
+
+        def broken(ctx: Ctx, code):
+            return ctx.env[code]
+
+
+        def fine(ctx: Ctx, name):
+            return ctx.env[slot_of(name)]
+        """,
+}
+
+
+def test_plain_index_into_slot_map_is_flagged(tmp_path):
+    found = findings_of(DomainsSlotDisciplineChecker(), tmp_path, SLOT_FILES)
+    assert len(found) == 1
+    assert "broken" in found[0].message
+    assert "map[slot, ...]" in found[0].message
+    assert "fine" not in found[0].message
+
+
+def test_slot_typed_index_passes(tmp_path):
+    found = findings_of(DomainsSlotDisciplineChecker(), tmp_path, {
+        "fixpkg/low/base.py": """\
+            class Ctx:
+                def __init__(self, n):
+                    self.env = [None] * n  # repro-lint: domain[map[slot, intern:sweep]] relation environment
+
+
+            # repro-lint: domain[returns=slot] the slot mint
+            def slot_of(name):
+                return 0
+
+
+            def fine(ctx: Ctx, name):
+                return ctx.env[slot_of(name)]
+            """,
+    })
+    assert found == []
+
+
+# -- scoping -----------------------------------------------------------------
+
+
+def test_domain_modules_scopes_the_findings(tmp_path):
+    files = {
+        "fixpkg/low/base.py": """\
+            # repro-lint: domain[returns=intern:sweep] the gid mint
+            def gid(text):
+                return 0
+
+
+            # repro-lint: domain[returns=interval] the interval mint
+            def fid(i, j):
+                return 0
+
+
+            def broken(text, i, j):
+                return gid(text) == fid(i, j)
+            """,
+    }
+    scoped = findings_of(
+        DomainsNoCrossMixChecker(),
+        tmp_path,
+        files,
+        domain_modules=("fixpkg.mid",),
+    )
+    assert scoped == []

@@ -177,6 +177,28 @@ def test_lru_unregistered_cache_fails():
     assert any("not registered" in f for f in failures)
 
 
+def test_match_spans_cache_is_gated():
+    from repro.spanners.regex_formulas import _match_spans_cached
+
+    assert "spanners.regex_formulas.match_spans" in LRU_GATES
+    # The smoke subset doesn't drive spanner evaluation, so the gate is
+    # registration + no-eviction only (min_hits 0).
+    assert LRU_GATES["spanners.regex_formulas.match_spans"] == 0
+    assert _match_spans_cached.cache_info().maxsize == 4096
+
+
+def test_match_spans_zero_hits_passes_but_eviction_fails():
+    snapshot = _lru_snapshot(hits=1, misses=10, currsize=10)
+    spans = snapshot["spanners.regex_formulas.match_spans"]
+    spans["hits"] = 0
+    assert check_lru(snapshot) == []
+    spans["misses"] = spans["currsize"] + 3
+    failures = check_lru(snapshot)
+    assert any(
+        "match_spans evicted 3" in failure for failure in failures
+    )
+
+
 def test_solver_for_cache_holds_the_engine_workload():
     # The maxsize-512 regression: the full DAG requests ~2 000 distinct
     # (w, v, alphabet) pairs, and at 512 the heavyweight solvers were

@@ -88,6 +88,67 @@ def test_single_descriptor_plan_stays_monolithic(tmp_path):
     assert report.shards["tasks"] == {}
 
 
+def test_clamped_width_is_recorded_in_report(tmp_path):
+    # Three values cannot fill eight lanes: the planner clamps to three
+    # shards and the report says so instead of silently under-sharding.
+    report = run_tasks(
+        _registry(n=3),
+        jobs=1,
+        shards=8,
+        cache=ResultCache(root=tmp_path),
+    )
+    assert report.ok
+    assert report.shards["width"] == 8
+    assert report.shards["requested"] == 8
+    summary = report.shards["tasks"]["ranged"]
+    assert summary["effective_width"] == 3
+    assert summary["clamped"] is True
+    assert len(report.record_for("ranged")["shards"]) == 3
+    # An unclamped run reports effective width == requested width.
+    full = run_tasks(
+        _registry(),
+        jobs=1,
+        shards=4,
+        cache=ResultCache(root=tmp_path / "full"),
+    )
+    assert full.shards["tasks"]["ranged"]["effective_width"] == 4
+    assert full.shards["tasks"]["ranged"]["clamped"] is False
+
+
+def test_requested_width_is_none_when_defaulted(tmp_path, monkeypatch):
+    _uncap_cpus(monkeypatch)
+    report = run_tasks(
+        _registry(), jobs=2, cache=ResultCache(root=tmp_path)
+    )
+    assert report.shards["width"] == 2
+    assert report.shards["requested"] is None
+
+
+def test_planners_clamp_to_available_lanes():
+    from repro.engine.shards import (
+        clamp_width,
+        length_band_plan,
+        round_robin,
+        subtree_plan,
+    )
+
+    assert clamp_width(64, 10) == 10
+    assert clamp_width(2, 10) == 2
+    assert clamp_width(0, 10) == 1
+    # round_robin never deals more lanes than values.
+    assert len(round_robin([1, 2, 3], 8)) == 3
+    # Binary alphabet, depth capped at max_length: at most |Σ|^max_length
+    # subtree shards no matter the requested width.
+    plans = subtree_plan("ab", 2, 64)
+    assert len(plans) == 4
+    covered = sorted(p for plan in plans for p in plan["prefixes"])
+    assert covered == ["aa", "ab", "ba", "bb"]
+    # Unary grid: at most max_length + 1 length bands.
+    bands = length_band_plan("a", 3, 64)
+    assert len(bands) == 4
+    assert sorted(n for band in bands for n in band["lengths"]) == [0, 1, 2, 3]
+
+
 def test_default_width_is_effective_jobs(tmp_path, monkeypatch):
     _uncap_cpus(monkeypatch)
     serial = run_tasks(
@@ -139,7 +200,12 @@ def test_width_change_reruns_only_shards_and_merge(tmp_path):
     # and no shard executes at all.
     warm = run_tasks(_registry(), jobs=1, shards=2, cache=cache)
     assert warm.record_for("ranged")["cache"] == "hit"
-    assert warm.shards["tasks"]["ranged"] == {"count": 2, "cache": "hit"}
+    assert warm.shards["tasks"]["ranged"] == {
+        "count": 2,
+        "cache": "hit",
+        "effective_width": 2,
+        "clamped": False,
+    }
     assert warm.record_for("doubled")["cache"] == "hit"
 
     # New width: a different plan salts different shard/merge keys, so
